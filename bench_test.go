@@ -1,0 +1,439 @@
+// Package repro's root benchmarks regenerate every evaluation figure of
+// the paper at Quick scale, one bench per figure (Figs. 7/8/12 share the
+// network-validation run but are benched separately over its analyses),
+// plus ablation benches for the design choices called out in DESIGN.md.
+//
+// Run: go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/core/capacity"
+	"repro/internal/core/conflict"
+	"repro/internal/core/feasibility"
+	"repro/internal/core/optimize"
+	"repro/internal/experiments"
+	"repro/internal/mac"
+	"repro/internal/measure"
+	"repro/internal/node"
+	"repro/internal/phy"
+	"repro/internal/probe"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// benchScale trims Quick so each figure bench iteration stays in the
+// hundreds of milliseconds; `meshopt -scale paper` runs the full size.
+func benchScale() experiments.Scale {
+	sc := experiments.Quick()
+	sc.PhaseDur = 1 * sim.Second
+	sc.Pairs = 4
+	sc.Configs = 1
+	sc.Iterations = 1
+	sc.GridN = 3
+	sc.ProbeWindow = 120
+	sc.TrafficDur = 3 * sim.Second
+	return sc
+}
+
+func BenchmarkFig03LIRCDF(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig3(int64(i+1), sc)
+		res.Print(io.Discard)
+	}
+}
+
+func BenchmarkFig04FPFN(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig4(int64(i+1), sc)
+		res.Print(io.Discard)
+	}
+}
+
+func BenchmarkFig05ThreePoint(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig5(3, sc)
+		res.Print(io.Discard)
+	}
+}
+
+func BenchmarkFig06LIRThreshold(b *testing.B) {
+	lirs := []float64{0.2, 0.35, 0.5, 0.55, 0.62, 0.8, 0.9, 0.93, 0.96, 0.975, 0.99, 1.0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig6(lirs)
+		res.Print(io.Discard)
+	}
+}
+
+// netValidation is shared by the Fig. 7/8/12 benches; computed once.
+var netValidationCache *experiments.NetValidationResult
+
+func netValidation(b *testing.B) experiments.NetValidationResult {
+	b.Helper()
+	if netValidationCache == nil {
+		res := experiments.RunNetValidation(11, benchScale())
+		netValidationCache = &res
+	}
+	return *netValidationCache
+}
+
+func BenchmarkFig07OverEstimation(b *testing.B) {
+	res := netValidation(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res.Fig7Stats()
+	}
+}
+
+func BenchmarkFig08UnderEstimation(b *testing.B) {
+	res := netValidation(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res.Fig8UnderEstimation()
+		res.Fig8ScaledGain()
+	}
+}
+
+func BenchmarkFig12TwoHop(b *testing.B) {
+	res := netValidation(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res.Fig12Compare()
+	}
+}
+
+func BenchmarkFig09EstimatorCases(b *testing.B) {
+	sc := benchScale()
+	sc.ProbeWindow = 300
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig9(2, sc)
+		res.Print(io.Discard)
+	}
+}
+
+func BenchmarkFig10LossRMSE(b *testing.B) {
+	sc := benchScale()
+	sc.ProbeWindow = 250
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig10(4, sc)
+		res.Print(io.Discard)
+	}
+}
+
+func BenchmarkFig11CapacityVsAdhoc(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig11(6, sc)
+		res.Print(io.Discard)
+	}
+}
+
+func BenchmarkFig13Starvation(b *testing.B) {
+	sc := benchScale()
+	sc.TrafficDur = 8 * sim.Second
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig13(3, sc)
+		res.Print(io.Discard)
+	}
+}
+
+func BenchmarkFig14TCPSuite(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig14(9, sc)
+		res.Print(io.Discard)
+	}
+}
+
+// --- Ablation benches -------------------------------------------------
+
+// BenchmarkAblationLIRThreshold sweeps the binary classifier threshold
+// over a bimodal LIR population, reporting the FN/FP trade-off the §4.4
+// analysis predicts.
+func BenchmarkAblationLIRThreshold(b *testing.B) {
+	var lirs []float64
+	for i := 0; i < 60; i++ {
+		lirs = append(lirs, 0.35+0.005*float64(i))
+	}
+	for i := 0; i < 40; i++ {
+		lirs = append(lirs, 0.94+0.0015*float64(i))
+	}
+	thresholds := []float64{0.5, 0.7, 0.8, 0.9, 0.95, 0.99}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, th := range thresholds {
+			feasibility.ExpectedLIRErrors(lirs, th)
+		}
+	}
+}
+
+// BenchmarkAblationFrankWolfe measures solver cost and utility gap as the
+// iteration budget grows on a 6-link/4-flow polytope.
+func BenchmarkAblationFrankWolfe(b *testing.B) {
+	g := conflict.NewGraph(6)
+	for i := 0; i < 6; i++ {
+		g.AddEdge(i, (i+1)%6)
+		g.AddEdge(i, (i+2)%6)
+	}
+	region := feasibility.Build([]float64{1, 2, 1.5, 1, 2.5, 1.2}, g)
+	prob := &optimize.Problem{
+		Region: region,
+		Routes: [][]int{{0, 1}, {2}, {3, 4}, {5}},
+	}
+	for _, iters := range []int{50, 200, 800} {
+		b.Run(benchName("iters", iters), func(b *testing.B) {
+			var gap float64
+			ref, err := optimize.Solve(prob, optimize.ProportionalFair, optimize.Options{Iterations: 3000})
+			if err != nil {
+				b.Fatal(err)
+			}
+			refU := optimize.Utility(ref, optimize.ProportionalFair)
+			for i := 0; i < b.N; i++ {
+				y, err := optimize.Solve(prob, optimize.ProportionalFair, optimize.Options{Iterations: iters})
+				if err != nil {
+					b.Fatal(err)
+				}
+				gap = refU - optimize.Utility(y, optimize.ProportionalFair)
+			}
+			b.ReportMetric(gap, "utility-gap")
+		})
+	}
+}
+
+// BenchmarkAblationCapture compares IA-pair simultaneous throughput with
+// capture enabled vs disabled (the FN source of §4.3.2).
+func BenchmarkAblationCapture(b *testing.B) {
+	run := func(b *testing.B, captureDB float64) float64 {
+		cfg := phy.DefaultConfig()
+		cfg.CaptureDB = captureDB
+		s := sim.New(5)
+		med := phy.NewMedium(s, cfg)
+		// IA geometry, as in topology.TwoLink.
+		for _, p := range []phy.Position{{X: 0}, {X: 90}, {X: 240}, {X: 320}} {
+			med.AddRadio(p)
+		}
+		nw := &topology.Network{Sim: s, Medium: med}
+		for _, r := range med.Radios() {
+			nw.Nodes = append(nw.Nodes, node.New(med, r, phy.Rate1))
+		}
+		l1, l2 := topology.Link{Src: 0, Dst: 1}, topology.Link{Src: 2, Dst: 3}
+		nw.InstallDirectRoute(l1)
+		nw.InstallDirectRoute(l2)
+		res := measure.Simultaneous(nw, []topology.Link{l1, l2}, traffic.DefaultPayload, 2*sim.Second)
+		return res[0].ThroughputBps
+	}
+	for _, captureDB := range []float64{5, 1000} { // 1000 dB = capture off
+		captureDB := captureDB
+		b.Run(benchName("captureDB", int(captureDB)), func(b *testing.B) {
+			var exposed float64
+			for i := 0; i < b.N; i++ {
+				exposed = run(b, captureDB)
+			}
+			b.ReportMetric(exposed/1e3, "exposed-kbps")
+		})
+	}
+}
+
+// BenchmarkAblationProbeWindow reports estimator RMSE for different
+// probing windows (the Fig. 10b sensitivity).
+func BenchmarkAblationProbeWindow(b *testing.B) {
+	for _, window := range []int{100, 200, 400} {
+		window := window
+		b.Run(benchName("S", window), func(b *testing.B) {
+			sc := benchScale()
+			sc.ProbeWindow = window
+			var rmse float64
+			for i := 0; i < b.N; i++ {
+				res := experiments.RunFig10(4, sc)
+				rmse = res.RMSEByS[window]
+			}
+			b.ReportMetric(rmse, "rmse")
+		})
+	}
+}
+
+// BenchmarkAblationRateAdaptation quantifies the paper's §7 caveat: with
+// 802.11 rate adaptation enabled, fixed-rate probing no longer matches the
+// data plane, and the Eq. 6 capacity estimate degrades. Reported metric:
+// relative error of the Eq. 6 estimate vs the measured ARF throughput on a
+// marginal link.
+func BenchmarkAblationRateAdaptation(b *testing.B) {
+	var relErr float64
+	for i := 0; i < b.N; i++ {
+		s := sim.New(31)
+		med := phy.NewMedium(s, phy.DefaultConfig())
+		ra := med.AddRadio(phy.Position{})
+		rb := med.AddRadio(phy.Position{X: 129}) // sustains 5.5, not 11
+		na := node.New(med, ra, phy.Rate11)
+		nb := node.New(med, rb, phy.Rate11)
+		_ = nb
+		na.SetRoute(1, 1)
+		arf := mac.NewARF(phy.Rate11)
+		na.MAC().SetRateAdapter(arf)
+
+		nw := &topology.Network{Sim: s, Medium: med, Nodes: []*node.Node{na, nb}}
+		got := measure.MaxUDP(nw, topology.Link{Src: 0, Dst: 1}, traffic.DefaultPayload, 3*sim.Second)
+
+		// The estimator probes at the *configured* 11 Mb/s and feeds
+		// Eq. 6 with that rate — blind to the adapted data rate.
+		rec := probe.NewRecorder(nb)
+		pr := probe.NewProber(s, na, phy.Rate11, traffic.DefaultPayload)
+		pr.SetPeriod(60 * sim.Millisecond)
+		pr.Start()
+		s.Run(s.Now() + 10*sim.Second)
+		pr.Stop()
+		est, ok := rec.Estimate(0, 150)
+		if !ok {
+			b.Fatal("no probe estimate")
+		}
+		pred := capacity.MaxUDP(est.Pl, phy.Rate11, traffic.DefaultPayload)
+		relErr = (pred - got.ThroughputBps) / got.ThroughputBps
+	}
+	b.ReportMetric(relErr, "rel-err")
+}
+
+// BenchmarkAblationFormulation compares the three solver formulations on
+// an odd-cycle conflict structure, where the MIS polytope is exact and
+// clique constraints are an optimistic outer bound.
+func BenchmarkAblationFormulation(b *testing.B) {
+	g := conflict.NewGraph(5)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, (i+1)%5)
+	}
+	caps := []float64{1e6, 1e6, 1e6, 1e6, 1e6}
+	routes := [][]int{{0}, {1}, {2}, {3}, {4}}
+	region := feasibility.Build(caps, g)
+	cp := optimize.NewCliqueProblem(caps, g, routes)
+
+	sum := func(v []float64) float64 {
+		t := 0.0
+		for _, x := range v {
+			t += x
+		}
+		return t
+	}
+	b.Run("polytope", func(b *testing.B) {
+		var agg float64
+		for i := 0; i < b.N; i++ {
+			y, err := optimize.Solve(&optimize.Problem{Region: region, Routes: routes},
+				optimize.ProportionalFair, optimize.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			agg = sum(y)
+		}
+		b.ReportMetric(agg/1e6, "agg-Mbps")
+	})
+	b.Run("clique", func(b *testing.B) {
+		var agg float64
+		for i := 0; i < b.N; i++ {
+			y, err := optimize.SolveClique(cp, optimize.ProportionalFair, optimize.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			agg = sum(y)
+		}
+		b.ReportMetric(agg/1e6, "agg-Mbps")
+	})
+	b.Run("distributed", func(b *testing.B) {
+		var agg float64
+		for i := 0; i < b.N; i++ {
+			y, err := optimize.SolveDistributed(cp, optimize.ProportionalFair,
+				optimize.DistributedOptions{Iterations: 3000})
+			if err != nil {
+				b.Fatal(err)
+			}
+			agg = sum(y)
+		}
+		b.ReportMetric(agg/1e6, "agg-Mbps")
+	})
+}
+
+// BenchmarkAblationExhaustiveRegion compares the O(2^L) measured-
+// combination region (the paper's offline alternative in §3.2) against
+// the online MIS construction, reporting their agreement.
+func BenchmarkAblationExhaustiveRegion(b *testing.B) {
+	sc := benchScale()
+	var agree float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunExhaustive(5, sc)
+		agree = res.MISAgreement
+		res.Print(io.Discard)
+	}
+	b.ReportMetric(agree, "agreement")
+}
+
+// --- Microbenchmarks on the core data structures ----------------------
+
+func BenchmarkMISEnumeration(b *testing.B) {
+	g := conflict.NewGraph(24)
+	for c := 0; c < 6; c++ {
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				g.AddEdge(4*c+i, 4*c+j)
+			}
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := len(g.MaximalIndependentSets()); got != 4096 {
+			b.Fatalf("MIS count %d", got)
+		}
+	}
+}
+
+func BenchmarkRegionMembership(b *testing.B) {
+	g := conflict.NewGraph(10)
+	for i := 0; i < 10; i++ {
+		g.AddEdge(i, (i+1)%10)
+	}
+	caps := make([]float64, 10)
+	y := make([]float64, 10)
+	for i := range caps {
+		caps[i] = 1 + float64(i%3)
+		y[i] = 0.3
+	}
+	region := feasibility.Build(caps, g)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		region.Contains(y)
+	}
+}
+
+func BenchmarkChannelLossEstimator(b *testing.B) {
+	trace := make(capacity.LossTrace, 1280)
+	for i := range trace {
+		trace[i] = i%13 == 0 || (i > 400 && i < 430)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		capacity.EstimateChannelLoss(trace, capacity.DefaultWmin)
+	}
+}
+
+func BenchmarkEq6Capacity(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		capacity.MaxUDP(float64(i%90)/100, phy.Rate11, 1470)
+	}
+}
+
+func BenchmarkMACSaturation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		nw := topology.TwoLink(int64(i+1), topology.CS, phy.Rate11, phy.Rate11)
+		measure.MaxUDP(nw.Network, nw.Link1, traffic.DefaultPayload, sim.Second)
+	}
+}
+
+func benchName(k string, v int) string {
+	return fmt.Sprintf("%s=%d", k, v)
+}

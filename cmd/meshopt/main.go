@@ -1,0 +1,95 @@
+// Command meshopt regenerates the paper's evaluation figures on the
+// simulated mesh substrate.
+//
+// Usage:
+//
+//	meshopt -fig 3            # reproduce one figure (3..14)
+//	meshopt -all              # reproduce every figure
+//	meshopt -fig 13 -scale paper -seed 7
+//
+// Figures 7, 8 and 12 share one network-validation run and are printed
+// together when any of them is requested.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to reproduce (3..14); 0 with -all for everything")
+	all := flag.Bool("all", false, "reproduce every figure")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	scaleName := flag.String("scale", "quick", "experiment scale: quick or paper")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleName {
+	case "quick":
+		sc = experiments.Quick()
+	case "paper":
+		sc = experiments.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or paper)\n", *scaleName)
+		os.Exit(2)
+	}
+
+	if !*all && (*fig < 3 || *fig > 14) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	want := func(n int) bool { return *all || *fig == n }
+	start := time.Now()
+
+	if want(3) || want(6) {
+		res3 := experiments.RunFig3(*seed, sc)
+		if want(3) {
+			res3.Print(os.Stdout)
+			fmt.Println()
+		}
+		if want(6) {
+			lirs := append(append([]float64(nil), res3.LIR1...), res3.LIR11...)
+			experiments.RunFig6(lirs).Print(os.Stdout)
+			fmt.Println()
+		}
+	}
+	if want(4) {
+		experiments.RunFig4(*seed, sc).Print(os.Stdout)
+		fmt.Println()
+	}
+	if want(5) {
+		experiments.RunFig5(*seed, sc).Print(os.Stdout)
+		fmt.Println()
+	}
+	if want(7) || want(8) || want(12) {
+		experiments.RunNetValidation(*seed, sc).Print(os.Stdout)
+		fmt.Println()
+	}
+	if want(9) {
+		experiments.RunFig9(*seed, sc).Print(os.Stdout)
+		fmt.Println()
+	}
+	if want(10) {
+		experiments.RunFig10(*seed, sc).Print(os.Stdout)
+		fmt.Println()
+	}
+	if want(11) {
+		experiments.RunFig11(*seed, sc).Print(os.Stdout)
+		fmt.Println()
+	}
+	if want(13) {
+		experiments.RunFig13(*seed, sc).Print(os.Stdout)
+		fmt.Println()
+	}
+	if want(14) {
+		experiments.RunFig14(*seed, sc).Print(os.Stdout)
+		fmt.Println()
+	}
+
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,270 @@
+// Package capacity implements the paper's online capacity machinery (§5):
+//
+//   - the link capacity representation of Eq. 6, which expresses a link's
+//     maxUDP throughput as a function of its channel loss rate through a
+//     renewal model of DCF backoff and retransmission cost;
+//   - the nominal (zero-loss) throughput computation after Jun et al.;
+//   - the channel loss rate estimator of §5.3, which recovers the
+//     channel-error component of a broadcast-probe loss trace by scanning
+//     it with sliding-window minima (Eq. 7), a median criterion, and a
+//     logarithmic-fit/maximum-curvature window selection rule.
+package capacity
+
+import (
+	"math"
+
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// DCF backoff constants used by the Eq. 6 idle-time term, matching both
+// the 802.11b specification and the simulator's MAC.
+const (
+	// W0 is the minimum contention window size in slots (CWmin+1).
+	W0 = phy.CWMin + 1
+	// Wm is the maximum contention window size in slots (CWmax+1).
+	Wm = phy.CWMax + 1
+	// MaxStage is the backoff stage m at which the window saturates.
+	MaxStage = 5
+)
+
+// Nominal returns the zero-loss saturation UDP throughput, in bits/s of
+// MAC frame content (payload+header), for a link at rate r carrying
+// payloadBytes datagrams. It is the Tnom of Eq. 6, computed after Jun et
+// al. as one full DCF cycle: DIFS + mean initial backoff + DATA airtime +
+// SIFS + ACK airtime.
+func Nominal(r phy.Rate, payloadBytes int) float64 {
+	cycle := cycleTime(r, payloadBytes)
+	frameBits := float64(8 * (payloadBytes + phy.MACHeaderBytes))
+	return frameBits / cycle.Seconds()
+}
+
+// NominalGoodput is the payload-only counterpart of Nominal: the maxUDP
+// throughput a backlogged link achieves on a clean channel.
+func NominalGoodput(r phy.Rate, payloadBytes int) float64 {
+	cycle := cycleTime(r, payloadBytes)
+	return float64(8*payloadBytes) / cycle.Seconds()
+}
+
+func cycleTime(r phy.Rate, payloadBytes int) sim.Time {
+	meanBackoff := sim.Time(float64(W0-1) / 2 * float64(phy.SlotTime))
+	ack := phy.ControlAirtime(phy.ControlRate(r), phy.ACKBytes)
+	return phy.DIFS + meanBackoff + phy.Airtime(r, payloadBytes) + phy.SIFS + ack
+}
+
+// MaxUDP evaluates Eq. 6: the predicted maxUDP throughput (payload bits/s)
+// of a link with channel loss rate pl, at modulation r with payloadBytes
+// datagrams. pl is the per-attempt frame loss probability from channel
+// errors (DATA and ACK combined).
+func MaxUDP(pl float64, r phy.Rate, payloadBytes int) float64 {
+	if pl < 0 {
+		pl = 0
+	}
+	if pl >= 1 {
+		return 0
+	}
+	pBits := float64(8 * payloadBytes)
+	hBits := float64(8 * phy.MACHeaderBytes)
+	tnom := Nominal(r, payloadBytes)
+	etx := 1 / (1 - pl)
+
+	// ttx: transmission time inflated by the probability that all ETX
+	// attempts fail (the paper's (1 - pl^ETX) factor).
+	ttx := (pBits + hBits) / ((1 - math.Pow(pl, etx)) * tnom)
+
+	// tidle: average backoff time accumulated over the retransmission
+	// stages 1..floor(ETX)-1 (Eq. 6's F term), with the window frozen at
+	// Wm beyond stage m.
+	sigma := phy.SlotTime.Seconds()
+	fsum := func(a, b int) float64 {
+		total := 0.0
+		for i := a; i <= b; i++ {
+			w := float64(int(1)<<i) * W0
+			if w > Wm {
+				w = Wm
+			}
+			total += (w - 1) / 2
+		}
+		return sigma * total
+	}
+	var tidle float64
+	fl := int(math.Floor(etx))
+	if etx < MaxStage {
+		tidle = fsum(1, fl-1)
+	} else {
+		tidle = fsum(1, MaxStage-1) + sigma*float64(fl-MaxStage)*float64(Wm-1)/2
+	}
+
+	return pBits / (tidle + ttx)
+}
+
+// CombineLossRates combines the DATA and ACK channel loss rates into the
+// per-attempt loss probability of Eq. 6: pl = 1-(1-pDATA)(1-pACK).
+func CombineLossRates(pData, pAck float64) float64 {
+	return 1 - (1-clamp01(pData))*(1-clamp01(pAck))
+}
+
+func clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// LossTrace is a probe reception record: true marks a lost probe.
+type LossTrace []bool
+
+// MeasuredLoss returns the raw packet loss rate p over the trace,
+// including both channel errors and collisions.
+func (t LossTrace) MeasuredLoss() float64 {
+	if len(t) == 0 {
+		return 0
+	}
+	lost := 0
+	for _, l := range t {
+		if l {
+			lost++
+		}
+	}
+	return float64(lost) / float64(len(t))
+}
+
+// EstimateCase records which rule of §5.3 produced the estimate.
+type EstimateCase int
+
+// Estimator outcomes.
+const (
+	// CaseUniform: the sliding-minimum curve reached the measured loss
+	// rate before S/2 — losses look uniform, pch = p (Fig. 9a).
+	CaseUniform EstimateCase = iota
+	// CaseKnee: the logarithmic-fit maximum-curvature window selected
+	// the estimate (Fig. 9b).
+	CaseKnee
+	// CaseShort: the trace was shorter than 2*Wmin; pch = p trivially.
+	CaseShort
+)
+
+// Estimate is the channel loss estimator's result.
+type Estimate struct {
+	Pch  float64 // estimated channel loss rate
+	W    int     // window size that produced it
+	Case EstimateCase
+	P    float64 // measured loss rate (channel + collisions)
+}
+
+// DefaultWmin is the coarsest sliding window (10 samples, as in §5.3).
+const DefaultWmin = 10
+
+// SlidingMinCurve computes Eq. 7's p_ch^(W) for every window size W in
+// [wmin, len(trace)]. The returned slice is indexed by W (entries below
+// wmin are zero). Exposed for the Fig. 9 curve plots; EstimateChannelLoss
+// computes the same curve internally.
+func SlidingMinCurve(trace LossTrace, wmin int) []float64 {
+	s := len(trace)
+	if wmin < 2 {
+		wmin = DefaultWmin
+	}
+	prefix := make([]int, s+1)
+	for i, l := range trace {
+		prefix[i+1] = prefix[i]
+		if l {
+			prefix[i+1]++
+		}
+	}
+	pchW := make([]float64, s+1)
+	for w := wmin; w <= s; w++ {
+		minCount := math.MaxInt32
+		for i := 0; i+w <= s; i++ {
+			if c := prefix[i+w] - prefix[i]; c < minCount {
+				minCount = c
+			}
+		}
+		pchW[w] = float64(minCount) / float64(w)
+	}
+	return pchW
+}
+
+// EstimateChannelLoss runs the §5.3 estimator over a probe loss trace.
+//
+// For every window size W in [wmin, S] it computes Eq. 7's sliding-window
+// minimum loss rate p_ch^(W). If the curve reaches 99% of the measured
+// loss rate before W = S/2, losses are deemed uniform and pch = p.
+// Otherwise the curve is fit with f(w) = a·ln(w) + b and read at the point
+// of maximum curvature of the axis-normalized fit. (For a pure log curve
+// that knee sits at a fixed fraction of the window — the fit's role is to
+// smooth and to make the rule robust to the curve's actual shape.)
+func EstimateChannelLoss(trace LossTrace, wmin int) Estimate {
+	s := len(trace)
+	p := trace.MeasuredLoss()
+	if wmin < 2 {
+		wmin = DefaultWmin
+	}
+	if s < 2*wmin {
+		return Estimate{Pch: p, W: s, Case: CaseShort, P: p}
+	}
+	pchW := SlidingMinCurve(trace, wmin)
+
+	// Case 1: median criterion.
+	for w := wmin; w <= s/2; w++ {
+		if pchW[w] >= 0.99*p {
+			return Estimate{Pch: p, W: w, Case: CaseUniform, P: p}
+		}
+	}
+
+	// Case 2: fit f(w) = a·ln(w) + b and read the measured curve at the
+	// maximum-curvature window W* of the normalized fit. For an exact
+	// log curve that knee is independent of the fitted slope (see
+	// maxCurvatureWindow); the fit's slope still certifies that the
+	// curve is log-shaped rather than flat.
+	a, _ := logFit(pchW, wmin, s)
+	wStar := maxCurvatureWindow(wmin, s)
+	if a <= 0 {
+		// Flat or decreasing curve: no knee; the coarse minimum is the
+		// best burst-free segment available.
+		wStar = s / 2
+	}
+	return Estimate{Pch: pchW[wStar], W: wStar, Case: CaseKnee, P: p}
+}
+
+// logFit least-squares fits y = a ln w + b over w in [wmin, s].
+func logFit(pchW []float64, wmin, s int) (a, b float64) {
+	var n, sx, sy, sxx, sxy float64
+	for w := wmin; w <= s; w++ {
+		x := math.Log(float64(w))
+		y := pchW[w]
+		n++
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / n
+	}
+	a = (n*sxy - sx*sy) / den
+	b = (sy - a*sx) / n
+	return a, b
+}
+
+// maxCurvatureWindow returns the window size w maximizing the curvature
+// of the axis-normalized log curve over [wmin, s]. With x = (w-wmin)/L and
+// y scaled to [0,1], the curvature of y ∝ ln(w) peaks at
+// w = L/(√2·ln(s/wmin)) with L = s - wmin, independent of the fitted
+// slope.
+func maxCurvatureWindow(wmin, s int) int {
+	l := float64(s - wmin)
+	r := l / math.Log(float64(s)/float64(wmin))
+	w := r / math.Sqrt2
+	wi := int(w)
+	if wi < wmin {
+		wi = wmin
+	}
+	if wi > s {
+		wi = s
+	}
+	return wi
+}

@@ -1,0 +1,207 @@
+package capacity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/phy"
+)
+
+func TestNominalGoodputMatchesKnownDCFNumbers(t *testing.T) {
+	// Long-preamble 802.11b with 1470-byte UDP: ~0.915 Mb/s at 1 Mb/s
+	// and ~6.0 Mb/s at 11 Mb/s (see mac package saturation tests).
+	g1 := NominalGoodput(phy.Rate1, 1470)
+	if g1 < 0.89e6 || g1 > 0.94e6 {
+		t.Fatalf("1 Mb/s goodput = %.3f Mb/s", g1/1e6)
+	}
+	g11 := NominalGoodput(phy.Rate11, 1470)
+	if g11 < 5.8e6 || g11 > 6.2e6 {
+		t.Fatalf("11 Mb/s goodput = %.3f Mb/s", g11/1e6)
+	}
+}
+
+func TestMaxUDPZeroLossEqualsNominalGoodput(t *testing.T) {
+	for _, r := range []phy.Rate{phy.Rate1, phy.Rate11} {
+		want := NominalGoodput(r, 1470)
+		got := MaxUDP(0, r, 1470)
+		if math.Abs(got-want)/want > 1e-9 {
+			t.Fatalf("%v: MaxUDP(0) = %v, NominalGoodput = %v", r, got, want)
+		}
+	}
+}
+
+func TestMaxUDPMonotoneDecreasingInLoss(t *testing.T) {
+	prev := math.Inf(1)
+	for pl := 0.0; pl < 0.95; pl += 0.05 {
+		v := MaxUDP(pl, phy.Rate11, 1470)
+		if v > prev {
+			t.Fatalf("MaxUDP not monotone at pl=%v: %v > %v", pl, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestMaxUDPBoundaryCases(t *testing.T) {
+	if MaxUDP(1, phy.Rate11, 1470) != 0 {
+		t.Fatal("total loss must give zero capacity")
+	}
+	if MaxUDP(-0.1, phy.Rate11, 1470) != MaxUDP(0, phy.Rate11, 1470) {
+		t.Fatal("negative loss must clamp to zero")
+	}
+}
+
+func TestMaxUDPHalvesAroundHeavyLoss(t *testing.T) {
+	// At 50% loss Eq. 6 predicts ~60% of nominal: ETX = 2 adds one
+	// stage-1 backoff (630 us) and inflates ttx by 4/3.
+	clean := MaxUDP(0, phy.Rate11, 1470)
+	lossy := MaxUDP(0.5, phy.Rate11, 1470)
+	if lossy > 0.65*clean {
+		t.Fatalf("pl=0.5 keeps %.0f%% of capacity", 100*lossy/clean)
+	}
+	if lossy < 0.2*clean {
+		t.Fatalf("pl=0.5 only %.0f%% of capacity (too pessimistic)", 100*lossy/clean)
+	}
+}
+
+func TestCombineLossRates(t *testing.T) {
+	if got := CombineLossRates(0.1, 0.2); math.Abs(got-0.28) > 1e-12 {
+		t.Fatalf("combined = %v, want 0.28", got)
+	}
+	if CombineLossRates(0, 0) != 0 {
+		t.Fatal("no loss must combine to no loss")
+	}
+	if CombineLossRates(1, 0) != 1 {
+		t.Fatal("certain DATA loss must dominate")
+	}
+}
+
+func TestMeasuredLoss(t *testing.T) {
+	tr := LossTrace{false, true, false, true}
+	if tr.MeasuredLoss() != 0.5 {
+		t.Fatalf("loss = %v", tr.MeasuredLoss())
+	}
+	if (LossTrace{}).MeasuredLoss() != 0 {
+		t.Fatal("empty trace must read 0")
+	}
+}
+
+func mkTrace(rng *rand.Rand, s int, pch float64, bursts int, burstLen int) LossTrace {
+	tr := make(LossTrace, s)
+	for i := range tr {
+		tr[i] = rng.Float64() < pch
+	}
+	for b := 0; b < bursts; b++ {
+		start := rng.Intn(s - burstLen)
+		for i := start; i < start+burstLen; i++ {
+			tr[i] = true
+		}
+	}
+	return tr
+}
+
+func TestEstimatorUniformLossesCase1(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := mkTrace(rng, 1280, 0.10, 0, 0)
+	est := EstimateChannelLoss(tr, DefaultWmin)
+	if math.Abs(est.Pch-0.10) > 0.05 {
+		t.Fatalf("uniform losses: pch = %v, want ~0.10", est.Pch)
+	}
+}
+
+func TestEstimatorZeroLossTrace(t *testing.T) {
+	tr := make(LossTrace, 1280)
+	est := EstimateChannelLoss(tr, DefaultWmin)
+	if est.Pch != 0 {
+		t.Fatalf("clean trace: pch = %v", est.Pch)
+	}
+	if est.Case != CaseUniform {
+		t.Fatalf("clean trace should satisfy the median criterion, got case %v", est.Case)
+	}
+}
+
+func TestEstimatorFiltersCollisionBursts(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// 5% channel loss plus heavy bursty collisions: measured p is much
+	// higher; the estimator must recover something near 5%.
+	tr := mkTrace(rng, 1280, 0.05, 12, 30)
+	est := EstimateChannelLoss(tr, DefaultWmin)
+	if est.P < 0.25 {
+		t.Fatalf("test setup: measured loss %v too low to be interesting", est.P)
+	}
+	if est.Pch > 0.12 {
+		t.Fatalf("estimator kept collision losses: pch = %v (p = %v)", est.Pch, est.P)
+	}
+	if est.Pch > est.P {
+		t.Fatal("pch must never exceed p")
+	}
+}
+
+func TestEstimatorShortTrace(t *testing.T) {
+	tr := LossTrace{true, false, true}
+	est := EstimateChannelLoss(tr, DefaultWmin)
+	if est.Case != CaseShort {
+		t.Fatalf("case = %v, want CaseShort", est.Case)
+	}
+}
+
+func TestPropertyEstimatorBounds(t *testing.T) {
+	f := func(seed int64, pRaw uint8, bursts uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pch := float64(pRaw%60) / 100
+		tr := mkTrace(rng, 640, pch, int(bursts%8), 20)
+		est := EstimateChannelLoss(tr, DefaultWmin)
+		return est.Pch >= 0 && est.Pch <= est.P+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimatorAccuracyAcrossWindowSizes(t *testing.T) {
+	// RMSE should degrade gracefully as the window shrinks to 200
+	// probes — the paper's Fig. 10(b) robustness claim. With iid
+	// channel losses the sliding-minimum reader is negatively biased by
+	// ~2 sigma of the W*-window mean, which sets these bounds.
+	limits := map[int]float64{1280: 0.08, 640: 0.10, 320: 0.12, 200: 0.15}
+	for _, s := range []int{1280, 640, 320, 200} {
+		rng := rand.New(rand.NewSource(23))
+		var se float64
+		const runs = 40
+		bursts := s / 300
+		for i := 0; i < runs; i++ {
+			pch := rng.Float64() * 0.3
+			tr := mkTrace(rng, s, pch, bursts, 20)
+			est := EstimateChannelLoss(tr, DefaultWmin)
+			se += (est.Pch - pch) * (est.Pch - pch)
+		}
+		rmse := math.Sqrt(se / runs)
+		if rmse > limits[s] {
+			t.Fatalf("S=%d: RMSE %v too high", s, rmse)
+		}
+	}
+}
+
+func TestMaxCurvatureWindowInRange(t *testing.T) {
+	for _, s := range []int{100, 200, 640, 1280, 5000} {
+		w := maxCurvatureWindow(DefaultWmin, s)
+		if w < DefaultWmin || w > s {
+			t.Fatalf("S=%d: W* = %d out of range", s, w)
+		}
+		if w >= s/2 {
+			t.Fatalf("S=%d: W* = %d should sit in the early rise", s, w)
+		}
+	}
+}
+
+func TestLogFitRecoversSlope(t *testing.T) {
+	pchW := make([]float64, 1001)
+	for w := 10; w <= 1000; w++ {
+		pchW[w] = 0.03*math.Log(float64(w)) + 0.01
+	}
+	a, b := logFit(pchW, 10, 1000)
+	if math.Abs(a-0.03) > 1e-9 || math.Abs(b-0.01) > 1e-9 {
+		t.Fatalf("fit = (%v, %v)", a, b)
+	}
+}

@@ -1,0 +1,174 @@
+package controller
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core/capacity"
+	"repro/internal/core/conflict"
+	"repro/internal/core/feasibility"
+	"repro/internal/core/optimize"
+	"repro/internal/probe"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// maxRouteCombos bounds the exhaustive search over per-flow route
+// alternatives.
+const maxRouteCombos = 256
+
+// ComputeJointRouting extends Compute with the paper's §7 future-work
+// item: routing as part of the optimization. For every flow it enumerates
+// up to kAlt candidate ETT paths, then exhaustively evaluates consistent
+// route combinations — solving the utility maximization over each
+// combination's feasibility region — and installs the best one.
+//
+// Combinations are "consistent" when they can be expressed in
+// destination-based forwarding (no node needs two different next hops for
+// the same destination).
+func (c *Controller) ComputeJointRouting(kAlt int) (*Plan, error) {
+	if kAlt < 1 {
+		kAlt = 1
+	}
+	allLinks, allEst := c.linkEstimates()
+	if len(allLinks) == 0 {
+		return nil, fmt.Errorf("controller: no links observed; probe first")
+	}
+	estBy := make(map[topology.Link]probe.LinkEstimate, len(allLinks))
+	metrics := make([]routing.LinkMetric, len(allLinks))
+	for i, l := range allLinks {
+		estBy[l] = allEst[i]
+		metrics[i] = routing.LinkMetric{
+			Link: l, PData: allEst[i].PData, PAck: allEst[i].PAck, Rate: c.rateFor(l),
+		}
+	}
+
+	// Candidate paths per flow.
+	candidates := make([][][]topology.Link, len(c.flows))
+	total := 1
+	for s, f := range c.flows {
+		paths := routing.KPaths(len(c.nw.Nodes), metrics, c.cfg.PayloadBytes, f.Src, f.Dst, kAlt)
+		if len(paths) == 0 {
+			return nil, fmt.Errorf("controller: flow %d->%d unroutable", f.Src, f.Dst)
+		}
+		candidates[s] = paths
+		total *= len(paths)
+		if total > maxRouteCombos {
+			return nil, fmt.Errorf("controller: %d route combinations exceed limit %d", total, maxRouteCombos)
+		}
+	}
+
+	nb := c.neighbours(allLinks)
+	var best *Plan
+	bestU := math.Inf(-1)
+	choice := make([]int, len(c.flows))
+	var walk func(s int)
+	walk = func(s int) {
+		if s == len(c.flows) {
+			plan, ok := c.evalCombo(candidates, choice, estBy, nb)
+			if !ok {
+				return
+			}
+			u := optimize.Utility(plan.OutputRates, c.cfg.Objective)
+			if u > bestU {
+				bestU = u
+				best = plan
+			}
+			return
+		}
+		for i := range candidates[s] {
+			choice[s] = i
+			walk(s + 1)
+		}
+	}
+	walk(0)
+	if best == nil {
+		return nil, fmt.Errorf("controller: no consistent route combination")
+	}
+	c.installPlanRoutes(best, metrics)
+	return best, nil
+}
+
+// evalCombo builds and solves the model for one route combination.
+func (c *Controller) evalCombo(candidates [][][]topology.Link, choice []int,
+	estBy map[topology.Link]probe.LinkEstimate, nb map[int][]int) (*Plan, bool) {
+
+	// Destination-based forwarding consistency.
+	nextHop := map[[2]int]int{}
+	for s, f := range c.flows {
+		path := candidates[s][choice[s]]
+		for _, l := range path {
+			key := [2]int{l.Src, f.Dst}
+			if nh, ok := nextHop[key]; ok && nh != l.Dst {
+				return nil, false
+			}
+			nextHop[key] = l.Dst
+		}
+	}
+
+	var links []topology.Link
+	index := map[topology.Link]int{}
+	routes := make([][]int, len(c.flows))
+	paths := make([][]int, len(c.flows))
+	for s := range c.flows {
+		pl := candidates[s][choice[s]]
+		paths[s] = []int{pl[0].Src}
+		for _, l := range pl {
+			paths[s] = append(paths[s], l.Dst)
+			li, ok := index[l]
+			if !ok {
+				li = len(links)
+				index[l] = li
+				links = append(links, l)
+			}
+			routes[s] = append(routes[s], li)
+		}
+	}
+
+	caps := make([]float64, len(links))
+	loss := make([]float64, len(links))
+	for i, l := range links {
+		le, ok := estBy[l]
+		if !ok {
+			return nil, false
+		}
+		loss[i] = le.Pl
+		caps[i] = capacity.MaxUDP(le.Pl, c.rateFor(l), c.cfg.PayloadBytes)
+	}
+	g := conflict.TwoHop(links, nb)
+	region := feasibility.Build(caps, g)
+	y, err := optimize.Solve(&optimize.Problem{Region: region, Routes: routes}, c.cfg.Objective, optimize.Options{})
+	if err != nil {
+		return nil, false
+	}
+	xs := make([]float64, len(c.flows))
+	for s := range c.flows {
+		good := 1.0
+		for _, li := range routes[s] {
+			good *= 1 - math.Pow(loss[li], float64(c.cfg.RetryLimit+1))
+		}
+		if good <= 0 {
+			good = 1
+		}
+		xs[s] = y[s] / good
+	}
+	return &Plan{
+		Links: links, Capacities: caps, LossRates: loss,
+		Graph: g, Region: region,
+		Routes: routes, FlowPaths: paths,
+		OutputRates: y, InputRates: xs,
+	}, true
+}
+
+// installPlanRoutes writes the chosen per-flow paths into the nodes on
+// top of the default ETT table.
+func (c *Controller) installPlanRoutes(plan *Plan, metrics []routing.LinkMetric) {
+	table := routing.BuildTable(len(c.nw.Nodes), metrics, c.cfg.PayloadBytes)
+	table.Install(c.nw.Nodes)
+	for s, f := range c.flows {
+		path := plan.FlowPaths[s]
+		for i := 0; i+1 < len(path); i++ {
+			c.nw.Nodes[path[i]].SetRoute(f.Dst, path[i+1])
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package controller
+
+import (
+	"testing"
+
+	"repro/internal/core/optimize"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func diamond(seed int64) *topology.Network {
+	// Branch hops of ~89 m carry 11 Mb/s comfortably; the 140 m direct
+	// path loses ~85% of frames and must be routed around.
+	pos := []phy.Position{
+		{X: 0, Y: 0}, {X: 70, Y: 55}, {X: 70, Y: -55}, {X: 140, Y: 0},
+	}
+	return topology.New(seed, phy.DefaultConfig(), pos, phy.Rate11)
+}
+
+func TestJointRoutingOnDiamond(t *testing.T) {
+	nw := diamond(3)
+	cfg := DefaultConfig(phy.Rate11)
+	cfg.ProbePeriod = 60 * sim.Millisecond
+	flows := []Flow{{Src: 0, Dst: 3}}
+	c := New(nw, flows, cfg)
+	c.ProbeFullWindow()
+
+	plain, err := c.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint, err := c.ComputeJointRouting(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Joint routing can never do worse than the fixed ETT route.
+	pu := optimize.Utility(plain.OutputRates, cfg.Objective)
+	ju := optimize.Utility(joint.OutputRates, cfg.Objective)
+	if ju < pu-1e-6 {
+		t.Fatalf("joint utility %v below fixed-route %v", ju, pu)
+	}
+	if len(joint.FlowPaths[0]) != 3 {
+		t.Fatalf("diamond path = %v, want 2 hops", joint.FlowPaths[0])
+	}
+}
+
+func TestJointRoutingInstallsRoutes(t *testing.T) {
+	nw := diamond(4)
+	cfg := DefaultConfig(phy.Rate11)
+	cfg.ProbePeriod = 60 * sim.Millisecond
+	flows := []Flow{{Src: 0, Dst: 3}}
+	c := New(nw, flows, cfg)
+	c.ProbeFullWindow()
+	joint, err := c.ComputeJointRouting(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := joint.FlowPaths[0][1]
+	if nw.Nodes[0].NextHop(3) != mid {
+		t.Fatalf("installed next hop %d, plan path %v", nw.Nodes[0].NextHop(3), joint.FlowPaths[0])
+	}
+	// The plan must actually carry traffic.
+	srcs, sinks := c.ApplyUDP(joint)
+	nw.Sim.Run(nw.Sim.Now() + 5*sim.Second)
+	for _, s := range srcs {
+		s.Stop()
+	}
+	if got := sinks[0].ThroughputBps(0); got < 0.8*joint.OutputRates[0] {
+		t.Fatalf("achieved %.2f of planned %.2f Mb/s", got/1e6, joint.OutputRates[0]/1e6)
+	}
+}
+
+func TestJointRoutingMatchesComputeOnChain(t *testing.T) {
+	// On a chain there are no alternatives; joint must agree with plain.
+	nw := topology.Chain(5, 3, 70, phy.Rate11)
+	cfg := DefaultConfig(phy.Rate11)
+	cfg.ProbePeriod = 60 * sim.Millisecond
+	flows := []Flow{{Src: 2, Dst: 0}}
+	c := New(nw, flows, cfg)
+	c.ProbeFullWindow()
+	plain, err := c.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint, err := c.ComputeJointRouting(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(joint.FlowPaths[0]) != len(plain.FlowPaths[0]) {
+		t.Fatalf("paths differ: %v vs %v", joint.FlowPaths[0], plain.FlowPaths[0])
+	}
+	rel := (joint.OutputRates[0] - plain.OutputRates[0]) / plain.OutputRates[0]
+	if rel < -0.05 || rel > 0.05 {
+		t.Fatalf("rates differ: %v vs %v", joint.OutputRates[0], plain.OutputRates[0])
+	}
+}
+
+func TestJointRoutingUnroutable(t *testing.T) {
+	nw := topology.New(7, phy.DefaultConfig(),
+		[]phy.Position{{X: 0}, {X: 5000}}, phy.Rate11)
+	cfg := DefaultConfig(phy.Rate11)
+	cfg.ProbePeriod = 60 * sim.Millisecond
+	c := New(nw, []Flow{{Src: 0, Dst: 1}}, cfg)
+	c.Probe(3 * sim.Second)
+	if _, err := c.ComputeJointRouting(2); err == nil {
+		t.Fatal("unroutable flow accepted")
+	}
+}

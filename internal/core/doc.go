@@ -1,0 +1,13 @@
+// Package core groups the paper's primary contribution, one subpackage
+// per element of the technique:
+//
+//   - feasibility: the convex feasible-rates region model (§3)
+//   - conflict:    binary pairwise interference structures (§3.2, §4.2, §5.5)
+//   - capacity:    Eq. 6 link capacities and the channel-loss estimator (§5)
+//   - optimize:    alpha-fair utility maximization over the region (§6.1)
+//   - controller:  the online probe->estimate->model->optimize->shape loop (§6)
+//
+// The substrates these build on (PHY/MAC simulator, network layer,
+// traffic, transport, routing, probing) live in the sibling packages
+// under internal/.
+package core

@@ -1,0 +1,260 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core/conflict"
+	"repro/internal/lp"
+)
+
+// CliqueProblem is the alternative formulation of the feasibility region
+// used by clique-based congestion control schemes (and the natural target
+// for the decentralized mechanisms the paper's introduction motivates):
+// one linear constraint per maximal clique Q of the conflict graph,
+//
+//	sum_{l in Q} (R y)_l / c_l <= 1.
+//
+// For perfect conflict graphs this coincides with the extreme-point
+// polytope; for imperfect graphs (odd holes) it is a strict outer bound —
+// optimistic where the MIS polytope is exact. Comparing the two is the
+// formulation ablation in bench_test.go.
+type CliqueProblem struct {
+	Capacities []float64
+	Cliques    [][]int // maximal cliques of the conflict graph
+	Routes     [][]int // per-flow link indices
+}
+
+// MaximalCliques enumerates the maximal cliques of a conflict graph (the
+// maximal independent sets of its complement).
+func MaximalCliques(g *conflict.Graph) [][]int {
+	return g.Complement().MaximalIndependentSets()
+}
+
+// NewCliqueProblem builds the clique formulation from the same inputs as
+// the polytope one.
+func NewCliqueProblem(capacities []float64, g *conflict.Graph, routes [][]int) *CliqueProblem {
+	return &CliqueProblem{
+		Capacities: capacities,
+		Cliques:    MaximalCliques(g),
+		Routes:     routes,
+	}
+}
+
+// coeff returns a_{Q,s} = sum over links of flow s inside clique q of
+// 1/c_l: the airtime fraction flow s consumes in Q per unit rate.
+func (p *CliqueProblem) coeff(q []int, s int) float64 {
+	inQ := map[int]bool{}
+	for _, l := range q {
+		inQ[l] = true
+	}
+	a := 0.0
+	for _, l := range p.Routes[s] {
+		if inQ[l] {
+			a += 1 / p.Capacities[l]
+		}
+	}
+	return a
+}
+
+// matrix materializes the full constraint matrix a[Q][s].
+func (p *CliqueProblem) matrix() [][]float64 {
+	a := make([][]float64, len(p.Cliques))
+	for qi, q := range p.Cliques {
+		a[qi] = make([]float64, len(p.Routes))
+		for s := range p.Routes {
+			a[qi][s] = p.coeff(q, s)
+		}
+	}
+	return a
+}
+
+// SolveClique maximizes the alpha-fair utility over the clique polytope,
+// using the same LP/Frank–Wolfe split as the extreme-point formulation.
+func SolveClique(p *CliqueProblem, obj Objective, opts Options) ([]float64, error) {
+	if len(p.Routes) == 0 {
+		return nil, ErrNoFlows
+	}
+	if obj.Alpha < 0 {
+		return nil, fmt.Errorf("optimize: negative alpha %v", obj.Alpha)
+	}
+	opts = opts.withDefaults()
+	a := p.matrix()
+	s := len(p.Routes)
+
+	oracle := func(g []float64) ([]float64, error) {
+		prob := lp.NewProblem(s, g)
+		for _, row := range a {
+			prob.AddConstraint(row, lp.LE, 1)
+		}
+		x, _, err := lp.Solve(prob)
+		return x, err
+	}
+	maxmin := func() ([]float64, error) {
+		objv := make([]float64, s+1)
+		objv[s] = 1
+		prob := lp.NewProblem(s+1, objv)
+		for _, row := range a {
+			r := append(append([]float64(nil), row...), 0)
+			prob.AddConstraint(r, lp.LE, 1)
+		}
+		for si := 0; si < s; si++ {
+			r := make([]float64, s+1)
+			r[si] = 1
+			r[s] = -1
+			prob.AddConstraint(r, lp.GE, 0)
+		}
+		x, _, err := lp.Solve(prob)
+		if err != nil {
+			return nil, err
+		}
+		return x[:s], nil
+	}
+
+	switch {
+	case math.IsInf(obj.Alpha, 1):
+		return maxmin()
+	case obj.Alpha == 0:
+		return oracle(ones(s))
+	}
+	// Frank–Wolfe from the max-min interior point.
+	y, err := maxmin()
+	if err != nil {
+		return nil, err
+	}
+	floor := opts.FloorFraction * minPositive(p.Capacities)
+	g := make([]float64, s)
+	for it := 0; it < opts.Iterations; it++ {
+		gmax := 0.0
+		for i := 0; i < s; i++ {
+			v := y[i]
+			if v < floor {
+				v = floor
+			}
+			g[i] = math.Pow(v, -obj.Alpha)
+			if g[i] > gmax {
+				gmax = g[i]
+			}
+		}
+		if gmax > 0 {
+			for i := range g {
+				g[i] /= gmax
+			}
+		}
+		vertex, err := oracle(g)
+		if err != nil {
+			return nil, err
+		}
+		gamma := 2 / float64(it+2)
+		for i := 0; i < s; i++ {
+			y[i] += gamma * (vertex[i] - y[i])
+		}
+	}
+	return y, nil
+}
+
+// DistributedOptions tunes the dual-decomposition solver.
+type DistributedOptions struct {
+	// Iterations of the price-update loop (default 2000).
+	Iterations int
+	// Step is the initial subgradient step size (default 0.1); the
+	// effective step decays as Step/sqrt(t).
+	Step float64
+}
+
+func (o DistributedOptions) withDefaults() DistributedOptions {
+	if o.Iterations == 0 {
+		o.Iterations = 2000
+	}
+	if o.Step == 0 {
+		o.Step = 0.1
+	}
+	return o
+}
+
+// SolveDistributed runs the Kelly-style dual decomposition over the clique
+// formulation: each clique maintains a congestion price updated from only
+// its own airtime occupancy, and each source sets its rate from only the
+// sum of prices along its route — the message pattern a real decentralized
+// deployment would use. Requires alpha > 0 (strictly concave utilities).
+func SolveDistributed(p *CliqueProblem, obj Objective, opts DistributedOptions) ([]float64, error) {
+	if len(p.Routes) == 0 {
+		return nil, ErrNoFlows
+	}
+	if obj.Alpha <= 0 || math.IsInf(obj.Alpha, 1) {
+		return nil, fmt.Errorf("optimize: distributed solver needs finite alpha > 0, got %v", obj.Alpha)
+	}
+	opts = opts.withDefaults()
+	a := p.matrix()
+	nq, s := len(a), len(p.Routes)
+
+	// Work in capacity-normalized rate units so prices are O(1).
+	scale := minPositive(p.Capacities)
+
+	// Each flow's rate is bounded by its route bottleneck regardless of
+	// prices (the clique constraints imply it, but the dual iterates
+	// need the explicit cap before prices converge).
+	ymax := make([]float64, s)
+	for si, route := range p.Routes {
+		ymax[si] = math.Inf(1)
+		for _, l := range route {
+			if c := p.Capacities[l]; c < ymax[si] {
+				ymax[si] = c
+			}
+		}
+		ymax[si] /= scale
+	}
+
+	lambda := make([]float64, nq)
+	for i := range lambda {
+		lambda[i] = 1
+	}
+	y := make([]float64, s)
+	for t := 1; t <= opts.Iterations; t++ {
+		// Sources: y_s = (sum_Q lambda_Q a_{Q,s} * scale)^(-1/alpha),
+		// in normalized units.
+		for si := 0; si < s; si++ {
+			price := 0.0
+			for qi := 0; qi < nq; qi++ {
+				price += lambda[qi] * a[qi][si] * scale
+			}
+			if price <= 0 {
+				y[si] = ymax[si]
+				continue
+			}
+			y[si] = math.Pow(price, -1/obj.Alpha)
+			if y[si] > ymax[si] {
+				y[si] = ymax[si]
+			}
+		}
+		// Cliques: price ascent on occupancy violation.
+		step := opts.Step / math.Sqrt(float64(t))
+		for qi := 0; qi < nq; qi++ {
+			occ := 0.0
+			for si := 0; si < s; si++ {
+				occ += a[qi][si] * y[si] * scale
+			}
+			lambda[qi] += step * (occ - 1)
+			if lambda[qi] < 0 {
+				lambda[qi] = 0
+			}
+		}
+	}
+	// Project the final iterate into the feasible set (subgradient
+	// iterates can sit slightly outside).
+	worst := 1.0
+	for qi := 0; qi < nq; qi++ {
+		occ := 0.0
+		for si := 0; si < s; si++ {
+			occ += a[qi][si] * y[si] * scale
+		}
+		if occ > worst {
+			worst = occ
+		}
+	}
+	out := make([]float64, s)
+	for si := range y {
+		out[si] = y[si] * scale / worst
+	}
+	return out, nil
+}

@@ -1,0 +1,163 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core/conflict"
+	"repro/internal/core/feasibility"
+)
+
+func twoLinkClique(c1, c2 float64) *CliqueProblem {
+	g := conflict.NewGraph(2)
+	g.AddEdge(0, 1)
+	return NewCliqueProblem([]float64{c1, c2}, g, [][]int{{0}, {1}})
+}
+
+func TestMaximalCliquesOfTriangle(t *testing.T) {
+	g := conflict.NewGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	cl := MaximalCliques(g)
+	if len(cl) != 1 || len(cl[0]) != 3 {
+		t.Fatalf("cliques = %v", cl)
+	}
+}
+
+func TestSolveCliqueMatchesPolytopeOnPerfectGraph(t *testing.T) {
+	// Two interfering links: both formulations are exact.
+	cp := twoLinkClique(1, 3)
+	g := conflict.NewGraph(2)
+	g.AddEdge(0, 1)
+	region := feasibility.Build([]float64{1, 3}, g)
+	pp := &Problem{Region: region, Routes: [][]int{{0}, {1}}}
+	for _, obj := range []Objective{MaxThroughput, ProportionalFair, MaxMin} {
+		yc, err := SolveClique(cp, obj, Options{Iterations: 800})
+		if err != nil {
+			t.Fatal(err)
+		}
+		yp, err := Solve(pp, obj, Options{Iterations: 800})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range yc {
+			if math.Abs(yc[i]-yp[i]) > 0.05*(yp[i]+0.1) {
+				t.Fatalf("alpha=%v: clique %v vs polytope %v", obj.Alpha, yc, yp)
+			}
+		}
+	}
+}
+
+// On an odd cycle (imperfect graph) the clique formulation is a strict
+// outer bound: it admits more aggregate throughput than the MIS polytope.
+func TestCliqueOuterBoundOnOddCycle(t *testing.T) {
+	g := conflict.NewGraph(5)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, (i+1)%5)
+	}
+	caps := []float64{1, 1, 1, 1, 1}
+	routes := [][]int{{0}, {1}, {2}, {3}, {4}}
+	cp := NewCliqueProblem(caps, g, routes)
+	yc, err := SolveClique(cp, MaxThroughput, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := feasibility.Build(caps, g)
+	yp, err := Solve(&Problem{Region: region, Routes: routes}, MaxThroughput, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(v []float64) float64 {
+		t := 0.0
+		for _, x := range v {
+			t += x
+		}
+		return t
+	}
+	// MIS polytope: independence number 2 -> aggregate 2.
+	// Edge cliques: y_i + y_{i+1} <= 1 -> aggregate 2.5.
+	if math.Abs(sum(yp)-2) > 1e-6 {
+		t.Fatalf("polytope aggregate = %v, want 2", sum(yp))
+	}
+	if math.Abs(sum(yc)-2.5) > 1e-6 {
+		t.Fatalf("clique aggregate = %v, want 2.5", sum(yc))
+	}
+}
+
+func TestSolveCliqueMultiHopFlow(t *testing.T) {
+	// Chain of two conflicting links, flow 0 uses both: its airtime
+	// coefficient doubles, so prop-fair gives (1/4, 1/2) as in the
+	// polytope case.
+	g := conflict.NewGraph(2)
+	g.AddEdge(0, 1)
+	cp := NewCliqueProblem([]float64{1, 1}, g, [][]int{{0, 1}, {1}})
+	y, err := SolveClique(cp, ProportionalFair, Options{Iterations: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y[0]-0.25) > 0.02 || math.Abs(y[1]-0.5) > 0.03 {
+		t.Fatalf("y = %v, want (0.25, 0.5)", y)
+	}
+}
+
+func TestDistributedConvergesToCentralized(t *testing.T) {
+	// Three mutually interfering links with distinct capacities.
+	g := conflict.NewGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	cp := NewCliqueProblem([]float64{1e6, 2e6, 4e6}, g, [][]int{{0}, {1}, {2}})
+	want, err := SolveClique(cp, ProportionalFair, Options{Iterations: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SolveDistributed(cp, ProportionalFair, DistributedOptions{Iterations: 8000, Step: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 0.08*want[i] {
+			t.Fatalf("distributed %v vs centralized %v", got, want)
+		}
+	}
+}
+
+func TestDistributedRespectsFeasibility(t *testing.T) {
+	g := conflict.NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	cp := NewCliqueProblem([]float64{1, 1.5, 0.7, 2}, g, [][]int{{0, 1}, {2}, {1, 2, 3}})
+	y, err := SolveDistributed(cp, Objective{Alpha: 2}, DistributedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range cp.Cliques {
+		occ := 0.0
+		for s := range cp.Routes {
+			occ += cp.coeff(q, s) * y[s]
+		}
+		if occ > 1+1e-6 {
+			t.Fatalf("clique %d occupancy %v > 1 (y=%v)", qi, occ, y)
+		}
+	}
+}
+
+func TestDistributedRejectsBadAlpha(t *testing.T) {
+	cp := twoLinkClique(1, 1)
+	if _, err := SolveDistributed(cp, MaxThroughput, DistributedOptions{}); err == nil {
+		t.Fatal("alpha=0 accepted")
+	}
+	if _, err := SolveDistributed(cp, MaxMin, DistributedOptions{}); err == nil {
+		t.Fatal("alpha=inf accepted")
+	}
+}
+
+func TestSolveCliqueNoFlows(t *testing.T) {
+	g := conflict.NewGraph(1)
+	cp := NewCliqueProblem([]float64{1}, g, nil)
+	if _, err := SolveClique(cp, MaxThroughput, Options{}); err != ErrNoFlows {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core/feasibility"
+	"repro/internal/measure"
+	"repro/internal/phy"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Fig5Point is one sampled output-rate pair with its measured and
+// modelled feasibility.
+type Fig5Point struct {
+	Y1, Y2     float64
+	Measured   bool
+	TwoPoint   bool
+	ThreePoint bool
+}
+
+// Fig5Result reproduces the Fig. 5 IA example: the region fraction missed
+// by the two-point model and recovered by the three-point model.
+type Fig5Result struct {
+	C11, C22, C31, C32 float64
+	Points             []Fig5Point
+	// MissedFraction is the share of measured-feasible points outside
+	// the time-sharing region (the paper's worst case is ~40%).
+	MissedFraction float64
+	// RecoveredFraction is the share of those missed points the
+	// three-point model recovers.
+	RecoveredFraction float64
+}
+
+// RunFig5 samples the feasibility region of an IA pair at 1 Mb/s.
+func RunFig5(seed int64, sc Scale) Fig5Result {
+	nw := topology.TwoLink(seed, topology.IA, phy.Rate1, phy.Rate1)
+	solo1 := measure.MaxUDP(nw.Network, nw.Link1, traffic.DefaultPayload, sc.PhaseDur)
+	solo2 := measure.MaxUDP(nw.Network, nw.Link2, traffic.DefaultPayload, sc.PhaseDur)
+	both := measure.Simultaneous(nw.Network, []topology.Link{nw.Link1, nw.Link2},
+		traffic.DefaultPayload, sc.PhaseDur)
+	res := Fig5Result{
+		C11: solo1.ThroughputBps, C22: solo2.ThroughputBps,
+		C31: both[0].ThroughputBps, C32: both[1].ThroughputBps,
+	}
+	two := feasibility.TwoLinkModel{C11: res.C11, C22: res.C22}
+	three := feasibility.TwoLinkModel{
+		C11: res.C11, C22: res.C22,
+		ThreePoint: true, C31: res.C31, C32: res.C32,
+	}
+	flows := []measure.Flow{{Src: nw.Link1.Src, Dst: nw.Link1.Dst}, {Src: nw.Link2.Src, Dst: nw.Link2.Dst}}
+	var missed, recovered, feasible int
+	n := sc.GridN
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			y1 := res.C11 * float64(i) / float64(n)
+			y2 := res.C22 * float64(j) / float64(n)
+			in1 := y1 / (1 - solo1.LossRate)
+			in2 := y2 / (1 - solo2.LossRate)
+			r := measure.InjectRates(nw.Network, flows, []float64{in1, in2},
+				traffic.DefaultPayload, sc.TrafficDur)
+			pt := Fig5Point{
+				Y1: y1, Y2: y2,
+				Measured:   r[0].OutputBps >= 0.98*y1 && r[1].OutputBps >= 0.98*y2,
+				TwoPoint:   two.Feasible(y1, y2),
+				ThreePoint: three.Feasible(y1, y2),
+			}
+			res.Points = append(res.Points, pt)
+			if pt.Measured {
+				feasible++
+				if !pt.TwoPoint {
+					missed++
+					if pt.ThreePoint {
+						recovered++
+					}
+				}
+			}
+		}
+	}
+	if feasible > 0 {
+		res.MissedFraction = float64(missed) / float64(feasible)
+	}
+	if missed > 0 {
+		res.RecoveredFraction = float64(recovered) / float64(missed)
+	}
+	return res
+}
+
+// Print emits the extreme points and the missed/recovered fractions.
+func (r Fig5Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 5: IA pair at 1 Mb/s, two-point vs three-point model")
+	fmt.Fprintf(w, "primary points: (%.0f,0) (0,%.0f) kb/s; LIR point: (%.0f,%.0f)\n",
+		r.C11/1e3, r.C22/1e3, r.C31/1e3, r.C32/1e3)
+	fmt.Fprintf(w, "feasible points missed by time-sharing model: %.1f%%\n", 100*r.MissedFraction)
+	fmt.Fprintf(w, "missed points recovered by three-point model: %.1f%%\n", 100*r.RecoveredFraction)
+	fmt.Fprintln(w, "   y1(kbps)   y2(kbps) measured two-pt three-pt")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%10.0f %10.0f %8v %7v %8v\n", p.Y1/1e3, p.Y2/1e3, p.Measured, p.TwoPoint, p.ThreePoint)
+	}
+}
+
+// Fig6Row is the expected model error at one LIR threshold.
+type Fig6Row struct {
+	Threshold float64
+	FP, FN    float64
+}
+
+// Fig6Result is the §4.4 threshold analysis fed by a measured LIR
+// distribution.
+type Fig6Result struct {
+	Rows []Fig6Row
+	// At095 is the operating point the paper reports (FP ~2%, FN ~13%).
+	At095 feasibility.PairErrors
+}
+
+// RunFig6 sweeps LIR thresholds over the Fig. 3 LIR population.
+func RunFig6(lirs []float64) Fig6Result {
+	var res Fig6Result
+	for _, th := range []float64{0.50, 0.60, 0.70, 0.80, 0.85, 0.90, 0.95, 0.99} {
+		e := feasibility.ExpectedLIRErrors(lirs, th)
+		res.Rows = append(res.Rows, Fig6Row{Threshold: th, FP: e.FP, FN: e.FN})
+	}
+	res.At095 = feasibility.ExpectedLIRErrors(lirs, 0.95)
+	return res
+}
+
+// Print emits the threshold sweep.
+func (r Fig6Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 6 / §4.4: expected FP/FN area errors vs LIR threshold")
+	fmt.Fprintln(w, "threshold     FP      FN")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "   %.2f     %.3f   %.3f\n", row.Threshold, row.FP, row.FN)
+	}
+	fmt.Fprintf(w, "at 0.95: FP=%.3f FN=%.3f (paper: 0.02 / 0.133)\n", r.At095.FP, r.At095.FN)
+}

@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core/capacity"
+	"repro/internal/measure"
+	"repro/internal/phy"
+	"repro/internal/probe"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Fig9Case is one channel-loss estimator example: the sliding-minimum
+// curve, the measured loss rate, the true channel loss, and the estimate.
+type Fig9Case struct {
+	Name  string
+	Curve []float64 // p_ch^(W) indexed by W
+	P     float64   // measured loss rate
+	Truth float64   // analytic channel loss (ground truth)
+	Est   capacity.Estimate
+}
+
+// Fig9Result reproduces the two cases of Fig. 9.
+type Fig9Result struct {
+	Uniform  Fig9Case // p reached before S/2 (no interference)
+	Interfed Fig9Case // collisions present, knee selection
+}
+
+// RunFig9 probes one lossy link twice: alone, then under a hidden
+// interferer, and records the estimator's view of both traces.
+func RunFig9(seed int64, sc Scale) Fig9Result {
+	period := probePeriodFor(phy.Rate11, sc)
+	run := func(name string, interfere bool) Fig9Case {
+		nw := topology.TwoLink(seed, topology.IA, phy.Rate11, phy.Rate11)
+		nw.Medium.SetBER(nw.Link1.Src, nw.Link1.Dst, 4e-6)
+		rec := probe.NewRecorder(nw.Node(nw.Link1.Dst))
+		pr := probe.NewProber(nw.Sim, nw.Node(nw.Link1.Src), phy.Rate11, traffic.DefaultPayload)
+		pr.SetPeriod(period)
+		pr.Start()
+		if interfere {
+			// Bursty hidden transmitter on link 2. Bursts must be
+			// sparse relative to the estimator's maximum-curvature
+			// window (~0.14 S) or no clean window exists for the
+			// sliding minimum to find.
+			burst := traffic.NewCBR(nw.Sim, nw.Node(nw.Link2.Src), 9, nw.Link2.Dst,
+				traffic.DefaultPayload, 5e6)
+			nw.InstallDirectRoute(nw.Link2)
+			var cycle func()
+			on := false
+			cycle = func() {
+				if on {
+					burst.Stop()
+					nw.Sim.After(sim.Time(80)*period, cycle)
+				} else {
+					burst.Start()
+					nw.Sim.After(sim.Time(5)*period, cycle)
+				}
+				on = !on
+			}
+			cycle()
+		}
+		nw.Sim.Run(nw.Sim.Now() + sim.Time(sc.ProbeWindow+10)*period)
+		pr.Stop()
+		trace := rec.Trace(nw.Link1.Src, probe.ClassData, sc.ProbeWindow)
+		return Fig9Case{
+			Name:  name,
+			Curve: capacity.SlidingMinCurve(trace, capacity.DefaultWmin),
+			P:     trace.MeasuredLoss(),
+			Truth: nw.Medium.FrameLossProb(nw.Link1.Src, nw.Link1.Dst, phy.Rate11, traffic.DefaultPayload+phy.MACHeaderBytes),
+			Est:   capacity.EstimateChannelLoss(trace, capacity.DefaultWmin),
+		}
+	}
+	return Fig9Result{
+		Uniform:  run("no interference", false),
+		Interfed: run("hidden interferer", true),
+	}
+}
+
+// Print emits both curves.
+func (r Fig9Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 9: channel-loss estimator cases")
+	caseName := map[capacity.EstimateCase]string{
+		capacity.CaseUniform: "uniform/median",
+		capacity.CaseKnee:    "log-fit knee",
+		capacity.CaseShort:   "short trace",
+	}
+	for _, c := range []Fig9Case{r.Uniform, r.Interfed} {
+		fmt.Fprintf(w, "-- %s: p=%.3f truth=%.3f est=%.3f (%s, W*=%d)\n",
+			c.Name, c.P, c.Truth, c.Est.Pch, caseName[c.Est.Case], c.Est.W)
+		step := len(c.Curve) / 16
+		if step == 0 {
+			step = 1
+		}
+		for wdx := capacity.DefaultWmin; wdx < len(c.Curve); wdx += step {
+			fmt.Fprintf(w, "   W=%4d p_ch(W)=%.4f\n", wdx, c.Curve[wdx])
+		}
+	}
+}
+
+// Fig10Result is the estimator accuracy study: the error CDF at the full
+// probing window and the RMSE as the window shrinks.
+type Fig10Result struct {
+	Errors    []float64 // |est - truth| per link at full window
+	RMSEByS   map[int]float64
+	WindowSet []int
+}
+
+// RunFig10 probes all mesh nodes simultaneously (collision-rich, as in
+// the paper's second phase) and scores the estimator against the
+// analytic channel loss of each sampled link.
+func RunFig10(seed int64, sc Scale) Fig10Result {
+	res := Fig10Result{RMSEByS: map[int]float64{}}
+	for _, w := range []int{100, 200, 320, 640, 1280} {
+		if w < sc.ProbeWindow {
+			res.WindowSet = append(res.WindowSet, w)
+		}
+	}
+	res.WindowSet = append(res.WindowSet, sc.ProbeWindow)
+	type sample struct {
+		trace capacity.LossTrace
+		truth float64
+	}
+	var samples []sample
+
+	for _, rate := range []phy.Rate{phy.Rate1, phy.Rate11} {
+		nw := topologyAtRate(seed+int64(rate), rate)
+		period := probePeriodFor(rate, sc)
+		links := nw.Links(rate)
+		if len(links) > sc.Pairs {
+			links = links[:sc.Pairs]
+		}
+		recs := make([]*probe.Recorder, len(nw.Nodes))
+		for i, n := range nw.Nodes {
+			recs[i] = probe.NewRecorder(n)
+			pr := probe.NewProber(nw.Sim, n, rate, traffic.DefaultPayload)
+			pr.SetPeriod(period)
+			pr.Start()
+		}
+		nw.Sim.Run(nw.Sim.Now() + sim.Time(sc.ProbeWindow+10)*period)
+		for _, l := range links {
+			tr := recs[l.Dst].Trace(l.Src, probe.ClassData, sc.ProbeWindow)
+			if len(tr) < sc.ProbeWindow/2 {
+				continue
+			}
+			truth := nw.Medium.FrameLossProb(l.Src, l.Dst, rate, traffic.DefaultPayload+phy.MACHeaderBytes)
+			samples = append(samples, sample{trace: tr, truth: truth})
+		}
+	}
+
+	for _, s := range res.WindowSet {
+		var se float64
+		n := 0
+		for _, smp := range samples {
+			tr := smp.trace
+			if len(tr) > s {
+				tr = tr[len(tr)-s:]
+			}
+			est := capacity.EstimateChannelLoss(tr, capacity.DefaultWmin)
+			err := est.Pch - smp.truth
+			se += err * err
+			n++
+			if s == sc.ProbeWindow {
+				res.Errors = append(res.Errors, math.Abs(err))
+			}
+		}
+		if n > 0 {
+			res.RMSEByS[s] = math.Sqrt(se / float64(n))
+		}
+	}
+	return res
+}
+
+// Print emits the error CDF and the RMSE-vs-S series.
+func (r Fig10Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 10: channel-loss estimation accuracy (%d links)\n", len(r.Errors))
+	cdf := stats.NewCDF(r.Errors)
+	fmt.Fprintf(w, "(a) error CDF: median=%.3f p90=%.3f\n", cdf.Quantile(0.5), cdf.Quantile(0.9))
+	fmt.Fprint(w, cdf.Format(12))
+	fmt.Fprintln(w, "(b) RMSE vs probing window S:")
+	for _, s := range r.WindowSet {
+		fmt.Fprintf(w, "   S=%4d  RMSE=%.4f\n", s, r.RMSEByS[s])
+	}
+}
+
+// Fig11Link is one link's capacity estimates, normalized by nominal.
+type Fig11Link struct {
+	Link    topology.Link
+	MaxUDP  float64
+	Online  float64 // Eq. 6 fed by the online loss estimate
+	AdHoc   float64 // Ad Hoc Probe estimate
+	Nominal float64
+}
+
+// Fig11Result compares the online capacity estimator with Ad Hoc Probe
+// against measured maxUDP throughput.
+type Fig11Result struct {
+	Links      []Fig11Link
+	OnlineRMSE float64 // vs maxUDP, normalized
+	AdHocRMSE  float64
+}
+
+// RunFig11 measures sampled links in two phases: solo maxUDP, then
+// concurrent probing plus Ad Hoc Probe packet pairs under background
+// interference.
+func RunFig11(seed int64, sc Scale) Fig11Result {
+	var res Fig11Result
+	var onlineN, adhocN, truthN []float64
+	for _, rate := range []phy.Rate{phy.Rate1, phy.Rate11} {
+		nw := topologyAtRate(seed+int64(rate)*13, rate)
+		period := probePeriodFor(rate, sc)
+		links := nw.Links(rate)
+		pairs := SamplePairs(nw, rate, sc.Pairs/2+1, seed+int64(rate))
+		_ = links
+		for _, p := range pairs {
+			l := p.L1
+			nw.SetRate(l, rate)
+			nominal := capacity.NominalGoodput(rate, traffic.DefaultPayload)
+
+			// Phase 1: solo maxUDP.
+			solo := measure.MaxUDP(nw, l, traffic.DefaultPayload, sc.PhaseDur)
+			if solo.ThroughputBps <= 0 {
+				continue
+			}
+
+			// Phase 2: probing + packet pairs under background traffic
+			// on the second sampled link.
+			rec := probe.NewRecorder(nw.Node(l.Dst))
+			pr := probe.NewProber(nw.Sim, nw.Node(l.Src), rate, traffic.DefaultPayload)
+			pr.SetPeriod(period)
+			nw.InstallDirectRoute(p.L2)
+			bg := traffic.NewCBR(nw.Sim, nw.Node(p.L2.Src), 99, p.L2.Dst, traffic.DefaultPayload,
+				0.3*capacity.NominalGoodput(rate, traffic.DefaultPayload))
+			nw.InstallDirectRoute(l)
+			ah := probe.NewAdHocProbe(nw.Sim, nw.Node(l.Src), l.Dst, traffic.DefaultPayload,
+				200, 4*period)
+			pr.Start()
+			bg.Start()
+			ah.Start(nw.Node(l.Dst))
+			nw.Sim.Run(nw.Sim.Now() + sim.Time(sc.ProbeWindow+10)*period)
+			pr.Stop()
+			bg.Stop()
+			ah.Stop()
+
+			est, ok := rec.Estimate(l.Src, sc.ProbeWindow)
+			if !ok {
+				continue
+			}
+			online := capacity.MaxUDP(est.Pl, rate, traffic.DefaultPayload)
+			res.Links = append(res.Links, Fig11Link{
+				Link:    l,
+				MaxUDP:  solo.ThroughputBps,
+				Online:  online,
+				AdHoc:   ah.EstimateBps(),
+				Nominal: nominal,
+			})
+			onlineN = append(onlineN, online/nominal)
+			adhocN = append(adhocN, ah.EstimateBps()/nominal)
+			truthN = append(truthN, solo.ThroughputBps/nominal)
+		}
+	}
+	res.OnlineRMSE = stats.RMSE(onlineN, truthN)
+	res.AdHocRMSE = stats.RMSE(adhocN, truthN)
+	return res
+}
+
+// Print emits per-link normalized estimates as in Fig. 11.
+func (r Fig11Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 11: capacity estimation vs Ad Hoc Probe (%d links)\n", len(r.Links))
+	fmt.Fprintln(w, "link      maxUDP/nom  online/nom  adhoc/nom")
+	for _, l := range r.Links {
+		fmt.Fprintf(w, "%-8s   %8.3f   %8.3f   %8.3f\n",
+			l.Link, l.MaxUDP/l.Nominal, l.Online/l.Nominal, l.AdHoc/l.Nominal)
+	}
+	fmt.Fprintf(w, "normalized RMSE vs maxUDP: online=%.3f adhoc=%.3f (paper: online ~0.12, adhoc far worse)\n",
+		r.OnlineRMSE, r.AdHocRMSE)
+}

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core/controller"
+	"repro/internal/core/optimize"
+	"repro/internal/phy"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+// Regime names the three Fig. 13/14 operating modes.
+type Regime int
+
+// Operating modes.
+const (
+	NoRC Regime = iota // plain TCP, no rate control
+	RCMax
+	RCProp
+)
+
+func (r Regime) String() string {
+	switch r {
+	case NoRC:
+		return "TCP-noRC"
+	case RCMax:
+		return "TCP-Max"
+	case RCProp:
+		return "TCP-Prop"
+	}
+	return fmt.Sprintf("Regime(%d)", int(r))
+}
+
+func (r Regime) objective() optimize.Objective {
+	if r == RCMax {
+		return optimize.MaxThroughput
+	}
+	return optimize.ProportionalFair
+}
+
+// tcpRun executes one regime on a prepared network and returns per-flow
+// goodputs plus the plan (nil for NoRC routing-only runs it still
+// computes the plan to install routes).
+func tcpRun(nw *topology.Network, flows []controller.Flow, rate phy.Rate, regime Regime, sc Scale) ([]float64, *controller.Plan, error) {
+	cfg := controller.DefaultConfig(rate)
+	cfg.ProbePeriod = probePeriodFor(rate, sc)
+	cfg.ProbeWindow = sc.ProbeWindow
+	cfg.Objective = regime.objective()
+	c := controller.New(nw, flows, cfg)
+	c.ProbeFullWindow()
+	plan, err := c.Compute()
+	if err != nil {
+		return nil, nil, err
+	}
+	var tcp []*transport.Flow
+	if regime == NoRC {
+		for s, f := range flows {
+			fl := transport.NewFlow(nw.Sim, nw.Nodes[f.Src], nw.Nodes[f.Dst], s)
+			fl.Start()
+			tcp = append(tcp, fl)
+		}
+	} else {
+		tcp, _ = c.ApplyTCP(plan)
+	}
+	nw.Sim.Run(nw.Sim.Now() + sc.TrafficDur)
+	out := make([]float64, len(tcp))
+	for i, f := range tcp {
+		f.Stop()
+		out[i] = f.GoodputBps()
+	}
+	return out, plan, nil
+}
+
+// Fig13Result is the two-flow upstream starvation experiment: per-regime
+// throughput summaries for the 1-hop and 2-hop flows.
+type Fig13Result struct {
+	// PerRegime[regime] = [2]Summary{1-hop flow, 2-hop flow}.
+	PerRegime map[Regime][2]stats.Summary
+	Totals    map[Regime]float64
+}
+
+// RunFig13 runs the gateway starvation scenario at 1 Mb/s under the three
+// regimes, repeated per iteration with fresh MAC randomness.
+func RunFig13(seed int64, sc Scale) Fig13Result {
+	res := Fig13Result{
+		PerRegime: map[Regime][2]stats.Summary{},
+		Totals:    map[Regime]float64{},
+	}
+	flows := []controller.Flow{{Src: 1, Dst: 0}, {Src: 2, Dst: 0}}
+	for _, regime := range []Regime{NoRC, RCMax, RCProp} {
+		var oneHop, twoHop []float64
+		for it := 0; it < sc.Iterations; it++ {
+			nw := topology.GatewayScenario(seed+int64(it)*17, phy.Rate1)
+			got, _, err := tcpRun(nw, flows, phy.Rate1, regime, sc)
+			if err != nil {
+				continue
+			}
+			oneHop = append(oneHop, got[0])
+			twoHop = append(twoHop, got[1])
+		}
+		res.PerRegime[regime] = [2]stats.Summary{stats.Summarize(oneHop), stats.Summarize(twoHop)}
+		res.Totals[regime] = stats.Mean(oneHop) + stats.Mean(twoHop)
+	}
+	return res
+}
+
+// Print emits the Fig. 13 bars.
+func (r Fig13Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 13: two-flow upstream TCP starvation at 1 Mb/s")
+	fmt.Fprintln(w, "regime     1-hop kbps (mean/min/max)   2-hop kbps (mean/min/max)   total")
+	for _, regime := range []Regime{NoRC, RCMax, RCProp} {
+		s := r.PerRegime[regime]
+		fmt.Fprintf(w, "%-9s  %7.0f/%7.0f/%7.0f     %7.0f/%7.0f/%7.0f   %7.0f\n",
+			regime,
+			s[0].Mean/1e3, s[0].Min/1e3, s[0].Max/1e3,
+			s[1].Mean/1e3, s[1].Min/1e3, s[1].Max/1e3,
+			r.Totals[regime]/1e3)
+	}
+}
+
+// Fig14Result is the multi-config TCP suite: aggregate-throughput ratios,
+// fairness, feasibility, and stability.
+type Fig14Result struct {
+	// RatioMax and RatioProp are per-config aggregate TCP-RC/TCP-noRC.
+	RatioMax, RatioProp []float64
+	// JFInoRC and JFIProp are per-config Jain indices.
+	JFInoRC, JFIProp []float64
+	// Feasibility is achieved/limit per RC flow.
+	Feasibility []float64
+	// StabilityNoRC and StabilityRC are |x-mean|/mean deviations across
+	// iterations per flow.
+	StabilityNoRC, StabilityRC []float64
+	Skipped                    int
+}
+
+// RunFig14 evaluates the three regimes over generated multi-hop
+// configurations.
+func RunFig14(seed int64, sc Scale) Fig14Result {
+	var res Fig14Result
+	for _, cfg := range GenerateConfigs(seed, sc.Configs) {
+		flows := make([]controller.Flow, len(cfg.Flows))
+		for i, f := range cfg.Flows {
+			flows[i] = controller.Flow{Src: f.Src, Dst: f.Dst}
+		}
+		perRegime := map[Regime][][]float64{} // regime -> iterations -> per-flow goodput
+		var limits []float64
+		ok := true
+		for _, regime := range []Regime{NoRC, RCMax, RCProp} {
+			for it := 0; it < sc.Iterations; it++ {
+				nw := topology.Mesh18Seeded(cfg.Seed, cfg.Seed+int64(it)*29+int64(regime)*113)
+				for _, n := range nw.Nodes {
+					n.SetDefaultRate(cfg.Rate)
+				}
+				got, plan, err := tcpRun(nw, flows, cfg.Rate, regime, sc)
+				if err != nil {
+					ok = false
+					break
+				}
+				perRegime[regime] = append(perRegime[regime], got)
+				if regime == RCProp && it == 0 {
+					scale := optimize.TCPAckScale(transport.HeaderBytes, transport.ACKBytes, transport.MSS)
+					for s := range flows {
+						limits = append(limits, plan.OutputRates[s]*scale)
+					}
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			res.Skipped++
+			continue
+		}
+
+		agg := func(rs [][]float64) float64 {
+			var t float64
+			for _, run := range rs {
+				for _, v := range run {
+					t += v
+				}
+			}
+			return t / float64(len(rs))
+		}
+		base := agg(perRegime[NoRC])
+		if base > 0 {
+			res.RatioMax = append(res.RatioMax, agg(perRegime[RCMax])/base)
+			res.RatioProp = append(res.RatioProp, agg(perRegime[RCProp])/base)
+		}
+		res.JFInoRC = append(res.JFInoRC, stats.JainIndex(meanPerFlow(perRegime[NoRC])))
+		res.JFIProp = append(res.JFIProp, stats.JainIndex(meanPerFlow(perRegime[RCProp])))
+
+		propMeans := meanPerFlow(perRegime[RCProp])
+		feasible := make([]bool, len(flows))
+		for s, lim := range limits {
+			if lim > 0 && s < len(propMeans) {
+				f := propMeans[s] / lim
+				res.Feasibility = append(res.Feasibility, f)
+				feasible[s] = f >= 0.9
+			}
+		}
+		res.StabilityNoRC = append(res.StabilityNoRC, deviations(perRegime[NoRC], nil)...)
+		// The paper's Fig. 14(d) reports stability over the feasible
+		// flows of Fig. 14(c).
+		res.StabilityRC = append(res.StabilityRC, deviations(perRegime[RCProp], feasible)...)
+	}
+	return res
+}
+
+// meanPerFlow averages per-flow goodputs across iterations.
+func meanPerFlow(runs [][]float64) []float64 {
+	if len(runs) == 0 {
+		return nil
+	}
+	out := make([]float64, len(runs[0]))
+	for _, run := range runs {
+		for i, v := range run {
+			out[i] += v
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(runs))
+	}
+	return out
+}
+
+// deviations returns |x - mean|/mean per flow per iteration. A non-nil
+// include mask restricts which flows contribute.
+func deviations(runs [][]float64, include []bool) []float64 {
+	means := meanPerFlow(runs)
+	var out []float64
+	for _, run := range runs {
+		for i, v := range run {
+			if include != nil && (i >= len(include) || !include[i]) {
+				continue
+			}
+			if means[i] > 0 {
+				out = append(out, math.Abs(v-means[i])/means[i])
+			}
+		}
+	}
+	return out
+}
+
+// Print emits the four Fig. 14 panels.
+func (r Fig14Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 14: TCP suite over %d configs (%d skipped)\n",
+		len(r.RatioMax)+r.Skipped, r.Skipped)
+	rm, rp := stats.NewCDF(r.RatioMax), stats.NewCDF(r.RatioProp)
+	fmt.Fprintf(w, "(a) aggregate TCP-RC/TCP-noRC: Max median=%.2f max=%.2f | Prop median=%.2f p20=%.2f\n",
+		rm.Quantile(0.5), rm.Quantile(1), rp.Quantile(0.5), rp.Quantile(0.2))
+	fmt.Fprintf(w, "(b) Jain index: noRC median=%.2f | Prop median=%.2f\n",
+		stats.NewCDF(r.JFInoRC).Quantile(0.5), stats.NewCDF(r.JFIProp).Quantile(0.5))
+	f := stats.NewCDF(r.Feasibility)
+	fmt.Fprintf(w, "(c) feasibility achieved/limit: median=%.2f p30=%.2f (n=%d)\n",
+		f.Quantile(0.5), f.Quantile(0.3), f.N())
+	sn, sr := stats.NewCDF(r.StabilityNoRC), stats.NewCDF(r.StabilityRC)
+	fmt.Fprintf(w, "(d) stability |x-mean|/mean: noRC p70=%.2f | RC p70=%.2f\n",
+		sn.Quantile(0.7), sr.Quantile(0.7))
+}

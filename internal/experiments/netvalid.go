@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core/conflict"
+	"repro/internal/core/feasibility"
+	"repro/internal/core/optimize"
+	"repro/internal/measure"
+	"repro/internal/probe"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// NetValidation is the prepared state of one §4.5 network-validation
+// configuration: fixed ETT routes, per-link solo capacities and losses
+// measured offline, and the pairwise LIR matrix over the used links.
+type NetValidation struct {
+	Config FlowConfig
+	Net    *topology.Network
+
+	Flows []measure.Flow
+	Paths [][]int
+	// Links are the directed links used by at least one flow; Routes
+	// maps each flow to indices into Links.
+	Links  []topology.Link
+	Routes [][]int
+
+	Caps []float64 // measured solo maxUDP per link
+	Loss []float64 // measured solo network-layer loss per link
+	LIR  [][]float64
+
+	neighbours map[int][]int
+	table      *routing.Table
+}
+
+// PrepareValidation probes for routing state, fixes ETT routes, and runs
+// the offline measurement phases (solo activations and pairwise LIRs)
+// that seed the model under test.
+func PrepareValidation(cfg FlowConfig, sc Scale) (*NetValidation, error) {
+	nw := cfg.Mesh()
+	v := &NetValidation{Config: cfg, Net: nw}
+
+	// Short probing phase for ETT metrics and neighbour discovery.
+	period := probePeriodFor(cfg.Rate, sc)
+	recs := make([]*probe.Recorder, len(nw.Nodes))
+	probers := make([]*probe.Prober, len(nw.Nodes))
+	for i, n := range nw.Nodes {
+		recs[i] = probe.NewRecorder(n)
+		probers[i] = probe.NewProber(nw.Sim, n, cfg.Rate, traffic.DefaultPayload)
+		probers[i].SetPeriod(period)
+		probers[i].Start()
+		n.SetDefaultRate(cfg.Rate)
+	}
+	nw.Sim.Run(nw.Sim.Now() + sim.Time(120)*period)
+	for _, p := range probers {
+		p.Stop()
+	}
+
+	var metrics []routing.LinkMetric
+	v.neighbours = make(map[int][]int)
+	for dst, rec := range recs {
+		for _, src := range rec.Senders() {
+			est, ok := rec.Estimate(src, 100)
+			if !ok {
+				continue
+			}
+			metrics = append(metrics, routing.LinkMetric{
+				Link:  topology.Link{Src: src, Dst: dst},
+				PData: est.PData,
+				PAck:  est.PAck,
+				Rate:  cfg.Rate,
+			})
+			v.neighbours[dst] = append(v.neighbours[dst], src)
+			v.neighbours[src] = append(v.neighbours[src], dst)
+		}
+	}
+	v.table = routing.BuildTable(len(nw.Nodes), metrics, traffic.DefaultPayload)
+	v.table.Install(nw.Nodes)
+
+	// Resolve flow routes; keep flows with 1..MaxHops hops.
+	index := map[topology.Link]int{}
+	for _, f := range cfg.Flows {
+		links := v.table.PathLinks(f.Src, f.Dst)
+		if links == nil || len(links) > cfg.MaxHops {
+			continue
+		}
+		v.Flows = append(v.Flows, f)
+		v.Paths = append(v.Paths, v.table.Path(f.Src, f.Dst))
+		var route []int
+		for _, l := range links {
+			li, ok := index[l]
+			if !ok {
+				li = len(v.Links)
+				index[l] = li
+				v.Links = append(v.Links, l)
+				nw.SetRate(l, cfg.Rate)
+			}
+			route = append(route, li)
+		}
+		v.Routes = append(v.Routes, route)
+	}
+	if len(v.Flows) == 0 {
+		return nil, fmt.Errorf("experiments: no routable flows in config %d", cfg.Seed)
+	}
+
+	// Solo activations: primary extreme points and losses.
+	v.Caps = make([]float64, len(v.Links))
+	v.Loss = make([]float64, len(v.Links))
+	for i, l := range v.Links {
+		r := measure.MaxUDP(nw, l, traffic.DefaultPayload, sc.PhaseDur)
+		v.Caps[i] = r.ThroughputBps
+		v.Loss[i] = r.LossRate
+	}
+
+	// Pairwise LIR matrix from simultaneous activations.
+	v.LIR = make([][]float64, len(v.Links))
+	for i := range v.LIR {
+		v.LIR[i] = make([]float64, len(v.Links))
+		v.LIR[i][i] = 1
+	}
+	for i := 0; i < len(v.Links); i++ {
+		for j := i + 1; j < len(v.Links); j++ {
+			if shareNode(v.Links[i], v.Links[j]) {
+				// Same-node links trivially conflict (half duplex).
+				v.LIR[i][j], v.LIR[j][i] = 0, 0
+				continue
+			}
+			both := measure.Simultaneous(nw, []topology.Link{v.Links[i], v.Links[j]},
+				traffic.DefaultPayload, sc.PhaseDur)
+			lir := measure.LIRResult{
+				C11: v.Caps[i], C22: v.Caps[j],
+				C31: both[0].ThroughputBps, C32: both[1].ThroughputBps,
+			}.LIR()
+			v.LIR[i][j], v.LIR[j][i] = lir, lir
+		}
+	}
+
+	// Measurement phases rewired some direct routes; restore the table.
+	v.table.Install(nw.Nodes)
+	return v, nil
+}
+
+func shareNode(a, b topology.Link) bool {
+	return a.Src == b.Src || a.Src == b.Dst || a.Dst == b.Src || a.Dst == b.Dst
+}
+
+// LIRThreshold is the paper's operating point for the binary classifier.
+const LIRThreshold = 0.95
+
+// RegionLIR builds the feasibility region from the measured LIR matrix at
+// the given threshold.
+func (v *NetValidation) RegionLIR(threshold float64) *feasibility.Region {
+	return feasibility.Build(v.Caps, conflict.FromLIR(v.LIR, threshold))
+}
+
+// RegionTwoHop builds the region from the online two-hop conflict model.
+func (v *NetValidation) RegionTwoHop() *feasibility.Region {
+	return feasibility.Build(v.Caps, conflict.TwoHop(v.Links, v.neighbours))
+}
+
+// PathLoss returns the measured solo residual loss along flow s's path.
+func (v *NetValidation) PathLoss(s int) float64 {
+	good := 1.0
+	for _, li := range v.Routes[s] {
+		good *= 1 - v.Loss[li]
+	}
+	return 1 - good
+}
+
+// InjectRun is the outcome of injecting one scaled rate vector.
+type InjectRun struct {
+	Scale    float64
+	Target   []float64 // scaled estimated output rates y_s
+	Achieved []float64
+}
+
+// OptimizeAndInject solves the utility maximization over region and
+// injects the resulting input rates at each scaling factor, returning the
+// achieved outputs (§4.5's test procedure).
+func (v *NetValidation) OptimizeAndInject(region *feasibility.Region, obj optimize.Objective, scales []float64, sc Scale) ([]InjectRun, error) {
+	y, err := optimize.Solve(&optimize.Problem{Region: region, Routes: v.Routes}, obj, optimize.Options{})
+	if err != nil {
+		return nil, err
+	}
+	runs := make([]InjectRun, 0, len(scales))
+	for _, scale := range scales {
+		xs := make([]float64, len(v.Flows))
+		target := make([]float64, len(v.Flows))
+		for s := range v.Flows {
+			target[s] = y[s] * scale
+			den := 1 - v.PathLoss(s)
+			if den <= 0.05 {
+				den = 0.05
+			}
+			xs[s] = target[s] / den
+		}
+		res := measure.InjectRates(v.Net, v.Flows, xs, traffic.DefaultPayload, sc.TrafficDur)
+		achieved := make([]float64, len(res))
+		for i, r := range res {
+			achieved[i] = r.OutputBps
+		}
+		runs = append(runs, InjectRun{Scale: scale, Target: target, Achieved: achieved})
+	}
+	return runs, nil
+}

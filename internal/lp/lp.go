@@ -1,0 +1,276 @@
+// Package lp is a dense two-phase primal simplex solver for the small
+// linear programs that arise in the paper's optimization framework: the
+// feasibility-polytope membership tests, the maximum-aggregate-throughput
+// objective, the max-min objective, and the linear oracle inside the
+// Frank–Wolfe iterations for general alpha-fair utilities.
+//
+// Problems have at most a few hundred variables and constraints, so a
+// dense tableau with Bland's anti-cycling rule is simple and fast enough.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a constraint relation.
+type Op int
+
+// Constraint relations.
+const (
+	LE Op = iota // <=
+	GE           // >=
+	EQ           // ==
+)
+
+// Problem is a linear program over n nonnegative variables:
+//
+//	maximize  c · x
+//	subject to A_i · x (op_i) b_i,  x >= 0.
+type Problem struct {
+	n    int
+	c    []float64
+	rows [][]float64
+	ops  []Op
+	rhs  []float64
+}
+
+// NewProblem creates a problem with n variables and the given objective
+// coefficients (padded with zeros if shorter than n).
+func NewProblem(n int, objective []float64) *Problem {
+	c := make([]float64, n)
+	copy(c, objective)
+	return &Problem{n: n, c: c}
+}
+
+// AddConstraint appends coef · x (op) rhs. Missing coefficients are zero.
+func (p *Problem) AddConstraint(coef []float64, op Op, rhs float64) {
+	row := make([]float64, p.n)
+	copy(row, coef)
+	p.rows = append(p.rows, row)
+	p.ops = append(p.ops, op)
+	p.rhs = append(p.rhs, rhs)
+}
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.rows) }
+
+// Solver failure modes.
+var (
+	ErrInfeasible = errors.New("lp: infeasible")
+	ErrUnbounded  = errors.New("lp: unbounded")
+)
+
+const eps = 1e-9
+
+// Solve runs two-phase simplex and returns the optimal x and objective.
+func Solve(p *Problem) (x []float64, value float64, err error) {
+	m := len(p.rows)
+	if m == 0 {
+		// Unconstrained: optimum is 0 unless some c_j > 0 (unbounded).
+		for _, cj := range p.c {
+			if cj > eps {
+				return nil, 0, ErrUnbounded
+			}
+		}
+		return make([]float64, p.n), 0, nil
+	}
+
+	// Normalize to b >= 0 and classify rows.
+	type rowSpec struct {
+		a  []float64
+		op Op
+		b  float64
+	}
+	specs := make([]rowSpec, m)
+	for i := range p.rows {
+		a := append([]float64(nil), p.rows[i]...)
+		op, b := p.ops[i], p.rhs[i]
+		if b < 0 {
+			for j := range a {
+				a[j] = -a[j]
+			}
+			b = -b
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		specs[i] = rowSpec{a, op, b}
+	}
+
+	nSlack, nArt := 0, 0
+	for _, s := range specs {
+		switch s.op {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++ // surplus
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	total := p.n + nSlack + nArt
+	// Tableau: m rows x (total+1) cols; last col is rhs.
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	si, ai := p.n, p.n+nSlack
+	artCols := make([]bool, total)
+	for i, s := range specs {
+		row := make([]float64, total+1)
+		copy(row, s.a)
+		row[total] = s.b
+		switch s.op {
+		case LE:
+			row[si] = 1
+			basis[i] = si
+			si++
+		case GE:
+			row[si] = -1
+			si++
+			row[ai] = 1
+			artCols[ai] = true
+			basis[i] = ai
+			ai++
+		case EQ:
+			row[ai] = 1
+			artCols[ai] = true
+			basis[i] = ai
+			ai++
+		}
+		t[i] = row
+	}
+
+	if nArt > 0 {
+		// Phase I: minimize sum of artificials == maximize -sum.
+		obj := make([]float64, total)
+		for j := range obj {
+			if artCols[j] {
+				obj[j] = -1
+			}
+		}
+		val, err := simplex(t, basis, obj, artCols, false)
+		if err != nil {
+			return nil, 0, err
+		}
+		if val < -1e-7 {
+			return nil, 0, ErrInfeasible
+		}
+		// Pivot any artificial still in the basis out (degenerate rows).
+		for i, b := range basis {
+			if !artCols[b] {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < total && !pivoted; j++ {
+				if !artCols[j] && math.Abs(t[i][j]) > eps {
+					pivot(t, basis, i, j)
+					pivoted = true
+				}
+			}
+			// If no pivot exists the row is all-zero: redundant, fine.
+		}
+	}
+
+	// Phase II: original objective, artificials barred.
+	obj := make([]float64, total)
+	copy(obj, p.c)
+	value, err = simplex(t, basis, obj, artCols, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	x = make([]float64, p.n)
+	for i, b := range basis {
+		if b < p.n {
+			x[b] = t[i][len(t[i])-1]
+		}
+	}
+	return x, value, nil
+}
+
+// simplex maximizes obj over the current tableau in place. barArt bars
+// artificial columns from entering the basis (phase II).
+func simplex(t [][]float64, basis []int, obj []float64, artCols []bool, barArt bool) (float64, error) {
+	m := len(t)
+	total := len(t[0]) - 1
+	// Reduced costs maintained implicitly: z_j - c_j computed per round
+	// from the basis. For these problem sizes this is plenty fast.
+	for iter := 0; iter < 20000; iter++ {
+		// Compute simplex multipliers via c_B and current rows.
+		// reduced[j] = obj[j] - sum_i cB[i] * t[i][j]
+		cb := make([]float64, m)
+		for i, b := range basis {
+			cb[i] = obj[b]
+		}
+		entering := -1
+		var bestRC float64
+		for j := 0; j < total; j++ {
+			if barArt && artCols[j] {
+				continue
+			}
+			rc := obj[j]
+			for i := 0; i < m; i++ {
+				if cb[i] != 0 {
+					rc -= cb[i] * t[i][j]
+				}
+			}
+			// Bland's rule: first improving column.
+			if rc > eps {
+				entering = j
+				bestRC = rc
+				break
+			}
+		}
+		_ = bestRC
+		if entering == -1 {
+			// Optimal: objective value = sum cB * rhs.
+			val := 0.0
+			for i := 0; i < m; i++ {
+				val += cb[i] * t[i][total]
+			}
+			return val, nil
+		}
+		// Ratio test (Bland: smallest basis index tie-break).
+		leave := -1
+		var best float64
+		for i := 0; i < m; i++ {
+			if t[i][entering] > eps {
+				ratio := t[i][total] / t[i][entering]
+				if leave == -1 || ratio < best-eps ||
+					(math.Abs(ratio-best) <= eps && basis[i] < basis[leave]) {
+					leave, best = i, ratio
+				}
+			}
+		}
+		if leave == -1 {
+			return 0, ErrUnbounded
+		}
+		pivot(t, basis, leave, entering)
+	}
+	return 0, fmt.Errorf("lp: iteration limit exceeded")
+}
+
+func pivot(t [][]float64, basis []int, row, col int) {
+	pr := t[row]
+	pv := pr[col]
+	for j := range pr {
+		pr[j] /= pv
+	}
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := range t[i] {
+			t[i][j] -= f * pr[j]
+		}
+	}
+	basis[row] = col
+}

@@ -1,0 +1,221 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSimpleLE(t *testing.T) {
+	// max x+y s.t. x<=2, y<=3, x+y<=4 -> 4.
+	p := NewProblem(2, []float64{1, 1})
+	p.AddConstraint([]float64{1, 0}, LE, 2)
+	p.AddConstraint([]float64{0, 1}, LE, 3)
+	p.AddConstraint([]float64{1, 1}, LE, 4)
+	x, v, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(v, 4, 1e-7) {
+		t.Fatalf("value = %v, want 4", v)
+	}
+	if !approx(x[0]+x[1], 4, 1e-7) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// max 2x+3y s.t. x+y=10, x<=4 -> x=4,y=6 -> 26.
+	p := NewProblem(2, []float64{2, 3})
+	p.AddConstraint([]float64{1, 1}, EQ, 10)
+	p.AddConstraint([]float64{1, 0}, LE, 4)
+	x, v, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimum puts everything on y: x=0, y=10 -> 30. (x<=4 not binding.)
+	if !approx(v, 30, 1e-7) || !approx(x[1], 10, 1e-7) {
+		t.Fatalf("x=%v v=%v, want y=10 v=30", x, v)
+	}
+}
+
+func TestGEConstraint(t *testing.T) {
+	// max -x s.t. x >= 5 -> x=5, v=-5 (maximize -x == minimize x).
+	p := NewProblem(1, []float64{-1})
+	p.AddConstraint([]float64{1}, GE, 5)
+	x, v, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(x[0], 5, 1e-7) || !approx(v, -5, 1e-7) {
+		t.Fatalf("x=%v v=%v", x, v)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1, []float64{1})
+	p.AddConstraint([]float64{1}, LE, 1)
+	p.AddConstraint([]float64{1}, GE, 2)
+	if _, _, err := Solve(p); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(2, []float64{1, 0})
+	p.AddConstraint([]float64{0, 1}, LE, 1)
+	if _, _, err := Solve(p); err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// x <= 3 written as -x >= -3.
+	p := NewProblem(1, []float64{1})
+	p.AddConstraint([]float64{-1}, GE, -3)
+	x, v, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(v, 3, 1e-7) || !approx(x[0], 3, 1e-7) {
+		t.Fatalf("x=%v v=%v", x, v)
+	}
+}
+
+func TestDegenerateNoCycle(t *testing.T) {
+	// Classic degenerate instance; Bland's rule must terminate.
+	p := NewProblem(4, []float64{0.75, -150, 0.02, -6})
+	p.AddConstraint([]float64{0.25, -60, -0.04, 9}, LE, 0)
+	p.AddConstraint([]float64{0.5, -90, -0.02, 3}, LE, 0)
+	p.AddConstraint([]float64{0, 0, 1, 0}, LE, 1)
+	_, v, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(v, 0.05, 1e-7) {
+		t.Fatalf("value = %v, want 0.05", v)
+	}
+}
+
+func TestMaxMinStructure(t *testing.T) {
+	// The max-min program used by the optimizer: max t s.t. y_s >= t,
+	// y1+y2 <= 1. Optimum t = 0.5.
+	// Variables: y1, y2, t.
+	p := NewProblem(3, []float64{0, 0, 1})
+	p.AddConstraint([]float64{1, 0, -1}, GE, 0)
+	p.AddConstraint([]float64{0, 1, -1}, GE, 0)
+	p.AddConstraint([]float64{1, 1, 0}, LE, 1)
+	x, v, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(v, 0.5, 1e-7) {
+		t.Fatalf("max-min value = %v x=%v", v, x)
+	}
+}
+
+func TestMixturePolytopeStructure(t *testing.T) {
+	// The paper's constraint structure: y <= C alpha, sum alpha = 1.
+	// Two links, extreme points (1,0) and (0,2) (time sharing).
+	// max y1 + y2 -> pick alpha = (0,1): y = (0,2), value 2.
+	// Vars: y1 y2 a1 a2.
+	p := NewProblem(4, []float64{1, 1, 0, 0})
+	p.AddConstraint([]float64{1, 0, -1, 0}, LE, 0)
+	p.AddConstraint([]float64{0, 1, 0, -2}, LE, 0)
+	p.AddConstraint([]float64{0, 0, 1, 1}, EQ, 1)
+	x, v, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(v, 2, 1e-7) {
+		t.Fatalf("value = %v x=%v, want 2", v, x)
+	}
+}
+
+// Random feasible LPs: simplex optimum must satisfy all constraints and
+// weakly dominate a sample of random feasible points.
+func TestPropertySimplexDominatesRandomFeasiblePoints(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		m := 1 + rng.Intn(5)
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = rng.Float64()
+		}
+		p := NewProblem(n, c)
+		rows := make([][]float64, m)
+		rhs := make([]float64, m)
+		for i := 0; i < m; i++ {
+			rows[i] = make([]float64, n)
+			for j := range rows[i] {
+				rows[i][j] = rng.Float64() // nonnegative -> bounded
+			}
+			rhs[i] = 1 + rng.Float64()*5
+			p.AddConstraint(rows[i], LE, rhs[i])
+		}
+		x, v, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		// Verify feasibility of x.
+		for i := 0; i < m; i++ {
+			dot := 0.0
+			for j := 0; j < n; j++ {
+				if x[j] < -1e-9 {
+					return false
+				}
+				dot += rows[i][j] * x[j]
+			}
+			if dot > rhs[i]+1e-6 {
+				return false
+			}
+		}
+		// Random feasible points must not beat the optimum.
+		for trial := 0; trial < 30; trial++ {
+			y := make([]float64, n)
+			for j := range y {
+				y[j] = rng.Float64() * 2
+			}
+			// Scale into feasibility.
+			worst := 1.0
+			for i := 0; i < m; i++ {
+				dot := 0.0
+				for j := 0; j < n; j++ {
+					dot += rows[i][j] * y[j]
+				}
+				if dot > rhs[i] {
+					if s := rhs[i] / dot; s < worst {
+						worst = s
+					}
+				}
+			}
+			val := 0.0
+			for j := 0; j < n; j++ {
+				val += c[j] * y[j] * worst
+			}
+			if val > v+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroConstraintProblem(t *testing.T) {
+	p := NewProblem(2, []float64{-1, -1})
+	x, v, err := Solve(p)
+	if err != nil || v != 0 || x[0] != 0 {
+		t.Fatalf("x=%v v=%v err=%v", x, v, err)
+	}
+	p2 := NewProblem(1, []float64{1})
+	if _, _, err := Solve(p2); err != ErrUnbounded {
+		t.Fatal("want unbounded")
+	}
+}

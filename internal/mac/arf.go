@@ -1,0 +1,105 @@
+package mac
+
+import (
+	"repro/internal/phy"
+)
+
+// RateAdapter selects the modulation for outgoing unicast data frames and
+// learns from per-attempt outcomes. It is the hook for 802.11 rate
+// adaptation, which the paper's testbed disables (§4.1) and names as the
+// main open problem for online capacity estimation (§7).
+type RateAdapter interface {
+	// RateFor returns the modulation to use toward dst. configured is
+	// the rate the network layer asked for (the adapter may ignore it).
+	RateFor(dst int, configured phy.Rate) phy.Rate
+	// OnResult reports one transmission attempt toward dst: ok means
+	// the frame was acknowledged.
+	OnResult(dst int, ok bool)
+}
+
+// SetRateAdapter attaches a rate adapter to the MAC (nil disables
+// adaptation, restoring fixed per-link rates).
+func (m *MAC) SetRateAdapter(a RateAdapter) { m.adapter = a }
+
+// arfLadder is the DSSS/CCK rate ladder ARF climbs.
+var arfLadder = []phy.Rate{phy.Rate1, phy.Rate2, phy.Rate5_5, phy.Rate11}
+
+// ARF implements Auto Rate Fallback (Kamerman & Monteban): step the rate
+// up after a run of consecutive successes, step down after two consecutive
+// failures, and fall straight back down if the first frame after an
+// upgrade (the probe frame) fails.
+type ARF struct {
+	// UpAfter is the consecutive-success run that triggers an upgrade
+	// (10 in classic ARF).
+	UpAfter int
+
+	startIdx int
+	state    map[int]*arfState
+}
+
+type arfState struct {
+	idx       int // index into arfLadder
+	successes int
+	failures  int
+	probing   bool // first frame after an upgrade
+}
+
+// NewARF returns an ARF adapter starting every neighbour at startRate.
+func NewARF(startRate phy.Rate) *ARF {
+	idx := ladderIndex(startRate)
+	a := &ARF{UpAfter: 10, state: make(map[int]*arfState)}
+	a.startIdx = idx
+	return a
+}
+
+// ladderIndex maps a rate to its position on the ARF ladder (the highest
+// rung for rates outside the DSSS/CCK set).
+func ladderIndex(r phy.Rate) int {
+	for i, v := range arfLadder {
+		if v == r {
+			return i
+		}
+	}
+	return len(arfLadder) - 1
+}
+
+func (a *ARF) get(dst int) *arfState {
+	s := a.state[dst]
+	if s == nil {
+		s = &arfState{idx: a.startIdx}
+		a.state[dst] = s
+	}
+	return s
+}
+
+// RateFor implements RateAdapter.
+func (a *ARF) RateFor(dst int, _ phy.Rate) phy.Rate {
+	return arfLadder[a.get(dst).idx]
+}
+
+// CurrentRate exposes the adapter's rate toward dst (for tests and
+// experiments).
+func (a *ARF) CurrentRate(dst int) phy.Rate { return a.RateFor(dst, phy.Rate1) }
+
+// OnResult implements RateAdapter.
+func (a *ARF) OnResult(dst int, ok bool) {
+	s := a.get(dst)
+	if ok {
+		s.successes++
+		s.failures = 0
+		s.probing = false
+		if s.successes >= a.UpAfter && s.idx < len(arfLadder)-1 {
+			s.idx++
+			s.successes = 0
+			s.probing = true
+		}
+		return
+	}
+	s.failures++
+	s.successes = 0
+	if (s.probing || s.failures >= 2) && s.idx > 0 {
+		s.idx--
+		s.failures = 0
+	}
+	s.probing = false
+}

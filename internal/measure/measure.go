@@ -1,0 +1,180 @@
+// Package measure runs controlled measurement phases on a simulated mesh:
+// solo backlogged activation (maxUDP throughput, the paper's primary
+// extreme points), simultaneous activations (secondary/LIR points), and
+// controlled input-rate injection (feasibility sampling). These are the
+// "offline" measurements of §4, used to validate the model; the online
+// substitutes live in internal/probe and internal/core/capacity.
+package measure
+
+import (
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// LinkResult is the outcome of activating one link or path.
+type LinkResult struct {
+	Link          topology.Link
+	ThroughputBps float64 // goodput at the receiver
+	LossRate      float64 // network-layer packet loss (post-MAC-retry)
+	SentPackets   int64
+	RecvPackets   int64
+}
+
+// settle lets MAC queues drain between phases.
+const settle = 100 * sim.Millisecond
+
+// saveHooks snapshots the delivery hooks that measurement phases overwrite.
+func saveHooks(nodes []*node.Node) []func(p *node.Packet) {
+	out := make([]func(p *node.Packet), len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Deliver
+	}
+	return out
+}
+
+func restoreHooks(nodes []*node.Node, hooks []func(p *node.Packet)) {
+	for i, n := range nodes {
+		n.Deliver = hooks[i]
+		n.OnSent = nil
+	}
+}
+
+// MaxUDP measures the saturation UDP throughput and loss rate of a single
+// link transmitting alone in backlogged mode for dur — the definition of a
+// primary extreme point c_ll (§3.2).
+func MaxUDP(nw *topology.Network, l topology.Link, payload int, dur sim.Time) LinkResult {
+	res := Simultaneous(nw, []topology.Link{l}, payload, dur)
+	return res[0]
+}
+
+// Simultaneous activates all listed links backlogged at once for dur and
+// returns per-link results. Combinations of links produce the measured
+// secondary extreme points used by the offline three-point model.
+func Simultaneous(nw *topology.Network, links []topology.Link, payload int, dur sim.Time) []LinkResult {
+	hooks := saveHooks(nw.Nodes)
+	defer restoreHooks(nw.Nodes, hooks)
+
+	sinks := make([]*traffic.Sink, len(links))
+	sources := make([]*traffic.Backlogged, len(links))
+	startDrops := make([]int64, len(links))
+	startSucc := make([]int64, len(links))
+	for i, l := range links {
+		nw.InstallDirectRoute(l)
+		nw.Nodes[l.Src].OnSent = nil
+		sinks[i] = traffic.NewSink(nw.Sim, nw.Nodes[l.Dst])
+		sources[i] = traffic.NewBacklogged(nw.Sim, nw.Nodes[l.Src], i, l.Dst, payload)
+		st := nw.Nodes[l.Src].MAC().Stats
+		startDrops[i], startSucc[i] = st.Drops, st.Successes
+	}
+	for _, s := range sources {
+		s.Start()
+	}
+	end := nw.Sim.Now() + dur
+	nw.Sim.Run(end)
+	for _, s := range sources {
+		s.Stop()
+	}
+	out := make([]LinkResult, len(links))
+	for i, l := range links {
+		st := nw.Nodes[l.Src].MAC().Stats
+		drops := st.Drops - startDrops[i]
+		succ := st.Successes - startSucc[i]
+		var loss float64
+		if drops+succ > 0 {
+			loss = float64(drops) / float64(drops+succ)
+		}
+		out[i] = LinkResult{
+			Link:          l,
+			ThroughputBps: float64(sinks[i].Bytes(i)) * 8 / dur.Seconds(),
+			LossRate:      loss,
+			SentPackets:   sources[i].SentPackets(),
+			RecvPackets:   sinks[i].Packets(i),
+		}
+	}
+	nw.Sim.Run(nw.Sim.Now() + settle)
+	return out
+}
+
+// LIRResult holds the four throughputs defining a pair's Link Interference
+// Ratio (Eq. 5).
+type LIRResult struct {
+	C11, C22 float64 // solo throughputs (primary extreme points)
+	C31, C32 float64 // simultaneous throughputs (the LIR point)
+}
+
+// LIR returns (c31+c32)/(c11+c22); 1 means no interference.
+func (r LIRResult) LIR() float64 {
+	if r.C11+r.C22 == 0 {
+		return 0
+	}
+	return (r.C31 + r.C32) / (r.C11 + r.C22)
+}
+
+// MeasureLIR runs the three activation phases (solo, solo, simultaneous)
+// of the paper's LIR measurement on a link pair.
+func MeasureLIR(nw *topology.Network, l1, l2 topology.Link, payload int, dur sim.Time) LIRResult {
+	a := MaxUDP(nw, l1, payload, dur)
+	b := MaxUDP(nw, l2, payload, dur)
+	both := Simultaneous(nw, []topology.Link{l1, l2}, payload, dur)
+	return LIRResult{
+		C11: a.ThroughputBps,
+		C22: b.ThroughputBps,
+		C31: both[0].ThroughputBps,
+		C32: both[1].ThroughputBps,
+	}
+}
+
+// InjectionResult reports one controlled-rate injection.
+type InjectionResult struct {
+	InputBps  float64
+	OutputBps float64
+	LossRate  float64 // network-layer loss during the injection
+}
+
+// InjectRates drives each flow (src->dst over installed routes) at the
+// given input rates for dur and reports achieved outputs. This is the
+// mechanism used to sample the feasibility region (§4.3.1) and to apply
+// optimized rates (§6).
+func InjectRates(nw *topology.Network, flows []Flow, rates []float64, payload int, dur sim.Time) []InjectionResult {
+	if len(flows) != len(rates) {
+		panic("measure: flows/rates length mismatch")
+	}
+	hooks := saveHooks(nw.Nodes)
+	defer restoreHooks(nw.Nodes, hooks)
+
+	sinks := make([]*traffic.Sink, len(flows))
+	sources := make([]*traffic.CBR, len(flows))
+	for i, f := range flows {
+		sinks[i] = traffic.NewSink(nw.Sim, nw.Nodes[f.Dst])
+		sources[i] = traffic.NewCBR(nw.Sim, nw.Nodes[f.Src], i, f.Dst, payload, rates[i])
+		sources[i].Start()
+	}
+	nw.Sim.Run(nw.Sim.Now() + dur)
+	out := make([]InjectionResult, len(flows))
+	for i := range flows {
+		sources[i].Stop()
+		sent := sources[i].SentPackets()
+		recv := sinks[i].Packets(i)
+		var loss float64
+		if sent > 0 {
+			loss = 1 - float64(recv)/float64(sent)
+			if loss < 0 {
+				loss = 0
+			}
+		}
+		out[i] = InjectionResult{
+			InputBps:  rates[i],
+			OutputBps: sinks[i].ThroughputBps(i),
+			LossRate:  loss,
+		}
+	}
+	nw.Sim.Run(nw.Sim.Now() + settle)
+	return out
+}
+
+// Flow is an end-to-end source/destination pair using installed routes.
+type Flow struct {
+	Src, Dst int
+}

@@ -1,0 +1,168 @@
+// Package node provides the network layer of the mesh: per-node forwarding
+// over the DCF MAC, end-to-end packets, and local delivery. It is the layer
+// at which the paper's solution operates — rate limiting and probing happen
+// here, with no MAC or transport modifications.
+package node
+
+import (
+	"fmt"
+
+	"repro/internal/mac"
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// Packet is an end-to-end network-layer datagram.
+type Packet struct {
+	FlowID int
+	Src    int // originating node
+	Dst    int // final destination node
+	Bytes  int // payload size
+	Seq    int64
+	SentAt sim.Time
+	// Payload carries transport-layer state (e.g. TCP segments).
+	Payload any
+}
+
+// Node is one mesh router: a MAC plus a forwarding table.
+type Node struct {
+	id  int
+	mac *mac.MAC
+
+	routes   map[int]int      // destination node -> next hop
+	linkRate map[int]phy.Rate // next hop -> modulation rate
+	defRate  phy.Rate
+
+	// Deliver receives packets whose final destination is this node.
+	Deliver func(p *Packet)
+	// OnSent fires when a frame carrying p left the MAC (acked or
+	// dropped); backlogged sources use it to keep the queue full.
+	OnSent func(p *Packet, ok bool)
+	// OnProbe receives broadcast probe frames (the probing subsystem
+	// attaches here).
+	OnProbe func(f *phy.Frame)
+
+	// ForwardDrops counts packets dropped for lack of a route or a full
+	// MAC queue while relaying.
+	ForwardDrops int64
+}
+
+// New builds a node with an attached DCF MAC on radio.
+func New(med *phy.Medium, radio *phy.Radio, defaultRate phy.Rate) *Node {
+	n := &Node{
+		id:       radio.ID(),
+		routes:   make(map[int]int),
+		linkRate: make(map[int]phy.Rate),
+		defRate:  defaultRate,
+	}
+	n.mac = mac.New(med, radio, mac.Callbacks{
+		Receive: n.receive,
+		Sent:    n.sent,
+	})
+	return n
+}
+
+// ID returns the node id.
+func (n *Node) ID() int { return n.id }
+
+// MAC exposes the underlying MAC (for stats and probing).
+func (n *Node) MAC() *mac.MAC { return n.mac }
+
+// SetRoute installs dst -> nextHop in the forwarding table.
+func (n *Node) SetRoute(dst, nextHop int) { n.routes[dst] = nextHop }
+
+// ClearRoutes empties the forwarding table.
+func (n *Node) ClearRoutes() { n.routes = make(map[int]int) }
+
+// NextHop returns the configured next hop toward dst, or -1.
+func (n *Node) NextHop(dst int) int {
+	if nh, ok := n.routes[dst]; ok {
+		return nh
+	}
+	return -1
+}
+
+// SetLinkRate fixes the modulation used toward a next hop. The testbed
+// disables rate adaptation and pins 1 or 11 Mb/s per configuration.
+func (n *Node) SetLinkRate(nextHop int, r phy.Rate) { n.linkRate[nextHop] = r }
+
+// SetDefaultRate changes the modulation used toward next hops without an
+// explicit SetLinkRate entry.
+func (n *Node) SetDefaultRate(r phy.Rate) { n.defRate = r }
+
+// LinkRate returns the modulation used toward nextHop.
+func (n *Node) LinkRate(nextHop int) phy.Rate {
+	if r, ok := n.linkRate[nextHop]; ok {
+		return r
+	}
+	return n.defRate
+}
+
+// Send routes p toward its destination. It reports false if the packet was
+// dropped locally (no route / full queue).
+func (n *Node) Send(p *Packet) bool {
+	if p.Dst == n.id {
+		if n.Deliver != nil {
+			n.Deliver(p)
+		}
+		return true
+	}
+	nh, ok := n.routes[p.Dst]
+	if !ok {
+		n.ForwardDrops++
+		return false
+	}
+	f := &phy.Frame{
+		Dst:     nh,
+		Kind:    phy.KindData,
+		Bytes:   p.Bytes,
+		Rate:    n.LinkRate(nh),
+		Payload: p,
+	}
+	return n.mac.Enqueue(f)
+}
+
+// SendProbe broadcasts a probe frame of the given size at the given rate.
+// kind distinguishes DATA-emulating from ACK-emulating probes via Payload.
+func (n *Node) SendProbe(bytes int, r phy.Rate, payload any) bool {
+	f := &phy.Frame{
+		Dst:     phy.Broadcast,
+		Kind:    phy.KindProbe,
+		Bytes:   bytes,
+		Rate:    r,
+		Payload: payload,
+	}
+	return n.mac.Enqueue(f)
+}
+
+func (n *Node) receive(f *phy.Frame) {
+	if f.Kind == phy.KindProbe {
+		if n.OnProbe != nil {
+			n.OnProbe(f)
+		}
+		return
+	}
+	p, ok := f.Payload.(*Packet)
+	if !ok {
+		panic(fmt.Sprintf("node %d: data frame without packet payload", n.id))
+	}
+	if p.Dst == n.id {
+		if n.Deliver != nil {
+			n.Deliver(p)
+		}
+		return
+	}
+	if !n.Send(p) {
+		// Relay drop already counted by Send.
+		_ = p
+	}
+}
+
+func (n *Node) sent(f *phy.Frame, ok bool) {
+	if n.OnSent == nil {
+		return
+	}
+	if p, isPkt := f.Payload.(*Packet); isPkt {
+		n.OnSent(p, ok)
+	}
+}

@@ -1,0 +1,137 @@
+package node
+
+import (
+	"testing"
+
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+func threeNodeLine(t *testing.T) (*sim.Sim, *phy.Medium, []*Node) {
+	t.Helper()
+	s := sim.New(9)
+	med := phy.NewMedium(s, phy.DefaultConfig())
+	var nodes []*Node
+	for i := 0; i < 3; i++ {
+		r := med.AddRadio(phy.Position{X: float64(i) * 60})
+		nodes = append(nodes, New(med, r, phy.Rate11))
+	}
+	return s, med, nodes
+}
+
+func TestLocalDelivery(t *testing.T) {
+	s, _, nodes := threeNodeLine(t)
+	var got *Packet
+	nodes[0].Deliver = func(p *Packet) { got = p }
+	p := &Packet{FlowID: 1, Src: 0, Dst: 0, Bytes: 100}
+	if !nodes[0].Send(p) {
+		t.Fatal("send failed")
+	}
+	s.Run(sim.Second)
+	if got != p {
+		t.Fatal("packet for self not delivered locally")
+	}
+}
+
+func TestSingleHopForwarding(t *testing.T) {
+	s, _, nodes := threeNodeLine(t)
+	var got *Packet
+	nodes[1].Deliver = func(p *Packet) { got = p }
+	nodes[0].SetRoute(1, 1)
+	nodes[0].Send(&Packet{FlowID: 1, Src: 0, Dst: 1, Bytes: 500})
+	s.Run(sim.Second)
+	if got == nil {
+		t.Fatal("packet not delivered over one hop")
+	}
+}
+
+func TestMultiHopRelay(t *testing.T) {
+	s, _, nodes := threeNodeLine(t)
+	var got *Packet
+	nodes[2].Deliver = func(p *Packet) { got = p }
+	nodes[0].SetRoute(2, 1)
+	nodes[1].SetRoute(2, 2)
+	nodes[0].Send(&Packet{FlowID: 1, Src: 0, Dst: 2, Bytes: 500})
+	s.Run(sim.Second)
+	if got == nil {
+		t.Fatal("packet not relayed over two hops")
+	}
+}
+
+func TestNoRouteDropsAndCounts(t *testing.T) {
+	_, _, nodes := threeNodeLine(t)
+	if nodes[0].Send(&Packet{FlowID: 1, Src: 0, Dst: 2, Bytes: 100}) {
+		t.Fatal("send without route succeeded")
+	}
+	if nodes[0].ForwardDrops != 1 {
+		t.Fatalf("ForwardDrops = %d", nodes[0].ForwardDrops)
+	}
+}
+
+func TestNextHopAndClearRoutes(t *testing.T) {
+	_, _, nodes := threeNodeLine(t)
+	nodes[0].SetRoute(2, 1)
+	if nodes[0].NextHop(2) != 1 {
+		t.Fatal("NextHop wrong")
+	}
+	nodes[0].ClearRoutes()
+	if nodes[0].NextHop(2) != -1 {
+		t.Fatal("routes not cleared")
+	}
+}
+
+func TestLinkRateSelection(t *testing.T) {
+	_, _, nodes := threeNodeLine(t)
+	if nodes[0].LinkRate(1) != phy.Rate11 {
+		t.Fatal("default rate not used")
+	}
+	nodes[0].SetLinkRate(1, phy.Rate1)
+	if nodes[0].LinkRate(1) != phy.Rate1 {
+		t.Fatal("explicit link rate ignored")
+	}
+	nodes[0].SetDefaultRate(phy.Rate5_5)
+	if nodes[0].LinkRate(2) != phy.Rate5_5 {
+		t.Fatal("default rate change ignored")
+	}
+}
+
+func TestOnSentFiresWithOutcome(t *testing.T) {
+	s, med, nodes := threeNodeLine(t)
+	med.SetBER(0, 1, 1) // kill the link
+	nodes[0].SetRoute(1, 1)
+	outcomes := map[bool]int{}
+	nodes[0].OnSent = func(p *Packet, ok bool) { outcomes[ok]++ }
+	nodes[0].Send(&Packet{FlowID: 1, Src: 0, Dst: 1, Bytes: 100})
+	s.Run(5 * sim.Second)
+	if outcomes[false] != 1 {
+		t.Fatalf("outcomes = %v, want one failure", outcomes)
+	}
+}
+
+func TestProbeDelivery(t *testing.T) {
+	s, _, nodes := threeNodeLine(t)
+	heard := 0
+	nodes[1].OnProbe = func(f *phy.Frame) { heard++ }
+	if !nodes[0].SendProbe(200, phy.Rate1, "payload") {
+		t.Fatal("probe rejected")
+	}
+	s.Run(sim.Second)
+	if heard != 1 {
+		t.Fatalf("probe heard %d times", heard)
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	_, _, nodes := threeNodeLine(t)
+	nodes[0].SetRoute(1, 1)
+	nodes[0].MAC().QueueCap = 2
+	sent := 0
+	for i := 0; i < 5; i++ {
+		if nodes[0].Send(&Packet{FlowID: 1, Src: 0, Dst: 1, Bytes: 100}) {
+			sent++
+		}
+	}
+	if sent != 2 {
+		t.Fatalf("accepted %d, want 2", sent)
+	}
+}

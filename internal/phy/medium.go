@@ -1,0 +1,491 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Broadcast is the destination id used by broadcast frames (probes).
+const Broadcast = -1
+
+// Kind labels the role of a frame on the air.
+type Kind int
+
+// Frame kinds.
+const (
+	KindData Kind = iota
+	KindAck
+	KindProbe // network-layer broadcast probe
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindAck:
+		return "ack"
+	case KindProbe:
+		return "probe"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Frame is a unit of transmission on the medium. Bytes counts MAC payload
+// for data/probe frames and the whole frame for control frames.
+type Frame struct {
+	Src, Dst int
+	Kind     Kind
+	Bytes    int
+	Rate     Rate
+	Seq      int64
+	Payload  any
+}
+
+// Broadcast reports whether the frame is addressed to all stations.
+func (f *Frame) Broadcast() bool { return f.Dst == Broadcast }
+
+// Airtime returns the on-air duration of the frame.
+func (f *Frame) Airtime() sim.Time {
+	if f.Kind == KindAck {
+		return ControlAirtime(f.Rate, f.Bytes)
+	}
+	return Airtime(f.Rate, f.Bytes)
+}
+
+// Listener receives PHY indications. The MAC implements this.
+type Listener interface {
+	// CarrierSense reports medium busy/idle transitions as seen by this
+	// radio's energy detector (own transmissions count as busy).
+	CarrierSense(busy bool)
+	// Receive delivers a successfully decoded frame. Frames addressed to
+	// other stations are delivered too; the MAC filters.
+	Receive(f *Frame)
+	// TxDone fires when this radio's transmission leaves the air.
+	TxDone(f *Frame)
+}
+
+// LinkCounters tallies per-directed-link PHY outcomes, used by tests and
+// by experiments that need ground-truth loss breakdowns.
+type LinkCounters struct {
+	Sent        int64 // frames transmitted toward this destination
+	Received    int64 // frames decoded by the destination
+	SINRDrop    int64 // frames lost to interference (collisions/capture failure)
+	ChannelDrop int64 // frames lost to the Bernoulli channel-error process
+	Unlocked    int64 // frames that never locked (receiver busy or too weak)
+}
+
+// Config bundles the radio parameters shared by every node in a network.
+type Config struct {
+	TxPowerDBm  float64 // transmit power (the testbed fixes 19 dBm)
+	NoiseDBm    float64 // thermal noise floor
+	CSThreshDBm float64 // energy-detection carrier-sense threshold
+	LockSensDBm float64 // minimum power to lock onto a frame
+	CaptureDB   float64 // preamble-capture margin for re-locking
+	// FadeSigmaDB adds zero-mean Gaussian fading (in dB) to the SINR of
+	// each reception. Fast fading is what turns marginal capture into
+	// the *partial* interference the paper measures (LIRs between 0.5
+	// and 1); zero disables it.
+	FadeSigmaDB float64
+	Prop        Propagation
+}
+
+// DefaultConfig mirrors the testbed's fixed 19 dBm transmit power with
+// typical Atheros-era receiver characteristics.
+func DefaultConfig() Config {
+	return Config{
+		TxPowerDBm:  19,
+		NoiseDBm:    -95,
+		CSThreshDBm: -92, // preamble-detection CS: sense range covers decode range
+		LockSensDBm: -92,
+		CaptureDB:   5, // message-in-message relock margin
+		FadeSigmaDB: 2,
+		Prop:        DefaultPropagation(),
+	}
+}
+
+// Medium is the shared wireless channel. It owns every radio, computes
+// pairwise gains from the propagation model plus per-pair shadowing, and
+// implements the SINR reception model with physical-layer capture.
+//
+// Propagation delay is ignored (sub-microsecond at mesh scale) and frames
+// arrive at all radios at the instant transmission starts.
+type Medium struct {
+	sim     *sim.Sim
+	cfg     Config
+	noiseMW float64
+	capture float64 // linear capture factor
+	rng     *rand.Rand
+
+	radios []*Radio
+	shadow map[[2]int]float64 // symmetric per-pair shadowing, dB
+	ber    map[[2]int]float64 // per-directed-link bit error rate
+	gain   [][]float64        // cached rx power in mW; built lazily
+
+	counters map[[2]int]*LinkCounters
+}
+
+// NewMedium creates an empty medium on the given simulator.
+func NewMedium(s *sim.Sim, cfg Config) *Medium {
+	return &Medium{
+		sim:      s,
+		cfg:      cfg,
+		noiseMW:  DBmToMW(cfg.NoiseDBm),
+		capture:  DBmToMW(cfg.CaptureDB), // dB ratio -> linear
+		rng:      s.NewStream(),
+		shadow:   make(map[[2]int]float64),
+		ber:      make(map[[2]int]float64),
+		counters: make(map[[2]int]*LinkCounters),
+	}
+}
+
+// Sim returns the simulator driving this medium.
+func (m *Medium) Sim() *sim.Sim { return m.sim }
+
+// Config returns the radio configuration.
+func (m *Medium) Config() Config { return m.cfg }
+
+// AddRadio creates a radio at pos. All radios must be added before the
+// first transmission; the gain matrix is frozen on first use.
+func (m *Medium) AddRadio(pos Position) *Radio {
+	if m.gain != nil {
+		panic("phy: AddRadio after medium in use")
+	}
+	r := &Radio{
+		id:       len(m.radios),
+		pos:      pos,
+		m:        m,
+		arrivals: make(map[*transmission]float64),
+	}
+	m.radios = append(m.radios, r)
+	return r
+}
+
+// Radios returns the radios on this medium in id order.
+func (m *Medium) Radios() []*Radio { return m.radios }
+
+func pairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// SetShadow fixes the symmetric shadowing offset (dB, positive = extra
+// loss) between two radios. Topologies use this to carve walls and floors.
+func (m *Medium) SetShadow(a, b int, db float64) {
+	if m.gain != nil {
+		panic("phy: SetShadow after medium in use")
+	}
+	m.shadow[pairKey(a, b)] = db
+}
+
+// SetBER sets the channel bit error rate on the directed link a->b.
+// Frame loss from channel errors is 1-(1-ber)^bits, so longer frames
+// (DATA) suffer more than short ones (ACK), as in real links.
+func (m *Medium) SetBER(a, b int, ber float64) {
+	m.ber[[2]int{a, b}] = ber
+}
+
+// BER returns the channel bit error rate on the directed link a->b.
+func (m *Medium) BER(a, b int) float64 { return m.ber[[2]int{a, b}] }
+
+// ChannelLossProb returns the probability that a frame of frameBytes total
+// bytes is lost to channel errors on a->b. This is the simulator's ground
+// truth against which the paper's channel-loss estimator is scored.
+func (m *Medium) ChannelLossProb(a, b int, frameBytes int) float64 {
+	ber := m.ber[[2]int{a, b}]
+	if ber <= 0 {
+		return 0
+	}
+	return 1 - math.Pow(1-ber, float64(8*frameBytes))
+}
+
+// FadeLossProb returns the probability that a frame at rate r on a->b is
+// lost to fading alone (clean channel, no interference): the chance the
+// per-reception Gaussian fade pushes the SNR below the decode threshold.
+func (m *Medium) FadeLossProb(a, b int, r Rate) float64 {
+	snr := m.RxPowerDBm(a, b) - m.cfg.NoiseDBm
+	margin := snr - r.MinSINRdB()
+	if m.cfg.FadeSigmaDB <= 0 {
+		if margin >= 0 {
+			return 0
+		}
+		return 1
+	}
+	// P(N(0,sigma) < -margin) via the complementary error function.
+	return 0.5 * math.Erfc(margin/(m.cfg.FadeSigmaDB*math.Sqrt2))
+}
+
+// FrameLossProb combines the Bernoulli channel-error process and fading
+// into the total clean-channel frame loss on a->b — the ground truth the
+// paper's channel-loss estimator is trying to recover.
+func (m *Medium) FrameLossProb(a, b int, r Rate, frameBytes int) float64 {
+	pBits := m.ChannelLossProb(a, b, frameBytes)
+	pFade := m.FadeLossProb(a, b, r)
+	return 1 - (1-pBits)*(1-pFade)
+}
+
+// GainMW returns the received power at radio b when radio a transmits.
+func (m *Medium) GainMW(a, b int) float64 {
+	m.buildGain()
+	return m.gain[a][b]
+}
+
+// RxPowerDBm returns the received power in dBm at b when a transmits.
+func (m *Medium) RxPowerDBm(a, b int) float64 { return MWToDBm(m.GainMW(a, b)) }
+
+func (m *Medium) buildGain() {
+	if m.gain != nil {
+		return
+	}
+	n := len(m.radios)
+	m.gain = make([][]float64, n)
+	flat := make([]float64, n*n)
+	for i := range m.gain {
+		m.gain[i], flat = flat[:n], flat[n:]
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d := m.radios[i].pos.Distance(m.radios[j].pos)
+			pl := m.cfg.Prop.PathLossDB(d, m.shadow[pairKey(i, j)])
+			m.gain[i][j] = DBmToMW(m.cfg.TxPowerDBm - pl)
+		}
+	}
+}
+
+// Counters returns (allocating if needed) the counter block for a->b.
+func (m *Medium) Counters(a, b int) *LinkCounters {
+	k := [2]int{a, b}
+	c := m.counters[k]
+	if c == nil {
+		c = &LinkCounters{}
+		m.counters[k] = c
+	}
+	return c
+}
+
+// ResetCounters clears all link counters (e.g. between experiment phases).
+func (m *Medium) ResetCounters() {
+	m.counters = make(map[[2]int]*LinkCounters)
+}
+
+// transmission is a frame in flight.
+type transmission struct {
+	frame *Frame
+	src   *Radio
+	end   sim.Time
+}
+
+// Transmit puts f on the air from radio r. The MAC must ensure r is not
+// already transmitting. TxDone fires on r's listener when the frame ends.
+func (m *Medium) Transmit(r *Radio, f *Frame) {
+	if r.transmitting {
+		panic("phy: Transmit while already transmitting")
+	}
+	m.buildGain()
+	dur := f.Airtime()
+	tx := &transmission{frame: f, src: r, end: m.sim.Now() + dur}
+	r.transmitting = true
+	r.updateCS()
+	if !f.Broadcast() {
+		m.Counters(f.Src, f.Dst).Sent++
+	}
+	// A radio cannot receive while transmitting: abort any lock in progress.
+	if r.lock != nil {
+		r.lock = nil
+	}
+	for _, o := range m.radios {
+		if o == r {
+			continue
+		}
+		p := m.gain[r.id][o.id]
+		if p < m.noiseMW/100 {
+			continue // far below noise: no observable effect
+		}
+		o.arrivalStart(tx, p)
+	}
+	m.sim.At(tx.end, func() {
+		for _, o := range m.radios {
+			if o == r {
+				continue
+			}
+			o.arrivalEnd(tx)
+		}
+		r.transmitting = false
+		r.updateCS()
+		if r.listener != nil {
+			r.listener.TxDone(f)
+		}
+	})
+}
+
+// channelLost draws the Bernoulli channel-error process for a decoded
+// frame on src->dst.
+func (m *Medium) channelLost(f *Frame, dst int) bool {
+	bytes := f.Bytes
+	if f.Kind != KindAck {
+		bytes += MACHeaderBytes
+	}
+	p := m.ChannelLossProb(f.Src, dst, bytes)
+	return p > 0 && m.rng.Float64() < p
+}
+
+// Radio is one station's PHY. All state transitions are driven by the
+// medium; the MAC interacts through Transmit, CSBusy and the Listener.
+type Radio struct {
+	id  int
+	pos Position
+	m   *Medium
+
+	listener Listener
+
+	transmitting bool
+	busy         bool // last CS indication
+
+	sensedMW float64
+	arrivals map[*transmission]float64
+
+	lock *reception
+}
+
+// reception tracks the frame a radio is locked onto and the worst
+// interference it experienced.
+type reception struct {
+	tx          *transmission
+	powerMW     float64
+	maxInterfMW float64
+}
+
+// ID returns the radio's id (index on the medium).
+func (r *Radio) ID() int { return r.id }
+
+// Pos returns the radio's position.
+func (r *Radio) Pos() Position { return r.pos }
+
+// SetListener attaches the MAC.
+func (r *Radio) SetListener(l Listener) { r.listener = l }
+
+// CSBusy reports whether the energy detector currently senses the medium
+// busy (own transmissions included).
+func (r *Radio) CSBusy() bool { return r.transmitting || r.sensedMW >= DBmToMW(r.m.cfg.CSThreshDBm) }
+
+// Transmitting reports whether the radio is mid-transmission.
+func (r *Radio) Transmitting() bool { return r.transmitting }
+
+func (r *Radio) updateCS() {
+	now := r.CSBusy()
+	if now != r.busy {
+		r.busy = now
+		if r.listener != nil {
+			r.listener.CarrierSense(now)
+		}
+	}
+}
+
+func (r *Radio) interference(except *transmission) float64 {
+	var sum float64
+	for tx, p := range r.arrivals {
+		if tx != except {
+			sum += p
+		}
+	}
+	return sum
+}
+
+func (r *Radio) arrivalStart(tx *transmission, p float64) {
+	r.arrivals[tx] = p
+	r.sensedMW += p
+	lockSens := DBmToMW(r.m.cfg.LockSensDBm)
+	switch {
+	case r.transmitting:
+		// Half-duplex: the frame is interference for later, nothing to do.
+	case r.lock == nil && p >= lockSens:
+		r.lock = &reception{tx: tx, powerMW: p, maxInterfMW: r.interference(tx)}
+	case r.lock != nil && p >= lockSens && p >= r.lock.powerMW*r.m.capture:
+		// Preamble capture: a much stronger late arrival steals the
+		// receiver. The previous frame is lost.
+		r.countLoss(r.lock.tx, lossSINR)
+		r.lock = &reception{tx: tx, powerMW: p, maxInterfMW: r.interference(tx)}
+	case r.lock != nil:
+		if i := r.interference(r.lock.tx); i > r.lock.maxInterfMW {
+			r.lock.maxInterfMW = i
+		}
+	default:
+		// Too weak to lock: pure interference.
+	}
+	r.updateCS()
+}
+
+type lossKind int
+
+const (
+	lossSINR lossKind = iota
+	lossChannel
+	lossUnlocked
+)
+
+func (r *Radio) countLoss(tx *transmission, k lossKind) {
+	f := tx.frame
+	if f.Broadcast() || f.Dst != r.id {
+		return
+	}
+	c := r.m.Counters(f.Src, f.Dst)
+	switch k {
+	case lossSINR:
+		c.SINRDrop++
+	case lossChannel:
+		c.ChannelDrop++
+	case lossUnlocked:
+		c.Unlocked++
+	}
+}
+
+func (r *Radio) arrivalEnd(tx *transmission) {
+	p, ok := r.arrivals[tx]
+	if !ok {
+		return
+	}
+	delete(r.arrivals, tx)
+	r.sensedMW -= p
+	if r.sensedMW < 0 {
+		r.sensedMW = 0
+	}
+	if r.lock != nil && r.lock.tx == tx {
+		r.finishReception()
+	} else if r.lock == nil && (tx.frame.Dst == r.id) {
+		// The intended receiver never locked (busy, transmitting, or
+		// the signal was too weak).
+		r.countLoss(tx, lossUnlocked)
+	}
+	r.updateCS()
+}
+
+func (r *Radio) finishReception() {
+	rec := r.lock
+	r.lock = nil
+	f := rec.tx.frame
+	sinrDB := MWToDBm(rec.powerMW / (r.m.noiseMW + rec.maxInterfMW))
+	if sigma := r.m.cfg.FadeSigmaDB; sigma > 0 {
+		sinrDB += r.m.rng.NormFloat64() * sigma
+	}
+	if sinrDB < f.Rate.MinSINRdB() {
+		r.countLoss(rec.tx, lossSINR)
+		return
+	}
+	if r.m.channelLost(f, r.id) {
+		r.countLoss(rec.tx, lossChannel)
+		return
+	}
+	if !f.Broadcast() && f.Dst == r.id {
+		r.m.Counters(f.Src, f.Dst).Received++
+	}
+	if r.listener != nil {
+		r.listener.Receive(f)
+	}
+}

@@ -1,0 +1,72 @@
+package phy
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestAirtimeKnownValues(t *testing.T) {
+	// 1470-byte payload at 1 Mb/s: preamble 192us + (1470+28)*8 us.
+	got := Airtime(Rate1, 1470)
+	want := 192*sim.Microsecond + sim.Time((1470+28)*8)*sim.Microsecond
+	if got != want {
+		t.Fatalf("Airtime(1Mbps,1470) = %v, want %v", got, want)
+	}
+}
+
+func TestAirtimeScalesInverselyWithRate(t *testing.T) {
+	a1 := Airtime(Rate1, 1000) - 192*sim.Microsecond
+	a11 := Airtime(Rate11, 1000) - 192*sim.Microsecond
+	ratio := float64(a1) / float64(a11)
+	if ratio < 10.9 || ratio > 11.1 {
+		t.Fatalf("payload airtime ratio 1/11 Mbps = %v, want ~11", ratio)
+	}
+}
+
+func TestControlAirtimeACK(t *testing.T) {
+	// ACK (14 bytes) at 1 Mb/s: 192us PLCP + 112us payload.
+	got := ControlAirtime(Rate1, ACKBytes)
+	if got != 304*sim.Microsecond {
+		t.Fatalf("ACK airtime = %v, want 304us", got)
+	}
+}
+
+func TestOFDMUsesShortPreamble(t *testing.T) {
+	if Airtime(Rate54, 0) >= Airtime(Rate1, 0) {
+		t.Fatal("OFDM frame with no payload should be shorter than DSSS")
+	}
+}
+
+func TestMinSINRMonotoneInRate(t *testing.T) {
+	dsss := []Rate{Rate1, Rate2, Rate5_5, Rate11}
+	for i := 1; i < len(dsss); i++ {
+		if dsss[i].MinSINRdB() <= dsss[i-1].MinSINRdB() {
+			t.Fatalf("SINR threshold not increasing: %v vs %v", dsss[i-1], dsss[i])
+		}
+	}
+}
+
+func TestControlRate(t *testing.T) {
+	if ControlRate(Rate11) != Rate1 {
+		t.Fatal("CCK frames must be ACKed at 1 Mb/s")
+	}
+	if ControlRate(Rate54) != Rate6 {
+		t.Fatal("OFDM frames must be ACKed at 6 Mb/s")
+	}
+}
+
+func TestRateString(t *testing.T) {
+	if Rate11.String() != "11Mbps" {
+		t.Fatalf("String = %q", Rate11.String())
+	}
+	if Rate(99).String() != "Rate(99)" {
+		t.Fatalf("out-of-range String = %q", Rate(99).String())
+	}
+}
+
+func TestDIFSRelation(t *testing.T) {
+	if DIFS != SIFS+2*SlotTime {
+		t.Fatal("DIFS must equal SIFS + 2 slots")
+	}
+}

@@ -1,0 +1,81 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/phy"
+	"repro/internal/topology"
+)
+
+func diamondMetrics() []LinkMetric {
+	// 0 -> {1,2} -> 3, both branches clean.
+	var out []LinkMetric
+	for _, l := range []topology.Link{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 3},
+		{Src: 0, Dst: 2}, {Src: 2, Dst: 3},
+		{Src: 1, Dst: 0}, {Src: 3, Dst: 1},
+		{Src: 2, Dst: 0}, {Src: 3, Dst: 2},
+	} {
+		out = append(out, LinkMetric{Link: l, Rate: phy.Rate11})
+	}
+	return out
+}
+
+func TestKPathsDiamondFindsBothBranches(t *testing.T) {
+	paths := KPaths(4, diamondMetrics(), 1470, 0, 3, 3)
+	if len(paths) != 2 {
+		t.Fatalf("found %d paths, want 2: %v", len(paths), paths)
+	}
+	mids := map[int]bool{}
+	for _, p := range paths {
+		if len(p) != 2 {
+			t.Fatalf("path %v has wrong length", p)
+		}
+		mids[p[0].Dst] = true
+	}
+	if !mids[1] || !mids[2] {
+		t.Fatalf("branches = %v, want via 1 and via 2", mids)
+	}
+}
+
+func TestKPathsOrderedByQuality(t *testing.T) {
+	metrics := diamondMetrics()
+	// Make the branch via 2 lossy so it ranks second.
+	for i := range metrics {
+		if metrics[i].Link == (topology.Link{Src: 0, Dst: 2}) {
+			metrics[i].PData = 0.5
+		}
+	}
+	paths := KPaths(4, metrics, 1470, 0, 3, 2)
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+	if paths[0][0].Dst != 1 {
+		t.Fatalf("best path goes via %d, want 1", paths[0][0].Dst)
+	}
+}
+
+func TestKPathsSinglePathGraph(t *testing.T) {
+	metrics := []LinkMetric{
+		{Link: topology.Link{Src: 0, Dst: 1}, Rate: phy.Rate11},
+		{Link: topology.Link{Src: 1, Dst: 2}, Rate: phy.Rate11},
+	}
+	paths := KPaths(3, metrics, 1470, 0, 2, 4)
+	if len(paths) != 1 {
+		t.Fatalf("chain should yield exactly one path, got %v", paths)
+	}
+}
+
+func TestKPathsUnreachable(t *testing.T) {
+	metrics := []LinkMetric{{Link: topology.Link{Src: 0, Dst: 1}, Rate: phy.Rate11}}
+	if paths := KPaths(3, metrics, 1470, 0, 2, 2); paths != nil {
+		t.Fatalf("unreachable destination yielded %v", paths)
+	}
+}
+
+func TestKPathsSrcEqualsDst(t *testing.T) {
+	paths := KPaths(4, diamondMetrics(), 1470, 1, 1, 2)
+	if len(paths) != 1 || len(paths[0]) != 0 {
+		t.Fatalf("self path = %v", paths)
+	}
+}

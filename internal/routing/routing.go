@@ -1,0 +1,184 @@
+// Package routing implements the Srcr-style route computation used by the
+// paper's system (§6.1): per-link ETX/ETT metrics derived from probe loss
+// rates, Dijkstra shortest paths, and installation of next-hop forwarding
+// state into nodes. The paper's only modification to Srcr — piggybacking
+// channel-loss estimates on route updates — corresponds here to the
+// metrics being fed straight from the probing subsystem.
+package routing
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/node"
+	"repro/internal/phy"
+	"repro/internal/topology"
+)
+
+// LinkMetric carries the probing-derived quality of one directed link.
+type LinkMetric struct {
+	Link  topology.Link
+	PData float64 // DATA-direction loss rate
+	PAck  float64 // ACK-direction loss rate
+	Rate  phy.Rate
+}
+
+// ETX is the expected transmission count 1/((1-pDATA)(1-pACK)).
+func (m LinkMetric) ETX() float64 {
+	d := (1 - m.PData) * (1 - m.PAck)
+	if d <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / d
+}
+
+// ETT is the expected transmission time: ETX scaled by the frame airtime
+// at the link's rate (Draves et al.), in seconds.
+func (m LinkMetric) ETT(payloadBytes int) float64 {
+	return m.ETX() * phy.Airtime(m.Rate, payloadBytes).Seconds()
+}
+
+// Table is a routing table over a set of nodes.
+type Table struct {
+	n       int
+	weight  [][]float64 // ETT weights; +Inf = no link
+	nextHop [][]int     // nextHop[src][dst]
+}
+
+// BuildTable runs Dijkstra from every node over the given metrics.
+// payloadBytes sets the ETT packet size (the paper uses the data size).
+func BuildTable(numNodes int, metrics []LinkMetric, payloadBytes int) *Table {
+	t := &Table{n: numNodes}
+	t.weight = make([][]float64, numNodes)
+	for i := range t.weight {
+		t.weight[i] = make([]float64, numNodes)
+		for j := range t.weight[i] {
+			t.weight[i][j] = math.Inf(1)
+		}
+	}
+	for _, m := range metrics {
+		w := m.ETT(payloadBytes)
+		if w < t.weight[m.Link.Src][m.Link.Dst] {
+			t.weight[m.Link.Src][m.Link.Dst] = w
+		}
+	}
+	t.nextHop = make([][]int, numNodes)
+	for src := 0; src < numNodes; src++ {
+		t.nextHop[src] = t.dijkstra(src)
+	}
+	return t
+}
+
+// dijkstra returns next hops from src toward every destination (-1 when
+// unreachable).
+func (t *Table) dijkstra(src int) []int {
+	dist := make([]float64, t.n)
+	prev := make([]int, t.n)
+	done := make([]bool, t.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+	pq := &distHeap{}
+	heap.Push(pq, distEntry{node: src, dist: 0})
+	for pq.Len() > 0 {
+		e := heap.Pop(pq).(distEntry)
+		if done[e.node] {
+			continue
+		}
+		done[e.node] = true
+		for v := 0; v < t.n; v++ {
+			w := t.weight[e.node][v]
+			if math.IsInf(w, 1) {
+				continue
+			}
+			if nd := dist[e.node] + w; nd < dist[v] {
+				dist[v] = nd
+				prev[v] = e.node
+				heap.Push(pq, distEntry{node: v, dist: nd})
+			}
+		}
+	}
+	// Walk predecessors back to find the first hop from src.
+	next := make([]int, t.n)
+	for dst := 0; dst < t.n; dst++ {
+		if dst == src || prev[dst] == -1 {
+			next[dst] = -1
+			continue
+		}
+		hop := dst
+		for prev[hop] != src {
+			hop = prev[hop]
+		}
+		next[dst] = hop
+	}
+	return next
+}
+
+// NextHop returns the next hop from src toward dst (-1 if unreachable).
+func (t *Table) NextHop(src, dst int) int {
+	if src == dst {
+		return src
+	}
+	return t.nextHop[src][dst]
+}
+
+// Path returns the full node path src..dst, or nil if unreachable.
+func (t *Table) Path(src, dst int) []int {
+	if src == dst {
+		return []int{src}
+	}
+	path := []int{src}
+	cur := src
+	for cur != dst {
+		nh := t.NextHop(cur, dst)
+		if nh < 0 || len(path) > t.n {
+			return nil
+		}
+		path = append(path, nh)
+		cur = nh
+	}
+	return path
+}
+
+// PathLinks returns the directed links along the path src..dst.
+func (t *Table) PathLinks(src, dst int) []topology.Link {
+	p := t.Path(src, dst)
+	if p == nil {
+		return nil
+	}
+	links := make([]topology.Link, 0, len(p)-1)
+	for i := 0; i+1 < len(p); i++ {
+		links = append(links, topology.Link{Src: p[i], Dst: p[i+1]})
+	}
+	return links
+}
+
+// Install writes the table's next hops into the nodes' forwarding state.
+func (t *Table) Install(nodes []*node.Node) {
+	for src, n := range nodes {
+		n.ClearRoutes()
+		for dst := 0; dst < t.n; dst++ {
+			if dst == src {
+				continue
+			}
+			if nh := t.NextHop(src, dst); nh >= 0 {
+				n.SetRoute(dst, nh)
+			}
+		}
+	}
+}
+
+type distEntry struct {
+	node int
+	dist float64
+}
+
+type distHeap []distEntry
+
+func (h distHeap) Len() int           { return len(h) }
+func (h distHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x any)        { *h = append(*h, x.(distEntry)) }
+func (h *distHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }

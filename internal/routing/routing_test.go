@@ -1,0 +1,130 @@
+package routing
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/phy"
+	"repro/internal/topology"
+)
+
+func metric(src, dst int, p float64, r phy.Rate) LinkMetric {
+	return LinkMetric{Link: topology.Link{Src: src, Dst: dst}, PData: p, Rate: r}
+}
+
+func TestETXCleanLink(t *testing.T) {
+	m := metric(0, 1, 0, phy.Rate11)
+	if m.ETX() != 1 {
+		t.Fatalf("ETX = %v", m.ETX())
+	}
+}
+
+func TestETXLossyBothDirections(t *testing.T) {
+	m := LinkMetric{PData: 0.5, PAck: 0.5, Rate: phy.Rate11}
+	if math.Abs(m.ETX()-4) > 1e-12 {
+		t.Fatalf("ETX = %v, want 4", m.ETX())
+	}
+	if !math.IsInf(LinkMetric{PData: 1}.ETX(), 1) {
+		t.Fatal("dead link must have infinite ETX")
+	}
+}
+
+func TestETTPrefersFasterLink(t *testing.T) {
+	slow := metric(0, 1, 0, phy.Rate1)
+	fast := metric(0, 1, 0, phy.Rate11)
+	if fast.ETT(1470) >= slow.ETT(1470) {
+		t.Fatal("11 Mb/s ETT must beat 1 Mb/s")
+	}
+}
+
+func TestDijkstraDirectVsRelay(t *testing.T) {
+	// 0->2 direct is lossy (ETX 4); 0->1->2 clean. ETT should relay.
+	metrics := []LinkMetric{
+		metric(0, 2, 0.5, phy.Rate11), // ETX 2 one way
+		metric(0, 1, 0, phy.Rate11),
+		metric(1, 2, 0, phy.Rate11),
+	}
+	metrics[0].PAck = 0.5 // total ETX 4
+	tab := BuildTable(3, metrics, 1470)
+	if got := tab.NextHop(0, 2); got != 1 {
+		t.Fatalf("next hop = %d, want relay via 1", got)
+	}
+	p := tab.Path(0, 2)
+	if len(p) != 3 || p[1] != 1 {
+		t.Fatalf("path = %v", p)
+	}
+}
+
+func TestDijkstraPrefersDirectWhenClean(t *testing.T) {
+	metrics := []LinkMetric{
+		metric(0, 2, 0.05, phy.Rate11),
+		metric(0, 1, 0, phy.Rate11),
+		metric(1, 2, 0, phy.Rate11),
+	}
+	tab := BuildTable(3, metrics, 1470)
+	if got := tab.NextHop(0, 2); got != 2 {
+		t.Fatalf("next hop = %d, want direct", got)
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	tab := BuildTable(3, []LinkMetric{metric(0, 1, 0, phy.Rate11)}, 1470)
+	if tab.NextHop(0, 2) != -1 {
+		t.Fatal("unreachable destination must be -1")
+	}
+	if tab.Path(0, 2) != nil {
+		t.Fatal("path to unreachable must be nil")
+	}
+}
+
+func TestPathLinks(t *testing.T) {
+	metrics := []LinkMetric{
+		metric(0, 1, 0, phy.Rate11),
+		metric(1, 2, 0, phy.Rate11),
+		metric(2, 3, 0, phy.Rate11),
+	}
+	tab := BuildTable(4, metrics, 1470)
+	links := tab.PathLinks(0, 3)
+	want := []topology.Link{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}}
+	if len(links) != len(want) {
+		t.Fatalf("links = %v", links)
+	}
+	for i := range want {
+		if links[i] != want[i] {
+			t.Fatalf("links = %v, want %v", links, want)
+		}
+	}
+}
+
+func TestInstallIntoNodes(t *testing.T) {
+	nw := topology.Chain(1, 4, 80, phy.Rate11)
+	metrics := []LinkMetric{
+		metric(0, 1, 0, phy.Rate11), metric(1, 0, 0, phy.Rate11),
+		metric(1, 2, 0, phy.Rate11), metric(2, 1, 0, phy.Rate11),
+		metric(2, 3, 0, phy.Rate11), metric(3, 2, 0, phy.Rate11),
+	}
+	tab := BuildTable(4, metrics, 1470)
+	tab.Install(nw.Nodes)
+	if nw.Node(0).NextHop(3) != 1 {
+		t.Fatalf("installed next hop = %d", nw.Node(0).NextHop(3))
+	}
+	if nw.Node(3).NextHop(0) != 2 {
+		t.Fatalf("reverse next hop = %d", nw.Node(3).NextHop(0))
+	}
+}
+
+func TestETTAsymmetricLinksIndependent(t *testing.T) {
+	// Forward clean, reverse lossy: routes may differ by direction.
+	metrics := []LinkMetric{
+		metric(0, 1, 0, phy.Rate11),
+		metric(1, 0, 0.8, phy.Rate11),
+		metric(1, 2, 0, phy.Rate11),
+		metric(2, 1, 0, phy.Rate11),
+		metric(0, 2, 0.1, phy.Rate11),
+		metric(2, 0, 0, phy.Rate11),
+	}
+	tab := BuildTable(3, metrics, 1470)
+	if tab.NextHop(2, 0) != 0 {
+		t.Fatalf("2->0 should go direct (clean), got %d", tab.NextHop(2, 0))
+	}
+}

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRunOrdersEventsByTime(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.At(30*Microsecond, func() { order = append(order, 3) })
+	s.At(10*Microsecond, func() { order = append(order, 1) })
+	s.At(20*Microsecond, func() { order = append(order, 2) })
+	s.Run(Second)
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(Millisecond, func() { order = append(order, i) })
+	}
+	s.Run(Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("events at the same instant ran out of order: %v", order)
+		}
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	s := New(1)
+	var fired Time
+	s.At(5*Millisecond, func() {
+		s.After(2*Millisecond, func() { fired = s.Now() })
+	})
+	s.Run(Second)
+	if fired != 7*Millisecond {
+		t.Fatalf("nested After fired at %v, want 7ms", fired)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New(1)
+	ran := false
+	tm := s.At(Millisecond, func() { ran = true })
+	if !tm.Stop() {
+		t.Fatal("Stop returned false for a pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	s.Run(Second)
+	if ran {
+		t.Fatal("cancelled event still ran")
+	}
+}
+
+func TestTimerPending(t *testing.T) {
+	s := New(1)
+	tm := s.At(Millisecond, func() {})
+	if !tm.Pending() {
+		t.Fatal("timer should be pending before firing")
+	}
+	s.Run(Second)
+	if tm.Pending() {
+		t.Fatal("timer should not be pending after firing")
+	}
+}
+
+func TestHaltStopsRun(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(Time(i)*Millisecond, func() {
+			count++
+			if count == 3 {
+				s.Halt()
+			}
+		})
+	}
+	s.Run(Second)
+	if count != 3 {
+		t.Fatalf("ran %d events after Halt, want 3", count)
+	}
+}
+
+func TestRunAdvancesClockToEnd(t *testing.T) {
+	s := New(1)
+	end := s.Run(42 * Millisecond)
+	if end != 42*Millisecond {
+		t.Fatalf("Run returned %v, want 42ms", end)
+	}
+	if s.Now() != 42*Millisecond {
+		t.Fatalf("Now() = %v, want 42ms", s.Now())
+	}
+}
+
+func TestRunStopsAtEndWithEventsBeyond(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.At(2*Second, func() { ran = true })
+	s.Run(Second)
+	if ran {
+		t.Fatal("event beyond the horizon ran")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New(1)
+	s.At(10*Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(5*Millisecond, func() {})
+	})
+	s.Run(Second)
+}
+
+func TestDeterministicStreams(t *testing.T) {
+	a, b := New(7), New(7)
+	sa, sb := a.NewStream(), b.NewStream()
+	for i := 0; i < 100; i++ {
+		if sa.Int63() != sb.Int63() {
+			t.Fatal("same-seed streams diverged")
+		}
+	}
+}
+
+func TestPropertyEventsFireInNondecreasingTimeOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New(3)
+		var fired []Time
+		for _, d := range delays {
+			s.At(Time(d)*Microsecond, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run(Second)
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyStopPreventsExactlyThatEvent(t *testing.T) {
+	f := func(n uint8, cancel uint8) bool {
+		count := int(n%20) + 2
+		c := int(cancel) % count
+		s := New(5)
+		fired := make([]bool, count)
+		timers := make([]*Timer, count)
+		for i := 0; i < count; i++ {
+			i := i
+			timers[i] = s.At(Time(i+1)*Millisecond, func() { fired[i] = true })
+		}
+		timers[c].Stop()
+		s.Run(Second)
+		for i := 0; i < count; i++ {
+			if fired[i] == (i == c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := (1500 * Millisecond).String(); got != "1.500000s" {
+		t.Fatalf("String = %q", got)
+	}
+}

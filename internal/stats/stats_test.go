@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {9, 1},
+	}
+	for _, cs := range cases {
+		if got := c.At(cs.x); math.Abs(got-cs.want) > 1e-12 {
+			t.Fatalf("At(%v) = %v, want %v", cs.x, got, cs.want)
+		}
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40, 50})
+	if got := c.Quantile(0.5); got != 30 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := c.Quantile(0); got != 10 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := c.Quantile(1); got != 50 {
+		t.Fatalf("q1 = %v", got)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(1) != 0 || !math.IsNaN(c.Quantile(0.5)) {
+		t.Fatal("empty CDF misbehaves")
+	}
+}
+
+func TestCDFPointsMonotone(t *testing.T) {
+	c := NewCDF([]float64{3, 1, 4, 1, 5, 9, 2, 6})
+	pts := c.Points(5)
+	for i := 1; i < len(pts); i++ {
+		if pts[i][0] < pts[i-1][0] || pts[i][1] < pts[i-1][1] {
+			t.Fatalf("points not monotone: %v", pts)
+		}
+	}
+}
+
+func TestPropertyCDFAtIsMonotone(t *testing.T) {
+	f := func(xs []float64, a, b float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		c := NewCDF(xs)
+		if a > b {
+			a, b = b, a
+		}
+		return c.At(a) <= c.At(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	if got := RMSE([]float64{1, 2}, []float64{1, 2}); got != 0 {
+		t.Fatalf("zero-error RMSE = %v", got)
+	}
+	if got := RMSE([]float64{0, 0}, []float64{3, 4}); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Fatalf("RMSE = %v", got)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{5, 5, 5}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("equal allocation JFI = %v", got)
+	}
+	if got := JainIndex([]float64{1, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("single-winner JFI = %v", got)
+	}
+	if JainIndex(nil) != 0 || JainIndex([]float64{0, 0}) != 0 {
+		t.Fatal("degenerate JFI")
+	}
+}
+
+func TestPropertyJainBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i, v := range xs {
+			// Map into a physically meaningful throughput range to
+			// avoid float overflow in sum-of-squares.
+			xs[i] = math.Mod(math.Abs(v), 1e9)
+			if math.IsNaN(xs[i]) {
+				xs[i] = 0
+			}
+		}
+		j := JainIndex(xs)
+		if len(xs) == 0 {
+			return j == 0
+		}
+		return j >= 0 && j <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 6})
+	if s.Min != 2 || s.Max != 6 || math.Abs(s.Mean-4) > 1e-12 || s.N != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean")
+	}
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("stddev = %v", got)
+	}
+}

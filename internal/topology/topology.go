@@ -1,0 +1,281 @@
+// Package topology constructs simulated mesh networks: the embedded
+// two-link interference classes used by the paper's pairwise validation
+// (Carrier Sense, Information Asymmetry, Near-Far, after Garetto et al.),
+// multi-hop chains, and an 18-node analogue of the paper's office-building
+// testbed with indoor/outdoor shadowing variety and per-link channel error.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/node"
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// Link is a directed transmitter->receiver pair.
+type Link struct {
+	Src, Dst int
+}
+
+// String implements fmt.Stringer.
+func (l Link) String() string { return fmt.Sprintf("%d->%d", l.Src, l.Dst) }
+
+// Network bundles a simulator, a medium and the node stack built on it.
+type Network struct {
+	Sim    *sim.Sim
+	Medium *phy.Medium
+	Nodes  []*node.Node
+}
+
+// New builds a network of nodes at the given positions, all using
+// defaultRate for data frames.
+func New(seed int64, cfg phy.Config, positions []phy.Position, defaultRate phy.Rate) *Network {
+	s := sim.New(seed)
+	med := phy.NewMedium(s, cfg)
+	n := &Network{Sim: s, Medium: med}
+	for _, p := range positions {
+		r := med.AddRadio(p)
+		n.Nodes = append(n.Nodes, node.New(med, r, defaultRate))
+	}
+	return n
+}
+
+// Node returns node i.
+func (n *Network) Node(i int) *node.Node { return n.Nodes[i] }
+
+// SetRate pins the modulation on the directed link l.
+func (n *Network) SetRate(l Link, r phy.Rate) { n.Nodes[l.Src].SetLinkRate(l.Dst, r) }
+
+// InstallDirectRoute makes l.Src deliver straight to l.Dst.
+func (n *Network) InstallDirectRoute(l Link) { n.Nodes[l.Src].SetRoute(l.Dst, l.Dst) }
+
+// SNRdB returns the interference-free SNR of the directed link.
+func (n *Network) SNRdB(l Link) float64 {
+	return n.Medium.RxPowerDBm(l.Src, l.Dst) - n.Medium.Config().NoiseDBm
+}
+
+// Decodable reports whether l can carry rate r in the absence of
+// interference (SNR above the modulation threshold and lockable power).
+func (n *Network) Decodable(l Link, r phy.Rate) bool {
+	rx := n.Medium.RxPowerDBm(l.Src, l.Dst)
+	return rx >= n.Medium.Config().LockSensDBm && n.SNRdB(l) >= r.MinSINRdB()
+}
+
+// Links enumerates all directed links decodable at rate r.
+func (n *Network) Links(r phy.Rate) []Link {
+	var out []Link
+	for i := range n.Nodes {
+		for j := range n.Nodes {
+			if i == j {
+				continue
+			}
+			if l := (Link{i, j}); n.Decodable(l, r) {
+				out = append(out, l)
+			}
+		}
+	}
+	return out
+}
+
+// Class names an embedded two-link interference topology class.
+type Class int
+
+// The three classes from the paper's pairwise validation (§4.3.1).
+const (
+	// CS: the two transmitters sense each other and coordinate; the
+	// pair operates near the time-sharing boundary.
+	CS Class = iota
+	// IA: transmitters cannot sense each other; one receiver is exposed
+	// to the other link's transmitter (hidden terminal with capture).
+	IA
+	// NF: transmitters cannot sense each other; both receivers are
+	// exposed to the opposite transmitter, with a near/far asymmetry.
+	NF
+)
+
+func (c Class) String() string {
+	switch c {
+	case CS:
+		return "CS"
+	case IA:
+		return "IA"
+	case NF:
+		return "NF"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// TwoLinkResult is a constructed two-link scenario. Link1 is 0->1 and
+// Link2 is 2->3.
+type TwoLinkResult struct {
+	*Network
+	Link1, Link2 Link
+}
+
+// TwoLink constructs a canonical instance of the requested class with the
+// default PHY config. The geometries are chosen so that, with 19 dBm
+// transmit power and the default propagation, the carrier-sense and
+// interference relations defining each class hold.
+func TwoLink(seed int64, class Class, rate1, rate2 phy.Rate) *TwoLinkResult {
+	cfg := phy.DefaultConfig()
+	var pos []phy.Position
+	switch class {
+	case CS:
+		// Transmitters 150 m apart: well inside mutual CS range.
+		pos = []phy.Position{{X: 0}, {X: 60}, {X: 150}, {X: 210}}
+	case IA:
+		// Transmitters 240 m apart (beyond CS range ~232 m); rx1 is
+		// exposed to tx2 at 150 m (SINR margin ~2 dB at 1 Mb/s, so
+		// capture is partial under fading), rx2 is clear of tx1.
+		pos = []phy.Position{{X: 0}, {X: 90}, {X: 240}, {X: 320}}
+	case NF:
+		// Transmitters 270 m apart; both receivers exposed to the
+		// opposite transmitter, link1 nearer its receiver than link2.
+		pos = []phy.Position{{X: 0}, {X: 60}, {X: 270}, {X: 190}}
+	default:
+		panic("topology: unknown class")
+	}
+	nw := New(seed, cfg, pos, rate1)
+	res := &TwoLinkResult{Network: nw, Link1: Link{0, 1}, Link2: Link{2, 3}}
+	nw.SetRate(res.Link1, rate1)
+	nw.SetRate(res.Link2, rate2)
+	nw.InstallDirectRoute(res.Link1)
+	nw.InstallDirectRoute(res.Link2)
+	return res
+}
+
+// Chain builds an n-node linear chain with the given hop length in metres
+// and installs shortest-hop routes in both directions between every pair.
+func Chain(seed int64, n int, hopMetres float64, rate phy.Rate) *Network {
+	pos := make([]phy.Position, n)
+	for i := range pos {
+		pos[i] = phy.Position{X: float64(i) * hopMetres}
+	}
+	nw := New(seed, phy.DefaultConfig(), pos, rate)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			nh := i + 1
+			if j < i {
+				nh = i - 1
+			}
+			nw.Nodes[i].SetRoute(j, nh)
+		}
+	}
+	return nw
+}
+
+// Mesh18 builds the 18-node testbed analogue: three "building" clusters
+// and an outdoor "parking lot" strip, with extra wall/floor shadowing
+// between clusters and a seeded spread of per-link channel error rates.
+// It mirrors the paper's testbed in scale and link-quality diversity, not
+// in exact floor plan.
+func Mesh18(seed int64) *Network {
+	return Mesh18Seeded(seed, seed)
+}
+
+// Mesh18Seeded separates the layout seed (node placement, shadowing,
+// channel error) from the simulation seed (MAC backoffs, loss draws), so
+// repeated runs on an identical topology see fresh randomness — the
+// simulator's equivalent of re-running an experiment on the testbed.
+func Mesh18Seeded(layoutSeed, simSeed int64) *Network {
+	rng := rand.New(rand.NewSource(layoutSeed))
+	var pos []phy.Position
+	cluster := func(cx, cy float64, n int, spread float64) {
+		for i := 0; i < n; i++ {
+			pos = append(pos, phy.Position{
+				X: cx + rng.Float64()*spread - spread/2,
+				Y: cy + rng.Float64()*spread - spread/2,
+			})
+		}
+	}
+	cluster(0, 0, 5, 60)     // building A
+	cluster(160, 40, 5, 60)  // building B
+	cluster(320, 0, 4, 60)   // building C
+	cluster(160, 160, 4, 90) // parking lot strip
+	nw := New(simSeed, phy.DefaultConfig(), pos, phy.Rate11)
+
+	// Wall/floor attenuation between different clusters.
+	clusterOf := func(i int) int {
+		switch {
+		case i < 5:
+			return 0
+		case i < 10:
+			return 1
+		case i < 14:
+			return 2
+		default:
+			return 3
+		}
+	}
+	for i := 0; i < len(pos); i++ {
+		for j := i + 1; j < len(pos); j++ {
+			ci, cj := clusterOf(i), clusterOf(j)
+			if ci == cj {
+				if rng.Float64() < 0.3 { // interior walls
+					nw.Medium.SetShadow(i, j, 3+rng.Float64()*5)
+				}
+				continue
+			}
+			if ci == 3 || cj == 3 { // outdoor path: mild
+				nw.Medium.SetShadow(i, j, rng.Float64()*6)
+			} else { // building to building
+				nw.Medium.SetShadow(i, j, 6+rng.Float64()*12)
+			}
+		}
+	}
+
+	// Channel error diversity: most links clean, a fifth moderate, a
+	// tenth poor — matching the testbed's mix of good and marginal links.
+	for i := 0; i < len(pos); i++ {
+		for j := 0; j < len(pos); j++ {
+			if i == j {
+				continue
+			}
+			u := rng.Float64()
+			var ber float64
+			switch {
+			case u < 0.70:
+				ber = rng.Float64() * 2e-7
+			case u < 0.90:
+				ber = 2e-6 + rng.Float64()*8e-6
+			default:
+				ber = 1e-5 + rng.Float64()*2e-5
+			}
+			nw.Medium.SetBER(i, j, ber)
+		}
+	}
+	return nw
+}
+
+// GatewayScenario builds the Fig. 13 starvation topology: gateway node 0,
+// node 1 sending a 1-hop flow, and node 2 sending a 2-hop flow relayed by
+// node 1. Node 2 sits outside the gateway's carrier-sense range (total
+// span 240 m), so the gateway's transmissions collide at node 1 with node
+// 2's upstream data — the starvation mechanism of Shi et al. that Fig. 13
+// demonstrates. The spacing is asymmetric (90 m + 150 m): the gateway's
+// ACKs arrive at the relay with a capture margin over node 2's data, so
+// the 1-hop flow thrives while the hidden 2-hop flow's data bears the
+// collision losses; with symmetric spacing the collision is mutual
+// annihilation and not even rate control can revive the 2-hop flow.
+func GatewayScenario(seed int64, rate phy.Rate) *Network {
+	pos := []phy.Position{{X: 0}, {X: 90}, {X: 240}}
+	nw := New(seed, phy.DefaultConfig(), pos, rate)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i == j {
+				continue
+			}
+			nh := i + 1
+			if j < i {
+				nh = i - 1
+			}
+			nw.Nodes[i].SetRoute(j, nh)
+		}
+	}
+	return nw
+}

@@ -1,0 +1,148 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/phy"
+	"repro/internal/rate"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestSingleFlowFillsCleanLink(t *testing.T) {
+	nw := topology.Chain(1, 2, 60, phy.Rate11)
+	f := NewFlow(nw.Sim, nw.Node(0), nw.Node(1), 1)
+	f.Start()
+	nw.Sim.Run(10 * sim.Second)
+	f.Stop()
+	bps := f.GoodputBps()
+	// TCP with reverse ACK airtime reaches a bit less than UDP maxUDP
+	// (~6 Mb/s); anything above 4 Mb/s shows a healthy pipe.
+	if bps < 4e6 {
+		t.Fatalf("TCP goodput = %.2f Mb/s on a clean 11 Mb/s link", bps/1e6)
+	}
+	if f.Timeouts > 3 {
+		t.Fatalf("%d timeouts on a clean link", f.Timeouts)
+	}
+}
+
+func TestInOrderDelivery(t *testing.T) {
+	nw := topology.Chain(2, 2, 60, phy.Rate11)
+	nw.Medium.SetBER(0, 1, 1e-5) // some loss to force retransmissions
+	f := NewFlow(nw.Sim, nw.Node(0), nw.Node(1), 1)
+	f.Start()
+	nw.Sim.Run(10 * sim.Second)
+	f.Stop()
+	if f.DeliveredSegs == 0 {
+		t.Fatal("no progress")
+	}
+	// rcvNxt only advances in order; DeliveredSegs == rcvNxt.
+	if f.rcvNxt != f.DeliveredSegs {
+		t.Fatalf("delivered %d but rcvNxt %d", f.DeliveredSegs, f.rcvNxt)
+	}
+}
+
+func TestLossTriggersRetransmitsButProgresses(t *testing.T) {
+	nw := topology.Chain(3, 2, 60, phy.Rate11)
+	nw.Medium.SetBER(0, 1, 2.5e-5) // ~9.5% residual pre-retry loss
+	f := NewFlow(nw.Sim, nw.Node(0), nw.Node(1), 1)
+	f.Start()
+	nw.Sim.Run(15 * sim.Second)
+	f.Stop()
+	if f.GoodputBps() < 1e6 {
+		t.Fatalf("goodput = %.2f Mb/s under moderate loss", f.GoodputBps()/1e6)
+	}
+}
+
+func TestMultiHopFlow(t *testing.T) {
+	nw := topology.Chain(4, 3, 70, phy.Rate11)
+	f := NewFlow(nw.Sim, nw.Node(2), nw.Node(0), 1)
+	f.Start()
+	nw.Sim.Run(10 * sim.Second)
+	f.Stop()
+	// Two hops share the channel; also carries reverse ACKs.
+	if f.GoodputBps() < 1.4e6 {
+		t.Fatalf("2-hop TCP goodput = %.2f Mb/s", f.GoodputBps()/1e6)
+	}
+}
+
+func TestShaperCapsTCP(t *testing.T) {
+	nw := topology.Chain(5, 2, 60, phy.Rate11)
+	f := NewFlow(nw.Sim, nw.Node(0), nw.Node(1), 1)
+	sh := rate.NewShaper(nw.Sim, nw.Node(0), 1.5e6)
+	f.SetShaper(sh)
+	f.Start()
+	nw.Sim.Run(10 * sim.Second)
+	f.Stop()
+	bps := f.GoodputBps()
+	if bps > 1.7e6 {
+		t.Fatalf("shaped TCP exceeded limit: %.2f Mb/s", bps/1e6)
+	}
+	if bps < 1.1e6 {
+		t.Fatalf("shaped TCP collapsed: %.2f Mb/s", bps/1e6)
+	}
+}
+
+func TestTwoFlowsShareCleanChannel(t *testing.T) {
+	// Both flows to a common sink over one hop each; same collision
+	// domain, everyone in CS range: both must make progress.
+	nw := topology.Chain(6, 3, 70, phy.Rate11)
+	f1 := NewFlow(nw.Sim, nw.Node(1), nw.Node(0), 1)
+	f2 := NewFlow(nw.Sim, nw.Node(2), nw.Node(0), 2)
+	// f2 crosses two hops via node 1.
+	f1.Start()
+	f2.Start()
+	nw.Sim.Run(15 * sim.Second)
+	f1.Stop()
+	f2.Stop()
+	if f1.GoodputBps() < 1e6 {
+		t.Fatalf("1-hop flow starved: %.2f Mb/s", f1.GoodputBps()/1e6)
+	}
+	if f2.GoodputBps() == 0 {
+		t.Fatal("2-hop flow made zero progress")
+	}
+}
+
+// The Fig. 13 phenomenon: with the far node hidden from the gateway, the
+// 2-hop upstream flow starves because its relayed data and the gateway's
+// ACKs collide.
+func TestHiddenTerminalStarvesTwoHopFlow(t *testing.T) {
+	nw := topology.GatewayScenario(7, phy.Rate1)
+	oneHop := NewFlow(nw.Sim, nw.Node(1), nw.Node(0), 1)
+	twoHop := NewFlow(nw.Sim, nw.Node(2), nw.Node(0), 2)
+	oneHop.Start()
+	twoHop.Start()
+	nw.Sim.Run(30 * sim.Second)
+	oneHop.Stop()
+	twoHop.Stop()
+	b1, b2 := oneHop.GoodputBps(), twoHop.GoodputBps()
+	if b1 < 0.3e6 {
+		t.Fatalf("1-hop flow weak: %.3f Mb/s", b1/1e6)
+	}
+	if b2 > 0.35*b1 {
+		t.Fatalf("expected starvation: 2-hop %.3f vs 1-hop %.3f Mb/s", b2/1e6, b1/1e6)
+	}
+}
+
+func TestRTOGrowsAndRecovers(t *testing.T) {
+	nw := topology.Chain(8, 2, 60, phy.Rate11)
+	f := NewFlow(nw.Sim, nw.Node(0), nw.Node(1), 1)
+	// Kill the link completely for a while.
+	nw.Medium.SetBER(0, 1, 1)
+	f.Start()
+	nw.Sim.Run(5 * sim.Second)
+	if f.Timeouts == 0 {
+		t.Fatal("no timeouts on a dead link")
+	}
+	if f.DeliveredSegs != 0 {
+		t.Fatal("segments delivered over a dead link")
+	}
+	// Heal the link; the flow must resume.
+	nw.Medium.SetBER(0, 1, 0)
+	before := f.DeliveredSegs
+	nw.Sim.Run(nw.Sim.Now() + 20*sim.Second)
+	f.Stop()
+	if f.DeliveredSegs <= before {
+		t.Fatal("flow did not recover after link healed")
+	}
+}
