@@ -41,6 +41,7 @@ func benchScale() experiments.Scale {
 }
 
 func BenchmarkFig03LIRCDF(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale()
 	for i := 0; i < b.N; i++ {
 		res := experiments.RunFig3(int64(i+1), sc)
@@ -49,6 +50,7 @@ func BenchmarkFig03LIRCDF(b *testing.B) {
 }
 
 func BenchmarkFig04FPFN(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale()
 	for i := 0; i < b.N; i++ {
 		res := experiments.RunFig4(int64(i+1), sc)
@@ -57,6 +59,7 @@ func BenchmarkFig04FPFN(b *testing.B) {
 }
 
 func BenchmarkFig05ThreePoint(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale()
 	for i := 0; i < b.N; i++ {
 		res := experiments.RunFig5(3, sc)
@@ -86,6 +89,7 @@ func netValidation(b *testing.B) experiments.NetValidationResult {
 }
 
 func BenchmarkFig07OverEstimation(b *testing.B) {
+	b.ReportAllocs()
 	res := netValidation(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -94,6 +98,7 @@ func BenchmarkFig07OverEstimation(b *testing.B) {
 }
 
 func BenchmarkFig08UnderEstimation(b *testing.B) {
+	b.ReportAllocs()
 	res := netValidation(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -103,6 +108,7 @@ func BenchmarkFig08UnderEstimation(b *testing.B) {
 }
 
 func BenchmarkFig12TwoHop(b *testing.B) {
+	b.ReportAllocs()
 	res := netValidation(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -111,6 +117,7 @@ func BenchmarkFig12TwoHop(b *testing.B) {
 }
 
 func BenchmarkFig09EstimatorCases(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale()
 	sc.ProbeWindow = 300
 	for i := 0; i < b.N; i++ {
@@ -120,6 +127,7 @@ func BenchmarkFig09EstimatorCases(b *testing.B) {
 }
 
 func BenchmarkFig10LossRMSE(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale()
 	sc.ProbeWindow = 250
 	for i := 0; i < b.N; i++ {
@@ -129,6 +137,7 @@ func BenchmarkFig10LossRMSE(b *testing.B) {
 }
 
 func BenchmarkFig11CapacityVsAdhoc(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale()
 	for i := 0; i < b.N; i++ {
 		res := experiments.RunFig11(6, sc)
@@ -137,6 +146,7 @@ func BenchmarkFig11CapacityVsAdhoc(b *testing.B) {
 }
 
 func BenchmarkFig13Starvation(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale()
 	sc.TrafficDur = 8 * sim.Second
 	for i := 0; i < b.N; i++ {
@@ -146,6 +156,7 @@ func BenchmarkFig13Starvation(b *testing.B) {
 }
 
 func BenchmarkFig14TCPSuite(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale()
 	for i := 0; i < b.N; i++ {
 		res := experiments.RunFig14(9, sc)
@@ -428,6 +439,7 @@ func BenchmarkEq6Capacity(b *testing.B) {
 }
 
 func BenchmarkMACSaturation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		nw := topology.TwoLink(int64(i+1), topology.CS, phy.Rate11, phy.Rate11)
 		measure.MaxUDP(nw.Network, nw.Link1, traffic.DefaultPayload, sim.Second)

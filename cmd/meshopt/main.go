@@ -6,9 +6,14 @@
 //	meshopt -fig 3            # reproduce one figure (3..14)
 //	meshopt -all              # reproduce every figure
 //	meshopt -fig 13 -scale paper -seed 7
+//	meshopt -all -workers 8   # pin the experiment worker pool
 //
 // Figures 7, 8 and 12 share one network-validation run and are printed
 // together when any of them is requested.
+//
+// Experiments fan independent simulation cells out across a worker pool
+// (GOMAXPROCS workers by default; see internal/experiments/runner). The
+// output is bit-identical for any -workers value.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/experiments/runner"
 )
 
 func main() {
@@ -25,7 +31,10 @@ func main() {
 	all := flag.Bool("all", false, "reproduce every figure")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or paper")
+	workers := flag.Int("workers", 0, "experiment worker pool size; 0 = GOMAXPROCS")
 	flag.Parse()
+
+	runner.SetWorkers(*workers)
 
 	var sc experiments.Scale
 	switch *scaleName {

@@ -13,6 +13,7 @@ package feasibility
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/core/conflict"
 	"repro/internal/lp"
@@ -21,11 +22,24 @@ import (
 // Region is the estimated feasibility region: any output-rate vector y
 // with y <= sum_k alpha_k * Points[k] for a convex combination alpha is
 // deemed feasible (Eqs. 1-3, downward closed).
+//
+// Membership and boundary queries are answered by small LPs whose
+// constraint matrix depends only on the extreme points, not on the query
+// vector, so the region lazily builds each LP once and re-aims it per
+// query (grid samplers issue thousands of queries against one region).
+// Points and Capacities must not be mutated after the first query. The
+// query cache is mutex-guarded, so a frozen region may be shared by
+// concurrent experiment cells.
 type Region struct {
 	// Points holds the K extreme points, each of length L (links).
 	Points [][]float64
 	// Capacities are the primary extreme point magnitudes c_ll.
 	Capacities []float64
+
+	mu         sync.Mutex
+	containsLP *lp.Problem // K vars; rhs re-aimed per query
+	scaleLP    *lp.Problem // K+1 vars; y column re-aimed per query
+	ws         lp.Workspace
 }
 
 // L returns the number of links.
@@ -58,31 +72,40 @@ func Build(capacities []float64, g *conflict.Graph) *Region {
 
 // Contains reports whether the output-rate vector y lies in the region:
 // exists alpha >= 0, sum alpha = 1, with y <= sum alpha_k c[k]. Decided by
-// a small feasibility LP.
+// a small feasibility LP against the region's cached constraint matrix.
 func (r *Region) Contains(y []float64) bool {
 	if len(y) != r.L() {
 		panic("feasibility: dimension mismatch")
 	}
-	k := r.K()
-	p := lp.NewProblem(k, nil) // any feasible alpha will do
-	for l := 0; l < r.L(); l++ {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.containsLP == nil {
+		k := r.K()
+		p := lp.NewProblem(k, nil) // any feasible alpha will do
 		row := make([]float64, k)
-		for j := 0; j < k; j++ {
-			row[j] = r.Points[j][l]
+		for l := 0; l < r.L(); l++ {
+			for j := 0; j < k; j++ {
+				row[j] = r.Points[j][l]
+			}
+			p.AddConstraint(row, lp.GE, 0)
 		}
-		p.AddConstraint(row, lp.GE, y[l])
+		for j := range row {
+			row[j] = 1
+		}
+		p.AddConstraint(row, lp.EQ, 1)
+		r.containsLP = p
 	}
-	ones := make([]float64, k)
-	for j := range ones {
-		ones[j] = 1
+	for l, v := range y {
+		r.containsLP.SetRHS(l, v)
 	}
-	p.AddConstraint(ones, lp.EQ, 1)
-	_, _, err := lp.Solve(p)
+	_, _, err := r.containsLP.SolveWS(&r.ws)
 	return err == nil
 }
 
 // Scale returns the largest s such that s*y remains in the region (the
-// boundary distance along ray y). Returns +Inf for y = 0.
+// boundary distance along ray y). Returns +Inf for y = 0. The dimension
+// check matters doubly here: an oversized y would otherwise overwrite
+// the cached LP's convexity row and corrupt every later query.
 func (r *Region) Scale(y []float64) float64 {
 	allZero := true
 	for _, v := range y {
@@ -94,26 +117,38 @@ func (r *Region) Scale(y []float64) float64 {
 	if allZero {
 		return math.Inf(1)
 	}
+	if len(y) != r.L() {
+		panic("feasibility: dimension mismatch")
+	}
 	// Variables: alpha (K) and s; maximize s subject to
-	// s*y_l - sum_j alpha_j c_jl <= 0, sum alpha = 1.
+	// s*y_l - sum_j alpha_j c_jl <= 0, sum alpha = 1. Only the s column
+	// depends on y, so the cached problem just rewrites that column.
 	k := r.K()
-	obj := make([]float64, k+1)
-	obj[k] = 1
-	p := lp.NewProblem(k+1, obj)
-	for l := 0; l < r.L(); l++ {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.scaleLP == nil {
+		obj := make([]float64, k+1)
+		obj[k] = 1
+		p := lp.NewProblem(k+1, obj)
 		row := make([]float64, k+1)
-		for j := 0; j < k; j++ {
-			row[j] = -r.Points[j][l]
+		for l := 0; l < r.L(); l++ {
+			for j := 0; j < k; j++ {
+				row[j] = -r.Points[j][l]
+			}
+			row[k] = 0
+			p.AddConstraint(row, lp.LE, 0)
 		}
-		row[k] = y[l]
-		p.AddConstraint(row, lp.LE, 0)
+		for j := 0; j < k; j++ {
+			row[j] = 1
+		}
+		row[k] = 0
+		p.AddConstraint(row, lp.EQ, 1)
+		r.scaleLP = p
 	}
-	ones := make([]float64, k+1)
-	for j := 0; j < k; j++ {
-		ones[j] = 1
+	for l, v := range y {
+		r.scaleLP.SetCoef(l, k, v)
 	}
-	p.AddConstraint(ones, lp.EQ, 1)
-	_, s, err := lp.Solve(p)
+	_, s, err := r.scaleLP.SolveWS(&r.ws)
 	if err != nil {
 		return 0
 	}

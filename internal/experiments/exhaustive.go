@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/core/feasibility"
+	"repro/internal/experiments/runner"
 	"repro/internal/measure"
 	"repro/internal/phy"
 	"repro/internal/topology"
@@ -33,15 +34,19 @@ type ExhaustiveResult struct {
 // RunExhaustive measures every activation combination of the first three
 // links of a mesh chain and compares the resulting measured-point region
 // with the MIS region built from solo capacities and measured pairwise
-// LIRs.
+// LIRs. Each activation combination is an independent cell on its own
+// chain instance.
 func RunExhaustive(seed int64, sc Scale) ExhaustiveResult {
-	nw := topology.Chain(seed, 4, 70, phy.Rate11)
 	links := []topology.Link{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}}
 	res := ExhaustiveResult{Links: links}
 
 	// Measure every nonempty combination (7 activations for L=3).
-	byMask := map[int][]float64{}
+	masks := make([]int, 0, 1<<len(links)-1)
 	for mask := 1; mask < 1<<len(links); mask++ {
+		masks = append(masks, mask)
+	}
+	points := runner.Map(masks, func(_ int, mask int) []float64 {
+		nw := topology.Chain(seed, 4, 70, phy.Rate11)
 		var active []topology.Link
 		for i := range links {
 			if mask&(1<<i) != 0 {
@@ -57,8 +62,12 @@ func RunExhaustive(seed int64, sc Scale) ExhaustiveResult {
 				ai++
 			}
 		}
-		byMask[mask] = point
-		res.MeasuredPoints = append(res.MeasuredPoints, point)
+		return point
+	})
+	byMask := map[int][]float64{}
+	for i, mask := range masks {
+		byMask[mask] = points[i]
+		res.MeasuredPoints = append(res.MeasuredPoints, points[i])
 	}
 	exhaustive := &feasibility.Region{Points: res.MeasuredPoints,
 		Capacities: []float64{byMask[1][0], byMask[2][1], byMask[4][2]}}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/experiments/runner"
 	"repro/internal/measure"
 	"repro/internal/phy"
 	"repro/internal/stats"
@@ -18,29 +19,48 @@ type Fig3Result struct {
 	LIR11 []float64 // per-pair LIRs at 11 Mb/s
 }
 
+// fig3Cell is one independent measurement cell: a link pair at a rate.
+type fig3Cell struct {
+	rate phy.Rate
+	pair PairSpec
+}
+
 // RunFig3 measures LIRs over sampled node-disjoint link pairs of the
-// 18-node mesh at both data rates.
+// 18-node mesh at both data rates. Every pair is an independent cell —
+// it rebuilds the mesh from the run seed and owns its simulator — so the
+// sweep fans out across the worker pool with results gathered in pair
+// order.
 func RunFig3(seed int64, sc Scale) Fig3Result {
-	var res Fig3Result
+	var cells []fig3Cell
 	for _, rate := range []phy.Rate{phy.Rate1, phy.Rate11} {
 		nw := topologyAtRate(seed, rate)
-		pairs := SamplePairs(nw, rate, sc.Pairs, seed+int64(rate))
-		for _, p := range pairs {
-			nw.SetRate(p.L1, rate)
-			nw.SetRate(p.L2, rate)
-			r := measure.MeasureLIR(nw, p.L1, p.L2, traffic.DefaultPayload, sc.PhaseDur)
-			if r.C11 <= 0 || r.C22 <= 0 {
-				continue // dead link; the paper excludes such pairs too
-			}
-			lir := r.LIR()
-			if lir > 1 {
-				lir = 1 // measurement noise can nudge past 1
-			}
-			if rate == phy.Rate1 {
-				res.LIR1 = append(res.LIR1, lir)
-			} else {
-				res.LIR11 = append(res.LIR11, lir)
-			}
+		for _, p := range SamplePairs(nw, rate, sc.Pairs, seed+int64(rate)) {
+			cells = append(cells, fig3Cell{rate: rate, pair: p})
+		}
+	}
+	lirs := runner.Map(cells, func(_ int, c fig3Cell) float64 {
+		nw := topologyAtRate(seed, c.rate)
+		nw.SetRate(c.pair.L1, c.rate)
+		nw.SetRate(c.pair.L2, c.rate)
+		r := measure.MeasureLIR(nw, c.pair.L1, c.pair.L2, traffic.DefaultPayload, sc.PhaseDur)
+		if r.C11 <= 0 || r.C22 <= 0 {
+			return -1 // dead link; the paper excludes such pairs too
+		}
+		lir := r.LIR()
+		if lir > 1 {
+			lir = 1 // measurement noise can nudge past 1
+		}
+		return lir
+	})
+	var res Fig3Result
+	for i, c := range cells {
+		if lirs[i] < 0 {
+			continue
+		}
+		if c.rate == phy.Rate1 {
+			res.LIR1 = append(res.LIR1, lirs[i])
+		} else {
+			res.LIR11 = append(res.LIR11, lirs[i])
 		}
 	}
 	return res

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/core/feasibility"
+	"repro/internal/experiments/runner"
 	"repro/internal/measure"
 	"repro/internal/phy"
 	"repro/internal/stats"
@@ -35,24 +36,41 @@ var fig4RateCombos = [][2]phy.Rate{
 	{phy.Rate1, phy.Rate11},
 }
 
+// fig4Cell is one (class, rate combo, channel variant) configuration.
+type fig4Cell struct {
+	class   topology.Class
+	combo   [2]phy.Rate
+	variant int // 0 = clean channel, 1 = lossy
+	seed    int64
+}
+
 // RunFig4 evaluates the binary-LIR two-point model (and the three-point
 // extension) on the CS/IA/NF classes across rate combinations, with and
-// without channel losses.
+// without channel losses. Each configuration builds its own two-link
+// network, so the 18 cells fan out across the worker pool.
 func RunFig4(seed int64, sc Scale) Fig4Result {
-	var res Fig4Result
+	var cells []fig4Cell
 	for _, class := range []topology.Class{topology.CS, topology.IA, topology.NF} {
 		for ci, combo := range fig4RateCombos {
 			for variant := 0; variant < 2; variant++ { // clean / lossy channel
-				s := seed + int64(ci)*7 + int64(class)*31 + int64(variant)*997
-				nw := topology.TwoLink(s, class, combo[0], combo[1])
-				if variant == 1 {
-					nw.Medium.SetBER(nw.Link1.Src, nw.Link1.Dst, 8e-6)
-				}
-				out := evalPair(nw, class, combo, sc)
-				if out.Tested > 0 {
-					res.Outcomes = append(res.Outcomes, out)
-				}
+				cells = append(cells, fig4Cell{
+					class: class, combo: combo, variant: variant,
+					seed: seed + int64(ci)*7 + int64(class)*31 + int64(variant)*997,
+				})
 			}
+		}
+	}
+	outcomes := runner.Map(cells, func(_ int, c fig4Cell) PairOutcome {
+		nw := topology.TwoLink(c.seed, c.class, c.combo[0], c.combo[1])
+		if c.variant == 1 {
+			nw.Medium.SetBER(nw.Link1.Src, nw.Link1.Dst, 8e-6)
+		}
+		return evalPair(nw, c.class, c.combo, sc)
+	})
+	var res Fig4Result
+	for _, out := range outcomes {
+		if out.Tested > 0 {
+			res.Outcomes = append(res.Outcomes, out)
 		}
 	}
 	return res

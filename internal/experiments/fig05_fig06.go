@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/core/feasibility"
+	"repro/internal/experiments/runner"
 	"repro/internal/measure"
 	"repro/internal/phy"
 	"repro/internal/topology"
@@ -33,7 +34,10 @@ type Fig5Result struct {
 	RecoveredFraction float64
 }
 
-// RunFig5 samples the feasibility region of an IA pair at 1 Mb/s.
+// RunFig5 samples the feasibility region of an IA pair at 1 Mb/s. The
+// extreme points are measured once; every grid point is then an
+// independent injection cell on its own copy of the two-link network
+// (rebuilt from the same seed), fanned out across the worker pool.
 func RunFig5(seed int64, sc Scale) Fig5Result {
 	nw := topology.TwoLink(seed, topology.IA, phy.Rate1, phy.Rate1)
 	solo1 := measure.MaxUDP(nw.Network, nw.Link1, traffic.DefaultPayload, sc.PhaseDur)
@@ -49,31 +53,42 @@ func RunFig5(seed int64, sc Scale) Fig5Result {
 		C11: res.C11, C22: res.C22,
 		ThreePoint: true, C31: res.C31, C32: res.C32,
 	}
-	flows := []measure.Flow{{Src: nw.Link1.Src, Dst: nw.Link1.Dst}, {Src: nw.Link2.Src, Dst: nw.Link2.Dst}}
-	var missed, recovered, feasible int
 	n := sc.GridN
+	type gridCell struct{ y1, y2 float64 }
+	var cells []gridCell
 	for i := 1; i <= n; i++ {
 		for j := 1; j <= n; j++ {
-			y1 := res.C11 * float64(i) / float64(n)
-			y2 := res.C22 * float64(j) / float64(n)
-			in1 := y1 / (1 - solo1.LossRate)
-			in2 := y2 / (1 - solo2.LossRate)
-			r := measure.InjectRates(nw.Network, flows, []float64{in1, in2},
-				traffic.DefaultPayload, sc.TrafficDur)
-			pt := Fig5Point{
-				Y1: y1, Y2: y2,
-				Measured:   r[0].OutputBps >= 0.98*y1 && r[1].OutputBps >= 0.98*y2,
-				TwoPoint:   two.Feasible(y1, y2),
-				ThreePoint: three.Feasible(y1, y2),
-			}
-			res.Points = append(res.Points, pt)
-			if pt.Measured {
-				feasible++
-				if !pt.TwoPoint {
-					missed++
-					if pt.ThreePoint {
-						recovered++
-					}
+			cells = append(cells, gridCell{
+				y1: res.C11 * float64(i) / float64(n),
+				y2: res.C22 * float64(j) / float64(n),
+			})
+		}
+	}
+	res.Points = runner.Map(cells, func(_ int, c gridCell) Fig5Point {
+		cnw := topology.TwoLink(seed, topology.IA, phy.Rate1, phy.Rate1)
+		flows := []measure.Flow{
+			{Src: cnw.Link1.Src, Dst: cnw.Link1.Dst},
+			{Src: cnw.Link2.Src, Dst: cnw.Link2.Dst},
+		}
+		in1 := c.y1 / (1 - solo1.LossRate)
+		in2 := c.y2 / (1 - solo2.LossRate)
+		r := measure.InjectRates(cnw.Network, flows, []float64{in1, in2},
+			traffic.DefaultPayload, sc.TrafficDur)
+		return Fig5Point{
+			Y1: c.y1, Y2: c.y2,
+			Measured:   r[0].OutputBps >= 0.98*c.y1 && r[1].OutputBps >= 0.98*c.y2,
+			TwoPoint:   two.Feasible(c.y1, c.y2),
+			ThreePoint: three.Feasible(c.y1, c.y2),
+		}
+	})
+	var missed, recovered, feasible int
+	for _, pt := range res.Points {
+		if pt.Measured {
+			feasible++
+			if !pt.TwoPoint {
+				missed++
+				if pt.ThreePoint {
+					recovered++
 				}
 			}
 		}

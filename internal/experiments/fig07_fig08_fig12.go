@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/core/optimize"
+	"repro/internal/experiments/runner"
 	"repro/internal/stats"
 )
 
@@ -28,16 +29,25 @@ type NetValidationResult struct {
 	SkippedConfigs int
 }
 
+// netvalCell is the outcome of one configuration's validation runs.
+type netvalCell struct {
+	lir, twoHop []FlowSample
+	skipped     int
+}
+
 // RunNetValidation executes the §4.5 methodology over generated
 // configurations: proportional-fair rates from the model under test are
 // injected at each scaling factor and the achieved throughputs recorded.
+// Each configuration prepares its own mesh and runs both conflict models
+// on it, so configurations fan out as independent cells; samples are
+// gathered in configuration order.
 func RunNetValidation(seed int64, sc Scale) NetValidationResult {
-	var res NetValidationResult
-	for ci, cfg := range GenerateConfigs(seed, sc.Configs) {
+	cells := runner.Map(GenerateConfigs(seed, sc.Configs), func(ci int, cfg FlowConfig) netvalCell {
+		var cell netvalCell
 		v, err := PrepareValidation(cfg, sc)
 		if err != nil {
-			res.SkippedConfigs++
-			continue
+			cell.skipped = 1
+			return cell
 		}
 		for _, model := range []string{"lir", "twohop"} {
 			region := v.RegionLIR(LIRThreshold)
@@ -46,7 +56,7 @@ func RunNetValidation(seed int64, sc Scale) NetValidationResult {
 			}
 			runs, err := v.OptimizeAndInject(region, optimize.ProportionalFair, ValidationScales, sc)
 			if err != nil {
-				res.SkippedConfigs++
+				cell.skipped++
 				continue
 			}
 			for _, run := range runs {
@@ -56,13 +66,20 @@ func RunNetValidation(seed int64, sc Scale) NetValidationResult {
 						Target: run.Target[s], Achieved: run.Achieved[s],
 					}
 					if model == "lir" {
-						res.LIRSamples = append(res.LIRSamples, sample)
+						cell.lir = append(cell.lir, sample)
 					} else {
-						res.TwoHopSamples = append(res.TwoHopSamples, sample)
+						cell.twoHop = append(cell.twoHop, sample)
 					}
 				}
 			}
 		}
+		return cell
+	})
+	var res NetValidationResult
+	for _, c := range cells {
+		res.LIRSamples = append(res.LIRSamples, c.lir...)
+		res.TwoHopSamples = append(res.TwoHopSamples, c.twoHop...)
+		res.SkippedConfigs += c.skipped
 	}
 	return res
 }

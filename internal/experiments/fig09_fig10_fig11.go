@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/core/capacity"
+	"repro/internal/experiments/runner"
 	"repro/internal/measure"
 	"repro/internal/phy"
 	"repro/internal/probe"
@@ -75,10 +76,13 @@ func RunFig9(seed int64, sc Scale) Fig9Result {
 			Est:   capacity.EstimateChannelLoss(trace, capacity.DefaultWmin),
 		}
 	}
-	return Fig9Result{
-		Uniform:  run("no interference", false),
-		Interfed: run("hidden interferer", true),
-	}
+	cases := runner.Map([]bool{false, true}, func(_ int, interfere bool) Fig9Case {
+		if interfere {
+			return run("hidden interferer", true)
+		}
+		return run("no interference", false)
+	})
+	return Fig9Result{Uniform: cases[0], Interfed: cases[1]}
 }
 
 // Print emits both curves.
@@ -110,9 +114,17 @@ type Fig10Result struct {
 	WindowSet []int
 }
 
+// fig10Sample is one probed link's loss trace plus its analytic truth.
+type fig10Sample struct {
+	trace capacity.LossTrace
+	truth float64
+}
+
 // RunFig10 probes all mesh nodes simultaneously (collision-rich, as in
 // the paper's second phase) and scores the estimator against the
-// analytic channel loss of each sampled link.
+// analytic channel loss of each sampled link. The two rates are
+// independent simulation cells; estimator scoring then fans out per
+// sampled link.
 func RunFig10(seed int64, sc Scale) Fig10Result {
 	res := Fig10Result{RMSEByS: map[int]float64{}}
 	for _, w := range []int{100, 200, 320, 640, 1280} {
@@ -121,13 +133,8 @@ func RunFig10(seed int64, sc Scale) Fig10Result {
 		}
 	}
 	res.WindowSet = append(res.WindowSet, sc.ProbeWindow)
-	type sample struct {
-		trace capacity.LossTrace
-		truth float64
-	}
-	var samples []sample
 
-	for _, rate := range []phy.Rate{phy.Rate1, phy.Rate11} {
+	perRate := runner.Map([]phy.Rate{phy.Rate1, phy.Rate11}, func(_ int, rate phy.Rate) []fig10Sample {
 		nw := topologyAtRate(seed+int64(rate), rate)
 		period := probePeriodFor(rate, sc)
 		links := nw.Links(rate)
@@ -142,34 +149,46 @@ func RunFig10(seed int64, sc Scale) Fig10Result {
 			pr.Start()
 		}
 		nw.Sim.Run(nw.Sim.Now() + sim.Time(sc.ProbeWindow+10)*period)
+		var samples []fig10Sample
 		for _, l := range links {
 			tr := recs[l.Dst].Trace(l.Src, probe.ClassData, sc.ProbeWindow)
 			if len(tr) < sc.ProbeWindow/2 {
 				continue
 			}
 			truth := nw.Medium.FrameLossProb(l.Src, l.Dst, rate, traffic.DefaultPayload+phy.MACHeaderBytes)
-			samples = append(samples, sample{trace: tr, truth: truth})
+			samples = append(samples, fig10Sample{trace: tr, truth: truth})
 		}
+		return samples
+	})
+	var samples []fig10Sample
+	for _, s := range perRate {
+		samples = append(samples, s...)
 	}
 
-	for _, s := range res.WindowSet {
-		var se float64
-		n := 0
-		for _, smp := range samples {
+	// Score every sample at every window in parallel; errors are reduced
+	// in sample order so the aggregate is independent of scheduling.
+	perSample := runner.Map(samples, func(_ int, smp fig10Sample) []float64 {
+		errs := make([]float64, len(res.WindowSet))
+		for wi, s := range res.WindowSet {
 			tr := smp.trace
 			if len(tr) > s {
 				tr = tr[len(tr)-s:]
 			}
 			est := capacity.EstimateChannelLoss(tr, capacity.DefaultWmin)
-			err := est.Pch - smp.truth
-			se += err * err
-			n++
+			errs[wi] = est.Pch - smp.truth
+		}
+		return errs
+	})
+	for wi, s := range res.WindowSet {
+		var se float64
+		for _, errs := range perSample {
+			se += errs[wi] * errs[wi]
 			if s == sc.ProbeWindow {
-				res.Errors = append(res.Errors, math.Abs(err))
+				res.Errors = append(res.Errors, math.Abs(errs[wi]))
 			}
 		}
-		if n > 0 {
-			res.RMSEByS[s] = math.Sqrt(se / float64(n))
+		if len(perSample) > 0 {
+			res.RMSEByS[s] = math.Sqrt(se / float64(len(perSample)))
 		}
 	}
 	return res
@@ -206,62 +225,76 @@ type Fig11Result struct {
 
 // RunFig11 measures sampled links in two phases: solo maxUDP, then
 // concurrent probing plus Ad Hoc Probe packet pairs under background
-// interference.
+// interference. Every (rate, pair) is an independent cell on its own
+// mesh instance.
 func RunFig11(seed int64, sc Scale) Fig11Result {
-	var res Fig11Result
-	var onlineN, adhocN, truthN []float64
+	type fig11Cell struct {
+		rate phy.Rate
+		pair PairSpec
+	}
+	var cells []fig11Cell
 	for _, rate := range []phy.Rate{phy.Rate1, phy.Rate11} {
 		nw := topologyAtRate(seed+int64(rate)*13, rate)
-		period := probePeriodFor(rate, sc)
-		links := nw.Links(rate)
-		pairs := SamplePairs(nw, rate, sc.Pairs/2+1, seed+int64(rate))
-		_ = links
-		for _, p := range pairs {
-			l := p.L1
-			nw.SetRate(l, rate)
-			nominal := capacity.NominalGoodput(rate, traffic.DefaultPayload)
-
-			// Phase 1: solo maxUDP.
-			solo := measure.MaxUDP(nw, l, traffic.DefaultPayload, sc.PhaseDur)
-			if solo.ThroughputBps <= 0 {
-				continue
-			}
-
-			// Phase 2: probing + packet pairs under background traffic
-			// on the second sampled link.
-			rec := probe.NewRecorder(nw.Node(l.Dst))
-			pr := probe.NewProber(nw.Sim, nw.Node(l.Src), rate, traffic.DefaultPayload)
-			pr.SetPeriod(period)
-			nw.InstallDirectRoute(p.L2)
-			bg := traffic.NewCBR(nw.Sim, nw.Node(p.L2.Src), 99, p.L2.Dst, traffic.DefaultPayload,
-				0.3*capacity.NominalGoodput(rate, traffic.DefaultPayload))
-			nw.InstallDirectRoute(l)
-			ah := probe.NewAdHocProbe(nw.Sim, nw.Node(l.Src), l.Dst, traffic.DefaultPayload,
-				200, 4*period)
-			pr.Start()
-			bg.Start()
-			ah.Start(nw.Node(l.Dst))
-			nw.Sim.Run(nw.Sim.Now() + sim.Time(sc.ProbeWindow+10)*period)
-			pr.Stop()
-			bg.Stop()
-			ah.Stop()
-
-			est, ok := rec.Estimate(l.Src, sc.ProbeWindow)
-			if !ok {
-				continue
-			}
-			online := capacity.MaxUDP(est.Pl, rate, traffic.DefaultPayload)
-			res.Links = append(res.Links, Fig11Link{
-				Link:    l,
-				MaxUDP:  solo.ThroughputBps,
-				Online:  online,
-				AdHoc:   ah.EstimateBps(),
-				Nominal: nominal,
-			})
-			onlineN = append(onlineN, online/nominal)
-			adhocN = append(adhocN, ah.EstimateBps()/nominal)
-			truthN = append(truthN, solo.ThroughputBps/nominal)
+		for _, p := range SamplePairs(nw, rate, sc.Pairs/2+1, seed+int64(rate)) {
+			cells = append(cells, fig11Cell{rate: rate, pair: p})
 		}
+	}
+	links := runner.Map(cells, func(_ int, c fig11Cell) *Fig11Link {
+		rate := c.rate
+		nw := topologyAtRate(seed+int64(rate)*13, rate)
+		period := probePeriodFor(rate, sc)
+		l := c.pair.L1
+		nw.SetRate(l, rate)
+		nominal := capacity.NominalGoodput(rate, traffic.DefaultPayload)
+
+		// Phase 1: solo maxUDP.
+		solo := measure.MaxUDP(nw, l, traffic.DefaultPayload, sc.PhaseDur)
+		if solo.ThroughputBps <= 0 {
+			return nil
+		}
+
+		// Phase 2: probing + packet pairs under background traffic
+		// on the second sampled link.
+		rec := probe.NewRecorder(nw.Node(l.Dst))
+		pr := probe.NewProber(nw.Sim, nw.Node(l.Src), rate, traffic.DefaultPayload)
+		pr.SetPeriod(period)
+		nw.InstallDirectRoute(c.pair.L2)
+		bg := traffic.NewCBR(nw.Sim, nw.Node(c.pair.L2.Src), 99, c.pair.L2.Dst, traffic.DefaultPayload,
+			0.3*capacity.NominalGoodput(rate, traffic.DefaultPayload))
+		nw.InstallDirectRoute(l)
+		ah := probe.NewAdHocProbe(nw.Sim, nw.Node(l.Src), l.Dst, traffic.DefaultPayload,
+			200, 4*period)
+		pr.Start()
+		bg.Start()
+		ah.Start(nw.Node(l.Dst))
+		nw.Sim.Run(nw.Sim.Now() + sim.Time(sc.ProbeWindow+10)*period)
+		pr.Stop()
+		bg.Stop()
+		ah.Stop()
+
+		est, ok := rec.Estimate(l.Src, sc.ProbeWindow)
+		if !ok {
+			return nil
+		}
+		online := capacity.MaxUDP(est.Pl, rate, traffic.DefaultPayload)
+		return &Fig11Link{
+			Link:    l,
+			MaxUDP:  solo.ThroughputBps,
+			Online:  online,
+			AdHoc:   ah.EstimateBps(),
+			Nominal: nominal,
+		}
+	})
+	var res Fig11Result
+	var onlineN, adhocN, truthN []float64
+	for _, l := range links {
+		if l == nil {
+			continue
+		}
+		res.Links = append(res.Links, *l)
+		onlineN = append(onlineN, l.Online/l.Nominal)
+		adhocN = append(adhocN, l.AdHoc/l.Nominal)
+		truthN = append(truthN, l.MaxUDP/l.Nominal)
 	}
 	res.OnlineRMSE = stats.RMSE(onlineN, truthN)
 	res.AdHocRMSE = stats.RMSE(adhocN, truthN)

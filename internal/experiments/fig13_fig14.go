@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core/controller"
 	"repro/internal/core/optimize"
+	"repro/internal/experiments/runner"
 	"repro/internal/phy"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -84,23 +85,40 @@ type Fig13Result struct {
 }
 
 // RunFig13 runs the gateway starvation scenario at 1 Mb/s under the three
-// regimes, repeated per iteration with fresh MAC randomness.
+// regimes, repeated per iteration with fresh MAC randomness. Each
+// (regime, iteration) run is an independent cell.
 func RunFig13(seed int64, sc Scale) Fig13Result {
 	res := Fig13Result{
 		PerRegime: map[Regime][2]stats.Summary{},
 		Totals:    map[Regime]float64{},
 	}
 	flows := []controller.Flow{{Src: 1, Dst: 0}, {Src: 2, Dst: 0}}
+	type fig13Cell struct {
+		regime Regime
+		it     int
+	}
+	var cells []fig13Cell
+	for _, regime := range []Regime{NoRC, RCMax, RCProp} {
+		for it := 0; it < sc.Iterations; it++ {
+			cells = append(cells, fig13Cell{regime: regime, it: it})
+		}
+	}
+	got := runner.Map(cells, func(_ int, c fig13Cell) []float64 {
+		nw := topology.GatewayScenario(seed+int64(c.it)*17, phy.Rate1)
+		out, _, err := tcpRun(nw, flows, phy.Rate1, c.regime, sc)
+		if err != nil {
+			return nil
+		}
+		return out
+	})
 	for _, regime := range []Regime{NoRC, RCMax, RCProp} {
 		var oneHop, twoHop []float64
-		for it := 0; it < sc.Iterations; it++ {
-			nw := topology.GatewayScenario(seed+int64(it)*17, phy.Rate1)
-			got, _, err := tcpRun(nw, flows, phy.Rate1, regime, sc)
-			if err != nil {
+		for i, c := range cells {
+			if c.regime != regime || got[i] == nil {
 				continue
 			}
-			oneHop = append(oneHop, got[0])
-			twoHop = append(twoHop, got[1])
+			oneHop = append(oneHop, got[i][0])
+			twoHop = append(twoHop, got[i][1])
 		}
 		res.PerRegime[regime] = [2]stats.Summary{stats.Summarize(oneHop), stats.Summarize(twoHop)}
 		res.Totals[regime] = stats.Mean(oneHop) + stats.Mean(twoHop)
@@ -137,39 +155,72 @@ type Fig14Result struct {
 	Skipped                    int
 }
 
+// fig14Run is the outcome of one (config, regime, iteration) cell.
+type fig14Run struct {
+	got    []float64
+	limits []float64 // RCProp it==0 only: per-flow TCP feasibility limits
+	err    error
+}
+
 // RunFig14 evaluates the three regimes over generated multi-hop
-// configurations.
+// configurations. Every (config, regime, iteration) run builds its own
+// mesh and is an independent cell; per-config aggregation happens on the
+// gathered grid. A config whose cells all ran still counts as skipped if
+// any of its runs failed, matching the sequential early-exit semantics.
 func RunFig14(seed int64, sc Scale) Fig14Result {
 	var res Fig14Result
-	for _, cfg := range GenerateConfigs(seed, sc.Configs) {
-		flows := make([]controller.Flow, len(cfg.Flows))
-		for i, f := range cfg.Flows {
+	configs := GenerateConfigs(seed, sc.Configs)
+	regimes := []Regime{NoRC, RCMax, RCProp}
+	type fig14Cell struct {
+		cfg    FlowConfig
+		regime Regime
+		it     int
+	}
+	var cells []fig14Cell
+	for _, cfg := range configs {
+		for _, regime := range regimes {
+			for it := 0; it < sc.Iterations; it++ {
+				cells = append(cells, fig14Cell{cfg: cfg, regime: regime, it: it})
+			}
+		}
+	}
+	runs := runner.Map(cells, func(_ int, c fig14Cell) fig14Run {
+		flows := make([]controller.Flow, len(c.cfg.Flows))
+		for i, f := range c.cfg.Flows {
 			flows[i] = controller.Flow{Src: f.Src, Dst: f.Dst}
 		}
+		nw := topology.Mesh18Seeded(c.cfg.Seed, c.cfg.Seed+int64(c.it)*29+int64(c.regime)*113)
+		for _, n := range nw.Nodes {
+			n.SetDefaultRate(c.cfg.Rate)
+		}
+		got, plan, err := tcpRun(nw, flows, c.cfg.Rate, c.regime, sc)
+		if err != nil {
+			return fig14Run{err: err}
+		}
+		run := fig14Run{got: got}
+		if c.regime == RCProp && c.it == 0 {
+			scale := optimize.TCPAckScale(transport.HeaderBytes, transport.ACKBytes, transport.MSS)
+			for s := range flows {
+				run.limits = append(run.limits, plan.OutputRates[s]*scale)
+			}
+		}
+		return run
+	})
+
+	perConfig := len(regimes) * sc.Iterations
+	for ci := range configs {
+		flows := configs[ci].Flows
 		perRegime := map[Regime][][]float64{} // regime -> iterations -> per-flow goodput
 		var limits []float64
 		ok := true
-		for _, regime := range []Regime{NoRC, RCMax, RCProp} {
-			for it := 0; it < sc.Iterations; it++ {
-				nw := topology.Mesh18Seeded(cfg.Seed, cfg.Seed+int64(it)*29+int64(regime)*113)
-				for _, n := range nw.Nodes {
-					n.SetDefaultRate(cfg.Rate)
-				}
-				got, plan, err := tcpRun(nw, flows, cfg.Rate, regime, sc)
-				if err != nil {
-					ok = false
-					break
-				}
-				perRegime[regime] = append(perRegime[regime], got)
-				if regime == RCProp && it == 0 {
-					scale := optimize.TCPAckScale(transport.HeaderBytes, transport.ACKBytes, transport.MSS)
-					for s := range flows {
-						limits = append(limits, plan.OutputRates[s]*scale)
-					}
-				}
-			}
-			if !ok {
+		for i := ci * perConfig; i < (ci+1)*perConfig; i++ {
+			if runs[i].err != nil {
+				ok = false
 				break
+			}
+			perRegime[cells[i].regime] = append(perRegime[cells[i].regime], runs[i].got)
+			if runs[i].limits != nil {
+				limits = runs[i].limits
 			}
 		}
 		if !ok {

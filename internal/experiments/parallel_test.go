@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/experiments/runner"
+	"repro/internal/sim"
+)
+
+// detScale is a scale small enough to run a figure twice in a unit test.
+func detScale() Scale {
+	sc := Quick()
+	sc.PhaseDur = 800 * sim.Millisecond
+	sc.Pairs = 4
+	sc.Configs = 1
+	sc.Iterations = 1
+	sc.GridN = 3
+	sc.ProbeWindow = 100
+	sc.ProbePeriod = 40 * sim.Millisecond
+	sc.TrafficDur = 2 * sim.Second
+	return sc
+}
+
+// withWorkers runs fn under a pinned worker-pool size.
+func withWorkers(n int, fn func()) {
+	old := runner.SetWorkers(n)
+	defer runner.SetWorkers(old)
+	fn()
+}
+
+// TestRunFig10DeterministicAcrossWorkerCounts is the engine's core
+// guarantee: a figure's numbers depend only on the seed, never on how
+// many workers executed its cells.
+func TestRunFig10DeterministicAcrossWorkerCounts(t *testing.T) {
+	sc := detScale()
+	var seq, par Fig10Result
+	withWorkers(1, func() { seq = RunFig10(4, sc) })
+	withWorkers(max(2, runtime.GOMAXPROCS(0)), func() { par = RunFig10(4, sc) })
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("Fig10 differs between 1 worker and the full pool:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// TestRunNetValidationDeterministicAcrossWorkerCounts covers the
+// heaviest runner user: full §4.5 validation with routing, offline
+// measurement and optimization per cell.
+func TestRunNetValidationDeterministicAcrossWorkerCounts(t *testing.T) {
+	sc := detScale()
+	var seq, par NetValidationResult
+	withWorkers(1, func() { seq = RunNetValidation(11, sc) })
+	withWorkers(max(2, runtime.GOMAXPROCS(0)), func() { par = RunNetValidation(11, sc) })
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("NetValidation differs between 1 worker and the full pool:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// TestRunFig4DeterministicAcrossWorkerCounts adds a pairwise-model
+// figure so all three cell shapes (mesh probe, validation, two-link
+// grid) are pinned.
+func TestRunFig4DeterministicAcrossWorkerCounts(t *testing.T) {
+	sc := detScale()
+	var seq, par Fig4Result
+	withWorkers(1, func() { seq = RunFig4(5, sc) })
+	withWorkers(max(2, runtime.GOMAXPROCS(0)), func() { par = RunFig4(5, sc) })
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("Fig4 differs between 1 worker and the full pool:\nseq: %+v\npar: %+v", seq, par)
+	}
+}

@@ -1,0 +1,112 @@
+// Package runner is the parallel experiment engine: a deterministic
+// worker-pool fan-out over independent simulation cells.
+//
+// Every figure of the paper's evaluation sweeps independent (seed,
+// config, link-pair, probe-window) cells, each of which builds its own
+// simulator and topology from a seed assigned before the fan-out starts.
+// Map executes those cells across a pool of workers and gathers results
+// by cell index, so the output of a run is bit-identical whatever the
+// worker count: parallelism changes only the wall-clock, never the
+// numbers.
+//
+// The contract a cell function must honour for that guarantee is the
+// usual one for deterministic parallel sweeps:
+//
+//   - derive all randomness from the cell's own inputs (its index or a
+//     pre-assigned seed), never from shared RNG state;
+//   - build private simulator/medium/node state, never touching another
+//     cell's;
+//   - write only to its return value.
+//
+// All experiment code in internal/experiments follows this contract.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers is the pool size used by Map; 0 means GOMAXPROCS.
+var defaultWorkers atomic.Int64
+
+// SetWorkers fixes the default pool size used by Map. n <= 0 restores
+// the default of GOMAXPROCS. It returns the previous setting so callers
+// (tests, benchmarks) can restore it.
+func SetWorkers(n int) int {
+	old := int(defaultWorkers.Swap(int64(n)))
+	return old
+}
+
+// Workers returns the effective default pool size.
+func Workers() int {
+	if n := int(defaultWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(i, cells[i]) for every cell on the default worker pool and
+// returns the results indexed like cells. See MapN for the semantics.
+func Map[T, R any](cells []T, fn func(i int, cell T) R) []R {
+	return MapN(Workers(), cells, fn)
+}
+
+// MapN is Map with an explicit worker count (n <= 0 means GOMAXPROCS).
+// Cells are claimed from a shared counter so stragglers do not idle the
+// pool, and each result lands in out[i] for cell i: the gathered slice
+// is identical for any worker count. A panic in any cell is re-raised on
+// the calling goroutine after the pool drains.
+func MapN[T, R any](workers int, cells []T, fn func(i int, cell T) R) []R {
+	out := make([]R, len(cells))
+	if len(cells) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers == 1 {
+		for i, c := range cells {
+			out[i] = fn(i, c)
+		}
+		return out
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Value // first cell panic, re-raised by the caller
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicked.CompareAndSwap(nil, fmt.Errorf("runner: cell %d panicked: %v", i, r))
+						}
+					}()
+					out[i] = fn(i, cells[i])
+				}()
+				if panicked.Load() != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p)
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package runner
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapGathersByIndex(t *testing.T) {
+	cells := []int{6, 5, 4, 3, 2, 1}
+	for _, workers := range []int{1, 2, 4, 16} {
+		got := MapN(workers, cells, func(i, c int) int { return i * 10 * c / c })
+		for i := range cells {
+			if got[i] != i*10 {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, got[i], i*10)
+			}
+		}
+	}
+}
+
+func TestMapEveryCellRunsExactlyOnce(t *testing.T) {
+	const n = 200
+	var counts [n]atomic.Int64
+	cells := make([]int, n)
+	MapN(8, cells, func(i, _ int) struct{} {
+		counts[i].Add(1)
+		return struct{}{}
+	})
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("cell %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	if got := Map(nil, func(int, int) int { return 1 }); len(got) != 0 {
+		t.Fatalf("empty map returned %v", got)
+	}
+	got := Map([]string{"x"}, func(_ int, s string) string { return s + "y" })
+	if len(got) != 1 || got[0] != "xy" {
+		t.Fatalf("single-cell map returned %v", got)
+	}
+}
+
+func TestSetWorkersRoundTrip(t *testing.T) {
+	old := SetWorkers(3)
+	defer SetWorkers(old)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	SetWorkers(0)
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d with default pool", Workers())
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic in a cell did not propagate")
+		}
+		if !strings.Contains(r.(error).Error(), "boom") {
+			t.Fatalf("panic payload %v lost the cause", r)
+		}
+	}()
+	MapN(4, []int{0, 1, 2, 3}, func(i, _ int) int {
+		if i == 2 {
+			panic("boom")
+		}
+		return i
+	})
+}

@@ -6,6 +6,10 @@
 //
 // Problems have at most a few hundred variables and constraints, so a
 // dense tableau with Bland's anti-cycling rule is simple and fast enough.
+// Callers that solve the same problem shape repeatedly (the feasibility
+// region answers thousands of membership queries against one constraint
+// matrix) mutate coefficients in place with SetRHS/SetCoef and reuse a
+// Workspace so no tableau is reallocated per query.
 package lp
 
 import (
@@ -56,6 +60,13 @@ func (p *Problem) AddConstraint(coef []float64, op Op, rhs float64) {
 // NumConstraints returns the number of constraints added so far.
 func (p *Problem) NumConstraints() int { return len(p.rows) }
 
+// SetRHS replaces the right-hand side of constraint i. It lets a cached
+// problem be re-aimed at a new query point without rebuilding its rows.
+func (p *Problem) SetRHS(i int, rhs float64) { p.rhs[i] = rhs }
+
+// SetCoef replaces one coefficient of constraint i.
+func (p *Problem) SetCoef(i, j int, v float64) { p.rows[i][j] = v }
+
 // Solver failure modes.
 var (
 	ErrInfeasible = errors.New("lp: infeasible")
@@ -64,8 +75,53 @@ var (
 
 const eps = 1e-9
 
+// Workspace holds the tableau and scratch slices of a solve. Reusing one
+// across Solve calls on same-shaped problems eliminates nearly all
+// per-solve allocation. The x slice returned by SolveWS aliases the
+// workspace and is only valid until the next solve on it.
+type Workspace struct {
+	flat    []float64   // tableau backing array
+	t       [][]float64 // tableau rows into flat
+	basis   []int
+	artCols []bool
+	obj     []float64
+	cb      []float64
+	x       []float64
+}
+
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+func growI(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growB(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
 // Solve runs two-phase simplex and returns the optimal x and objective.
 func Solve(p *Problem) (x []float64, value float64, err error) {
+	return p.SolveWS(&Workspace{})
+}
+
+// SolveWS is Solve with a caller-owned workspace. The returned x aliases
+// ws and is overwritten by the next solve that uses ws.
+func (p *Problem) SolveWS(ws *Workspace) (x []float64, value float64, err error) {
 	m := len(p.rows)
 	if m == 0 {
 		// Unconstrained: optimum is 0 unless some c_j > 0 (unbounded).
@@ -77,34 +133,15 @@ func Solve(p *Problem) (x []float64, value float64, err error) {
 		return make([]float64, p.n), 0, nil
 	}
 
-	// Normalize to b >= 0 and classify rows.
-	type rowSpec struct {
-		a  []float64
-		op Op
-		b  float64
-	}
-	specs := make([]rowSpec, m)
-	for i := range p.rows {
-		a := append([]float64(nil), p.rows[i]...)
-		op, b := p.ops[i], p.rhs[i]
-		if b < 0 {
-			for j := range a {
-				a[j] = -a[j]
-			}
-			b = -b
-			switch op {
-			case LE:
-				op = GE
-			case GE:
-				op = LE
-			}
-		}
-		specs[i] = rowSpec{a, op, b}
-	}
-
+	// Count slack/artificial columns, accounting for the sign flip that
+	// normalizes negative right-hand sides.
 	nSlack, nArt := 0, 0
-	for _, s := range specs {
-		switch s.op {
+	for i := range p.rows {
+		op := p.ops[i]
+		if p.rhs[i] < 0 {
+			op = flipOp(op)
+		}
+		switch op {
 		case LE:
 			nSlack++
 		case GE:
@@ -115,16 +152,39 @@ func Solve(p *Problem) (x []float64, value float64, err error) {
 		}
 	}
 	total := p.n + nSlack + nArt
-	// Tableau: m rows x (total+1) cols; last col is rhs.
-	t := make([][]float64, m)
-	basis := make([]int, m)
+	width := total + 1 // last column is rhs
+
+	// Build the tableau directly into the workspace; rows with b < 0 are
+	// negated in place of the old copy-and-flip pass.
+	ws.flat = growF(ws.flat, m*width)
+	if cap(ws.t) < m {
+		ws.t = make([][]float64, m)
+	}
+	ws.t = ws.t[:m]
+	t := ws.t
+	for i := range t {
+		t[i] = ws.flat[i*width : (i+1)*width]
+	}
+	ws.basis = growI(ws.basis, m)
+	basis := ws.basis
+	ws.artCols = growB(ws.artCols, total)
+	artCols := ws.artCols
+
 	si, ai := p.n, p.n+nSlack
-	artCols := make([]bool, total)
-	for i, s := range specs {
-		row := make([]float64, total+1)
-		copy(row, s.a)
-		row[total] = s.b
-		switch s.op {
+	for i := range p.rows {
+		row := t[i]
+		b, op := p.rhs[i], p.ops[i]
+		if b >= 0 {
+			copy(row, p.rows[i])
+		} else {
+			for j, v := range p.rows[i] {
+				row[j] = -v
+			}
+			b = -b
+			op = flipOp(op)
+		}
+		row[total] = b
+		switch op {
 		case LE:
 			row[si] = 1
 			basis[i] = si
@@ -142,18 +202,20 @@ func Solve(p *Problem) (x []float64, value float64, err error) {
 			basis[i] = ai
 			ai++
 		}
-		t[i] = row
 	}
+
+	ws.obj = growF(ws.obj, total)
+	obj := ws.obj
+	ws.cb = growF(ws.cb, m)
 
 	if nArt > 0 {
 		// Phase I: minimize sum of artificials == maximize -sum.
-		obj := make([]float64, total)
 		for j := range obj {
 			if artCols[j] {
 				obj[j] = -1
 			}
 		}
-		val, err := simplex(t, basis, obj, artCols, false)
+		val, err := simplex(t, basis, obj, artCols, false, ws.cb)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -177,24 +239,36 @@ func Solve(p *Problem) (x []float64, value float64, err error) {
 	}
 
 	// Phase II: original objective, artificials barred.
-	obj := make([]float64, total)
+	clear(obj)
 	copy(obj, p.c)
-	value, err = simplex(t, basis, obj, artCols, true)
+	value, err = simplex(t, basis, obj, artCols, true, ws.cb)
 	if err != nil {
 		return nil, 0, err
 	}
-	x = make([]float64, p.n)
+	ws.x = growF(ws.x, p.n)
+	x = ws.x
 	for i, b := range basis {
 		if b < p.n {
-			x[b] = t[i][len(t[i])-1]
+			x[b] = t[i][width-1]
 		}
 	}
 	return x, value, nil
 }
 
+func flipOp(op Op) Op {
+	switch op {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	}
+	return op
+}
+
 // simplex maximizes obj over the current tableau in place. barArt bars
-// artificial columns from entering the basis (phase II).
-func simplex(t [][]float64, basis []int, obj []float64, artCols []bool, barArt bool) (float64, error) {
+// artificial columns from entering the basis (phase II). cb is caller
+// scratch of length len(t).
+func simplex(t [][]float64, basis []int, obj []float64, artCols []bool, barArt bool, cb []float64) (float64, error) {
 	m := len(t)
 	total := len(t[0]) - 1
 	// Reduced costs maintained implicitly: z_j - c_j computed per round
@@ -202,12 +276,10 @@ func simplex(t [][]float64, basis []int, obj []float64, artCols []bool, barArt b
 	for iter := 0; iter < 20000; iter++ {
 		// Compute simplex multipliers via c_B and current rows.
 		// reduced[j] = obj[j] - sum_i cB[i] * t[i][j]
-		cb := make([]float64, m)
 		for i, b := range basis {
 			cb[i] = obj[b]
 		}
 		entering := -1
-		var bestRC float64
 		for j := 0; j < total; j++ {
 			if barArt && artCols[j] {
 				continue
@@ -221,11 +293,9 @@ func simplex(t [][]float64, basis []int, obj []float64, artCols []bool, barArt b
 			// Bland's rule: first improving column.
 			if rc > eps {
 				entering = j
-				bestRC = rc
 				break
 			}
 		}
-		_ = bestRC
 		if entering == -1 {
 			// Optimal: objective value = sum cB * rhs.
 			val := 0.0

@@ -112,32 +112,42 @@ func DefaultConfig() Config {
 //
 // Propagation delay is ignored (sub-microsecond at mesh scale) and frames
 // arrive at all radios at the instant transmission starts.
+//
+// Per-directed-link state consulted on the per-frame receive path (link
+// counters, channel error rates) lives in dense slices indexed by radio
+// id once the medium freezes; the map forms exist only for staging before
+// the radio count is known.
 type Medium struct {
 	sim     *sim.Sim
 	cfg     Config
 	noiseMW float64
 	capture float64 // linear capture factor
+	lockMW  float64 // linear lock sensitivity
+	csMW    float64 // linear carrier-sense threshold
 	rng     *rand.Rand
 
 	radios []*Radio
-	shadow map[[2]int]float64 // symmetric per-pair shadowing, dB
-	ber    map[[2]int]float64 // per-directed-link bit error rate
+	shadow map[[2]int]float64 // symmetric per-pair shadowing, dB; cold (gain build only)
+	ber    map[[2]int]float64 // staging for per-directed-link bit error rates
 	gain   [][]float64        // cached rx power in mW; built lazily
 
-	counters map[[2]int]*LinkCounters
+	// Dense [src*n+dst] mirrors, built when the medium freezes.
+	ln1mBER  []float64 // log1p(-ber); 0 means a clean link
+	counters []LinkCounters
 }
 
 // NewMedium creates an empty medium on the given simulator.
 func NewMedium(s *sim.Sim, cfg Config) *Medium {
 	return &Medium{
-		sim:      s,
-		cfg:      cfg,
-		noiseMW:  DBmToMW(cfg.NoiseDBm),
-		capture:  DBmToMW(cfg.CaptureDB), // dB ratio -> linear
-		rng:      s.NewStream(),
-		shadow:   make(map[[2]int]float64),
-		ber:      make(map[[2]int]float64),
-		counters: make(map[[2]int]*LinkCounters),
+		sim:     s,
+		cfg:     cfg,
+		noiseMW: DBmToMW(cfg.NoiseDBm),
+		capture: DBmToMW(cfg.CaptureDB), // dB ratio -> linear
+		lockMW:  DBmToMW(cfg.LockSensDBm),
+		csMW:    DBmToMW(cfg.CSThreshDBm),
+		rng:     s.NewStream(),
+		shadow:  make(map[[2]int]float64),
+		ber:     make(map[[2]int]float64),
 	}
 }
 
@@ -154,10 +164,9 @@ func (m *Medium) AddRadio(pos Position) *Radio {
 		panic("phy: AddRadio after medium in use")
 	}
 	r := &Radio{
-		id:       len(m.radios),
-		pos:      pos,
-		m:        m,
-		arrivals: make(map[*transmission]float64),
+		id:  len(m.radios),
+		pos: pos,
+		m:   m,
 	}
 	m.radios = append(m.radios, r)
 	return r
@@ -187,6 +196,9 @@ func (m *Medium) SetShadow(a, b int, db float64) {
 // (DATA) suffer more than short ones (ACK), as in real links.
 func (m *Medium) SetBER(a, b int, ber float64) {
 	m.ber[[2]int{a, b}] = ber
+	if m.ln1mBER != nil {
+		m.ln1mBER[a*len(m.radios)+b] = math.Log1p(-ber)
+	}
 }
 
 // BER returns the channel bit error rate on the directed link a->b.
@@ -196,11 +208,17 @@ func (m *Medium) BER(a, b int) float64 { return m.ber[[2]int{a, b}] }
 // bytes is lost to channel errors on a->b. This is the simulator's ground
 // truth against which the paper's channel-loss estimator is scored.
 func (m *Medium) ChannelLossProb(a, b int, frameBytes int) float64 {
-	ber := m.ber[[2]int{a, b}]
-	if ber <= 0 {
+	var ln float64
+	if m.ln1mBER != nil {
+		ln = m.ln1mBER[a*len(m.radios)+b]
+	} else if ber := m.ber[[2]int{a, b}]; ber > 0 {
+		ln = math.Log1p(-ber)
+	}
+	if ln == 0 {
 		return 0
 	}
-	return 1 - math.Pow(1-ber, float64(8*frameBytes))
+	// 1-(1-ber)^bits computed through Expm1 to spare a Pow per frame.
+	return -math.Expm1(float64(8*frameBytes) * ln)
 }
 
 // FadeLossProb returns the probability that a frame at rate r on a->b is
@@ -230,14 +248,16 @@ func (m *Medium) FrameLossProb(a, b int, r Rate, frameBytes int) float64 {
 
 // GainMW returns the received power at radio b when radio a transmits.
 func (m *Medium) GainMW(a, b int) float64 {
-	m.buildGain()
+	m.freeze()
 	return m.gain[a][b]
 }
 
 // RxPowerDBm returns the received power in dBm at b when a transmits.
 func (m *Medium) RxPowerDBm(a, b int) float64 { return MWToDBm(m.GainMW(a, b)) }
 
-func (m *Medium) buildGain() {
+// freeze builds the gain matrix and the dense per-link mirrors; radios
+// can no longer be added afterwards.
+func (m *Medium) freeze() {
 	if m.gain != nil {
 		return
 	}
@@ -257,22 +277,27 @@ func (m *Medium) buildGain() {
 			m.gain[i][j] = DBmToMW(m.cfg.TxPowerDBm - pl)
 		}
 	}
+	m.ln1mBER = make([]float64, n*n)
+	for k, ber := range m.ber {
+		if ber > 0 {
+			m.ln1mBER[k[0]*n+k[1]] = math.Log1p(-ber)
+		}
+	}
+	m.counters = make([]LinkCounters, n*n)
 }
 
-// Counters returns (allocating if needed) the counter block for a->b.
+// Counters returns the counter block for a->b. Calling it freezes the
+// medium (radios must all have been added).
 func (m *Medium) Counters(a, b int) *LinkCounters {
-	k := [2]int{a, b}
-	c := m.counters[k]
-	if c == nil {
-		c = &LinkCounters{}
-		m.counters[k] = c
-	}
-	return c
+	m.freeze()
+	return &m.counters[a*len(m.radios)+b]
 }
 
 // ResetCounters clears all link counters (e.g. between experiment phases).
 func (m *Medium) ResetCounters() {
-	m.counters = make(map[[2]int]*LinkCounters)
+	for i := range m.counters {
+		m.counters[i] = LinkCounters{}
+	}
 }
 
 // transmission is a frame in flight.
@@ -288,7 +313,7 @@ func (m *Medium) Transmit(r *Radio, f *Frame) {
 	if r.transmitting {
 		panic("phy: Transmit while already transmitting")
 	}
-	m.buildGain()
+	m.freeze()
 	dur := f.Airtime()
 	tx := &transmission{frame: f, src: r, end: m.sim.Now() + dur}
 	r.transmitting = true
@@ -297,8 +322,8 @@ func (m *Medium) Transmit(r *Radio, f *Frame) {
 		m.Counters(f.Src, f.Dst).Sent++
 	}
 	// A radio cannot receive while transmitting: abort any lock in progress.
-	if r.lock != nil {
-		r.lock = nil
+	if r.lock.tx != nil {
+		r.lock = reception{}
 	}
 	for _, o := range m.radios {
 		if o == r {
@@ -310,7 +335,7 @@ func (m *Medium) Transmit(r *Radio, f *Frame) {
 		}
 		o.arrivalStart(tx, p)
 	}
-	m.sim.At(tx.end, func() {
+	m.sim.Schedule(tx.end, func() {
 		for _, o := range m.radios {
 			if o == r {
 				continue
@@ -336,6 +361,12 @@ func (m *Medium) channelLost(f *Frame, dst int) bool {
 	return p > 0 && m.rng.Float64() < p
 }
 
+// arrival is one frame currently on the air as seen by a radio.
+type arrival struct {
+	tx *transmission
+	p  float64 // received power, mW
+}
+
 // Radio is one station's PHY. All state transitions are driven by the
 // medium; the MAC interacts through Transmit, CSBusy and the Listener.
 type Radio struct {
@@ -349,13 +380,17 @@ type Radio struct {
 	busy         bool // last CS indication
 
 	sensedMW float64
-	arrivals map[*transmission]float64
+	// arrivals holds the frames currently on the air at this radio. A
+	// small slice beats a map here: the receive path scans it per frame,
+	// and a slice also gives interference sums a deterministic order
+	// (map iteration would randomize float rounding run to run).
+	arrivals []arrival
 
-	lock *reception
+	lock reception
 }
 
 // reception tracks the frame a radio is locked onto and the worst
-// interference it experienced.
+// interference it experienced. A zero tx means no lock.
 type reception struct {
 	tx          *transmission
 	powerMW     float64
@@ -373,7 +408,7 @@ func (r *Radio) SetListener(l Listener) { r.listener = l }
 
 // CSBusy reports whether the energy detector currently senses the medium
 // busy (own transmissions included).
-func (r *Radio) CSBusy() bool { return r.transmitting || r.sensedMW >= DBmToMW(r.m.cfg.CSThreshDBm) }
+func (r *Radio) CSBusy() bool { return r.transmitting || r.sensedMW >= r.m.csMW }
 
 // Transmitting reports whether the radio is mid-transmission.
 func (r *Radio) Transmitting() bool { return r.transmitting }
@@ -390,29 +425,29 @@ func (r *Radio) updateCS() {
 
 func (r *Radio) interference(except *transmission) float64 {
 	var sum float64
-	for tx, p := range r.arrivals {
-		if tx != except {
-			sum += p
+	for i := range r.arrivals {
+		if r.arrivals[i].tx != except {
+			sum += r.arrivals[i].p
 		}
 	}
 	return sum
 }
 
 func (r *Radio) arrivalStart(tx *transmission, p float64) {
-	r.arrivals[tx] = p
+	r.arrivals = append(r.arrivals, arrival{tx: tx, p: p})
 	r.sensedMW += p
-	lockSens := DBmToMW(r.m.cfg.LockSensDBm)
+	lockSens := r.m.lockMW
 	switch {
 	case r.transmitting:
 		// Half-duplex: the frame is interference for later, nothing to do.
-	case r.lock == nil && p >= lockSens:
-		r.lock = &reception{tx: tx, powerMW: p, maxInterfMW: r.interference(tx)}
-	case r.lock != nil && p >= lockSens && p >= r.lock.powerMW*r.m.capture:
+	case r.lock.tx == nil && p >= lockSens:
+		r.lock = reception{tx: tx, powerMW: p, maxInterfMW: r.interference(tx)}
+	case r.lock.tx != nil && p >= lockSens && p >= r.lock.powerMW*r.m.capture:
 		// Preamble capture: a much stronger late arrival steals the
 		// receiver. The previous frame is lost.
 		r.countLoss(r.lock.tx, lossSINR)
-		r.lock = &reception{tx: tx, powerMW: p, maxInterfMW: r.interference(tx)}
-	case r.lock != nil:
+		r.lock = reception{tx: tx, powerMW: p, maxInterfMW: r.interference(tx)}
+	case r.lock.tx != nil:
 		if i := r.interference(r.lock.tx); i > r.lock.maxInterfMW {
 			r.lock.maxInterfMW = i
 		}
@@ -447,18 +482,28 @@ func (r *Radio) countLoss(tx *transmission, k lossKind) {
 }
 
 func (r *Radio) arrivalEnd(tx *transmission) {
-	p, ok := r.arrivals[tx]
-	if !ok {
+	idx := -1
+	for i := range r.arrivals {
+		if r.arrivals[i].tx == tx {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
 		return
 	}
-	delete(r.arrivals, tx)
+	p := r.arrivals[idx].p
+	last := len(r.arrivals) - 1
+	r.arrivals[idx] = r.arrivals[last]
+	r.arrivals[last] = arrival{}
+	r.arrivals = r.arrivals[:last]
 	r.sensedMW -= p
 	if r.sensedMW < 0 {
 		r.sensedMW = 0
 	}
-	if r.lock != nil && r.lock.tx == tx {
+	if r.lock.tx == tx {
 		r.finishReception()
-	} else if r.lock == nil && (tx.frame.Dst == r.id) {
+	} else if r.lock.tx == nil && (tx.frame.Dst == r.id) {
 		// The intended receiver never locked (busy, transmitting, or
 		// the signal was too weak).
 		r.countLoss(tx, lossUnlocked)
@@ -468,7 +513,7 @@ func (r *Radio) arrivalEnd(tx *transmission) {
 
 func (r *Radio) finishReception() {
 	rec := r.lock
-	r.lock = nil
+	r.lock = reception{}
 	f := rec.tx.frame
 	sinrDB := MWToDBm(rec.powerMW / (r.m.noiseMW + rec.maxInterfMW))
 	if sigma := r.m.cfg.FadeSigmaDB; sigma > 0 {

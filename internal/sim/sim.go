@@ -4,6 +4,11 @@
 // It keeps a virtual clock and an event heap; events scheduled for the same
 // instant fire in FIFO order, which makes runs fully reproducible for a
 // given seed.
+//
+// Scheduling is allocation-light: heap entries are recycled through a free
+// list (generation-counted so stale Timer handles cannot touch a reused
+// entry), and cancelled entries are purged in bulk once they outnumber the
+// live ones instead of being carried to their fire time.
 package sim
 
 import (
@@ -38,31 +43,54 @@ func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
 // Event is a callback scheduled to run at a simulated instant.
 type Event func()
 
-// scheduled is an entry in the event heap.
+// scheduled is an entry in the event heap. Entries are pooled: after an
+// event fires (or a cancelled entry is dropped) the entry returns to the
+// simulator's free list with its generation bumped, so a Timer that still
+// points at it can tell the entry no longer belongs to it.
 type scheduled struct {
 	at   Time
 	seq  uint64 // tie-break for deterministic FIFO order at equal times
 	fn   Event
-	dead bool // cancelled
-	idx  int  // heap index, maintained by eventHeap
+	sim  *Sim
+	gen  uint32 // bumped on recycle; Timers holding the old gen are stale
+	dead bool   // cancelled
+	idx  int    // heap index, maintained by eventHeap
 }
 
 // Timer is a handle to a scheduled event that can be cancelled.
-type Timer struct{ s *scheduled }
+type Timer struct {
+	s   *scheduled
+	gen uint32
+}
 
 // Stop cancels the timer. It reports whether the event had not yet fired.
 func (t *Timer) Stop() bool {
-	if t == nil || t.s == nil || t.s.dead {
+	if t == nil || t.s == nil || t.s.gen != t.gen || t.s.dead {
 		return false
 	}
-	t.s.dead = true
+	s := t.s
+	s.dead = true
+	if s.idx >= 0 {
+		sm := s.sim
+		sm.dead++
+		// Long-running probers schedule and cancel constantly; without a
+		// purge every cancelled entry rides the heap to its fire time and
+		// the heap grows without bound. Sweep once the dead outnumber the
+		// live entries.
+		if sm.dead >= purgeMin && 2*sm.dead > len(sm.events) {
+			sm.purge()
+		}
+	}
 	return true
 }
 
 // Pending reports whether the timer is still scheduled to fire.
-func (t *Timer) Pending() bool { return t != nil && t.s != nil && !t.s.dead && t.s.idx >= 0 }
+func (t *Timer) Pending() bool {
+	return t != nil && t.s != nil && t.s.gen == t.gen && !t.s.dead && t.s.idx >= 0
+}
 
-// When returns the instant the timer fires (meaningless after Stop).
+// When returns the instant the timer fires (meaningless after Stop or
+// after the event has fired).
 func (t *Timer) When() Time { return t.s.at }
 
 type eventHeap []*scheduled
@@ -94,12 +122,18 @@ func (h *eventHeap) Pop() any {
 	return s
 }
 
+// purgeMin is the minimum number of cancelled entries before a purge pass
+// is worth its O(n) sweep.
+const purgeMin = 64
+
 // Sim is a discrete-event simulator instance. The zero value is not usable;
 // construct with New.
 type Sim struct {
 	now    Time
 	seq    uint64
 	events eventHeap
+	free   []*scheduled // recycled heap entries
+	dead   int          // cancelled entries still in the heap
 	rng    *rand.Rand
 	halted bool
 }
@@ -124,13 +158,64 @@ func (s *Sim) NewStream() *rand.Rand { return rand.New(rand.NewSource(s.rng.Int6
 // At schedules fn to run at the absolute instant at. Scheduling in the past
 // panics: it always indicates a logic error in the caller.
 func (s *Sim) At(at Time, fn Event) *Timer {
+	sc := s.schedule(at, fn)
+	return &Timer{s: sc, gen: sc.gen}
+}
+
+// Schedule is At for events that are never cancelled: it skips the Timer
+// handle, saving an allocation on hot paths (the PHY schedules one
+// uncancellable end-of-transmission event per frame).
+func (s *Sim) Schedule(at Time, fn Event) { s.schedule(at, fn) }
+
+func (s *Sim) schedule(at Time, fn Event) *scheduled {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
 	}
-	sc := &scheduled{at: at, seq: s.seq, fn: fn}
+	var sc *scheduled
+	if n := len(s.free); n > 0 {
+		sc = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		sc = &scheduled{sim: s}
+	}
+	sc.at, sc.seq, sc.fn = at, s.seq, fn
 	s.seq++
 	heap.Push(&s.events, sc)
-	return &Timer{s: sc}
+	return sc
+}
+
+// recycle returns a popped entry to the free list. Clearing fn makes the
+// completed closure (and whatever it captured) collectable; bumping gen
+// invalidates any Timer still holding the entry.
+func (s *Sim) recycle(e *scheduled) {
+	e.fn = nil
+	e.dead = false
+	e.gen++
+	e.idx = -1
+	s.free = append(s.free, e)
+}
+
+// purge drops every cancelled entry from the heap in one sweep and
+// restores the heap invariant.
+func (s *Sim) purge() {
+	live := s.events[:0]
+	for _, e := range s.events {
+		if e.dead {
+			s.recycle(e)
+		} else {
+			live = append(live, e)
+		}
+	}
+	for i := len(live); i < len(s.events); i++ {
+		s.events[i] = nil
+	}
+	s.events = live
+	for i, e := range s.events {
+		e.idx = i
+	}
+	heap.Init(&s.events)
+	s.dead = 0
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -150,10 +235,13 @@ func (s *Sim) Run(end Time) Time {
 		}
 		heap.Pop(&s.events)
 		if next.dead {
+			s.dead--
+			s.recycle(next)
 			continue
 		}
 		s.now = next.at
 		next.fn()
+		s.recycle(next)
 	}
 	if s.now < end {
 		s.now = end
@@ -162,12 +250,8 @@ func (s *Sim) Run(end Time) Time {
 }
 
 // Pending returns the number of live events in the queue.
-func (s *Sim) Pending() int {
-	n := 0
-	for _, e := range s.events {
-		if !e.dead {
-			n++
-		}
-	}
-	return n
-}
+func (s *Sim) Pending() int { return len(s.events) - s.dead }
+
+// queueLen reports the raw heap length including cancelled entries; the
+// timer-leak regression test asserts it stays bounded under churn.
+func (s *Sim) queueLen() int { return len(s.events) }

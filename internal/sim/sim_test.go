@@ -192,3 +192,58 @@ func TestTimeString(t *testing.T) {
 		t.Fatalf("String = %q", got)
 	}
 }
+
+func TestTimerChurnKeepsHeapBounded(t *testing.T) {
+	// A long-running prober that schedules a timeout and cancels it every
+	// period used to leave every cancelled entry in the heap until its
+	// far-future fire time; the purge must keep the heap near the live
+	// event count instead.
+	s := New(9)
+	var churn func()
+	rounds := 0
+	churn = func() {
+		rounds++
+		if rounds >= 50000 {
+			return
+		}
+		timeout := s.At(s.Now()+Second, func() {})
+		s.At(s.Now()+Microsecond, func() {
+			timeout.Stop()
+			churn()
+		})
+	}
+	churn()
+	s.Run(Second / 2)
+	if n := s.queueLen(); n > 2*purgeMin {
+		t.Fatalf("heap holds %d entries after churn; cancelled timers are leaking", n)
+	}
+	if live := s.Pending(); live > 2 {
+		t.Fatalf("%d live events remain, want <= 2", live)
+	}
+}
+
+func TestStoppedTimerHandleStaysStale(t *testing.T) {
+	// Once an event fires, its heap entry is recycled; the old handle
+	// must keep reporting not-pending and Stop must keep returning false
+	// even after the entry is reused by a later schedule.
+	s := New(3)
+	fired := 0
+	tm := s.At(Microsecond, func() { fired++ })
+	s.Run(Millisecond)
+	if tm.Pending() {
+		t.Fatal("fired timer still pending")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop succeeded on a fired timer")
+	}
+	// Reuse the recycled entry and make sure the stale handle cannot
+	// cancel the new event.
+	s.At(2*Millisecond, func() { fired++ })
+	if tm.Stop() {
+		t.Fatal("stale handle cancelled a recycled entry")
+	}
+	s.Run(Second)
+	if fired != 2 {
+		t.Fatalf("fired %d events, want 2", fired)
+	}
+}

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# bench.sh — run the full benchmark suite and record a machine-readable
+# snapshot so successive PRs accumulate a performance trajectory.
+#
+# Usage: scripts/bench.sh [output.json]
+#   default output: BENCH_1.json in the repo root (bump the number per PR)
+#
+# The JSON maps benchmark name -> {ns_per_op, bytes_per_op, allocs_per_op},
+# taking the fastest of -count=3 runs (the usual noise-robust choice).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_1.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run=NONE -bench=. -benchmem -count=3 . | tee "$RAW"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (!(name in best) || ns + 0 < best[name] + 0) {
+        best[name] = ns
+        bbytes[name] = bytes
+        ballocs[name] = allocs
+    }
+}
+END {
+    for (name in best)
+        printf "%s\t%s\t%s\t%s\n", name, best[name], bbytes[name], ballocs[name]
+}' "$RAW" | sort | awk -F'\t' '
+BEGIN { printf "{\n"; first = 1 }
+{
+    if (!first) printf ",\n"
+    first = 0
+    printf "  \"%s\": {\"ns_per_op\": %s", $1, $2
+    if ($3 != "") printf ", \"bytes_per_op\": %s", $3
+    if ($4 != "") printf ", \"allocs_per_op\": %s", $4
+    printf "}"
+}
+END { printf "\n}\n" }' > "$OUT"
+
+echo "wrote $OUT"

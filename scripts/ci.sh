@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# ci.sh — the repo's gate: formatting, vet, build, tests, and a race run
+# over the parallel experiment engine.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+UNFORMATTED="$(gofmt -l .)"
+if [ -n "$UNFORMATTED" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$UNFORMATTED" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (parallel experiment engine)"
+go test -race ./internal/experiments/...
+
+echo "CI OK"
