@@ -1,38 +1,215 @@
 // Command meshopt regenerates the paper's evaluation figures on the
-// simulated mesh substrate.
+// simulated mesh substrate and runs declarative scenarios.
 //
 // Usage:
 //
-//	meshopt -fig 3            # reproduce one figure (3..14)
-//	meshopt -all              # reproduce every figure
+//	meshopt -fig 3                  # reproduce one figure (3..14)
+//	meshopt -all                    # reproduce every figure
 //	meshopt -fig 13 -scale paper -seed 7
-//	meshopt -all -workers 8   # pin the experiment worker pool
+//	meshopt -all -workers 8         # pin the experiment worker pool
+//	meshopt run quickstart          # run a registered scenario
+//	meshopt run spec.json -o out.jsonl -format jsonl
+//	meshopt list                    # enumerate figures and scenarios
 //
 // Figures 7, 8 and 12 share one network-validation run and are printed
 // together when any of them is requested.
 //
+// `run` executes a scenario — a registered name or a JSON spec file
+// (see internal/scenario) — streaming per-cell result records as JSONL
+// (or CSV) while a human-readable summary goes to the other stream:
+// records to stdout and summary to stderr by default, records to the
+// -o file and summary to stdout when -o is given.
+//
 // Experiments fan independent simulation cells out across a worker pool
 // (GOMAXPROCS workers by default; see internal/experiments/runner). The
-// output is bit-identical for any -workers value.
+// output — streamed records included — is bit-identical for any
+// -workers value.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/experiments/runner"
+	"repro/internal/scenario"
+	"repro/internal/scenario/sink"
 )
 
+// figDescriptions names every reproducible figure for `list`.
+var figDescriptions = []struct {
+	fig  int
+	desc string
+}{
+	{3, "pairwise LIR distributions at 1 and 11 Mb/s (bimodality of interference)"},
+	{4, "binary interference classifier false positives/negatives per class"},
+	{5, "three-point feasibility check on CS/IA/NF rate regions"},
+	{6, "LIR threshold sensitivity over the measured LIR population"},
+	{7, "network validation: over-estimation of the feasible rate region"},
+	{8, "network validation: under-estimation and scaled-gain variants"},
+	{9, "channel-loss estimator cases (sliding-minimum curve and knee)"},
+	{10, "channel-loss estimation accuracy: error CDF and RMSE vs window"},
+	{11, "online capacity estimation vs Ad Hoc Probe on sampled links"},
+	{12, "two-hop conflict model vs measured LIR conflicts"},
+	{13, "two-flow upstream TCP starvation and rate-control regimes"},
+	{14, "multi-config TCP suite: throughput ratio, fairness, feasibility, stability"},
+}
+
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "run":
+			os.Exit(runScenario(os.Args[2:]))
+		case "list":
+			list(os.Stdout)
+			return
+		}
+	}
+	legacyFigures()
+}
+
+// list enumerates figures and registered scenarios with one-line
+// descriptions.
+func list(w io.Writer) {
+	fmt.Fprintln(w, "Figures (meshopt -fig N):")
+	for _, f := range figDescriptions {
+		fmt.Fprintf(w, "  %2d  %s\n", f.fig, f.desc)
+	}
+	fmt.Fprintln(w, "\nScenarios (meshopt run NAME):")
+	names := scenario.Names()
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "  %-11s %s\n", n, scenario.Describe(n))
+	}
+	fmt.Fprintln(w, "\nA JSON spec file also works: meshopt run path/to/spec.json")
+}
+
+// runScenario implements the `run` subcommand. Exit codes: 0 ok, 1
+// runtime failure, 2 usage or unknown scenario.
+func runScenario(args []string) int {
+	fs := flag.NewFlagSet("meshopt run", flag.ExitOnError)
+	seed := fs.Int64("seed", 0, "override the scenario's base seed")
+	scaleName := fs.String("scale", "quick", "experiment scale: quick or paper")
+	workers := fs.Int("workers", 0, "experiment worker pool size; 0 = GOMAXPROCS")
+	out := fs.String("o", "", "write result records to this file (default: stdout)")
+	format := fs.String("format", "jsonl", "record format: jsonl or csv")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: meshopt run <scenario.json|name> [flags]")
+		fs.PrintDefaults()
+	}
+	// Accept the target either before or after the flags.
+	var target string
+	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		target, args = args[0], args[1:]
+	}
+	fs.Parse(args)
+	if target == "" && fs.NArg() > 0 {
+		target = fs.Arg(0)
+	}
+	if target == "" {
+		fs.Usage()
+		return 2
+	}
+
+	runner.SetWorkers(*workers)
+	opts := scenario.Options{}
+	switch *scaleName {
+	case "quick":
+		opts.Scale = experiments.Quick()
+		opts.Quick = true
+	case "paper":
+		opts.Scale = experiments.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or paper)\n", *scaleName)
+		return 2
+	}
+	seedSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
+	if seedSet {
+		opts.SeedOverride = seed
+	}
+
+	spec, ok := scenario.Lookup(target)
+	if !ok {
+		data, err := os.ReadFile(target)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unknown scenario %q (not a registered name or readable spec file)\n", target)
+			fmt.Fprintf(os.Stderr, "registered: %v\n", scenario.Names())
+			return 2
+		}
+		spec, err = scenario.Parse(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+
+	if *format != "jsonl" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "unknown format %q (want jsonl or csv)\n", *format)
+		return 2 // before os.Create: a usage error must not truncate -o
+	}
+	// Records and summary share stdout/stderr without interleaving:
+	// records go to stdout (summary to stderr) unless -o routes them to
+	// a file (summary to stdout).
+	recordW := io.Writer(os.Stdout)
+	opts.Log = os.Stderr
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		recordW = f
+		opts.Log = os.Stdout
+	}
+	if *format == "csv" {
+		opts.Sink = sink.NewCSV(recordW)
+	} else {
+		opts.Sink = sink.NewJSONL(recordW)
+	}
+
+	start := time.Now()
+	err := scenario.Run(spec, opts)
+	if cerr := opts.Sink.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Fprintf(opts.Log, "done in %v\n", time.Since(start).Round(time.Millisecond))
+	return 0
+}
+
+// legacyFigures is the original flag-driven figure reproduction mode.
+func legacyFigures() {
 	fig := flag.Int("fig", 0, "figure number to reproduce (3..14); 0 with -all for everything")
 	all := flag.Bool("all", false, "reproduce every figure")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or paper")
 	workers := flag.Int("workers", 0, "experiment worker pool size; 0 = GOMAXPROCS")
+	doList := flag.Bool("list", false, "list figures and registered scenarios, then exit")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: meshopt [-fig N | -all | -list] [flags]")
+		fmt.Fprintln(os.Stderr, "       meshopt run <scenario.json|name> [flags]")
+		fmt.Fprintln(os.Stderr, "       meshopt list")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
+
+	if *doList {
+		list(os.Stdout)
+		return
+	}
 
 	runner.SetWorkers(*workers)
 

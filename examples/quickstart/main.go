@@ -3,6 +3,15 @@
 // rate limits to UDP traffic.
 //
 // Run with: go run ./examples/quickstart
+//
+// The same workload also exists as data: the scenario registry's
+// "quickstart" entry (internal/scenario) declares this chain, its lossy
+// link, the two flows and the prop-fair controller as a JSON spec, so
+//
+//	meshopt run quickstart
+//
+// executes it through the scenario engine and streams the plan and the
+// achieved per-flow goodputs as JSONL records.
 package main
 
 import (

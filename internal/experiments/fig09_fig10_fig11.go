@@ -10,6 +10,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/phy"
 	"repro/internal/probe"
+	"repro/internal/scenario/sink"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -126,6 +127,18 @@ type fig10Sample struct {
 // independent simulation cells; estimator scoring then fans out per
 // sampled link.
 func RunFig10(seed int64, sc Scale) Fig10Result {
+	res, _ := RunFig10Sink(seed, sc, nil)
+	return res
+}
+
+// RunFig10Sink is RunFig10 with per-cell streaming: each scored sample's
+// signed errors are written to snk (series "sample") as scoring cells
+// complete, in deterministic cell order, and the RMSE/CDF reduction is
+// folded incrementally over that stream instead of a gathered grid. The
+// summary series ("rmse") follows once every sample has streamed. A nil
+// snk just skips the records; the returned result is identical either
+// way, for any worker-pool size.
+func RunFig10Sink(seed int64, sc Scale, snk sink.Sink) (Fig10Result, error) {
 	res := Fig10Result{RMSEByS: map[int]float64{}}
 	for _, w := range []int{100, 200, 320, 640, 1280} {
 		if w < sc.ProbeWindow {
@@ -165,9 +178,25 @@ func RunFig10(seed int64, sc Scale) Fig10Result {
 		samples = append(samples, s...)
 	}
 
-	// Score every sample at every window in parallel; errors are reduced
-	// in sample order so the aggregate is independent of scheduling.
-	perSample := runner.Map(samples, func(_ int, smp fig10Sample) []float64 {
+	// Score every sample at every window in parallel. Each sample streams
+	// to the sink and folds into the reduction as its cell completes; the
+	// ordered emission (runner.Stream) keeps the float accumulation in
+	// sample order, so the aggregate is independent of scheduling and the
+	// per-sample grid never has to be held in memory.
+	var sinkErr error
+	emit := func(rec sink.Record) {
+		if snk != nil && sinkErr == nil {
+			sinkErr = snk.Write(rec)
+		}
+	}
+	var windowKeys []string // per-window record keys, built once per run
+	if snk != nil {
+		for _, s := range res.WindowSet {
+			windowKeys = append(windowKeys, fmt.Sprintf("err_S%d", s))
+		}
+	}
+	se := make([]float64, len(res.WindowSet))
+	runner.Stream(samples, func(_ int, smp fig10Sample) []float64 {
 		errs := make([]float64, len(res.WindowSet))
 		for wi, s := range res.WindowSet {
 			tr := smp.trace
@@ -178,20 +207,33 @@ func RunFig10(seed int64, sc Scale) Fig10Result {
 			errs[wi] = est.Pch - smp.truth
 		}
 		return errs
-	})
-	for wi, s := range res.WindowSet {
-		var se float64
-		for _, errs := range perSample {
-			se += errs[wi] * errs[wi]
+	}, func(i int, errs []float64) {
+		for wi, s := range res.WindowSet {
+			se[wi] += errs[wi] * errs[wi]
 			if s == sc.ProbeWindow {
 				res.Errors = append(res.Errors, math.Abs(errs[wi]))
 			}
 		}
-		if len(perSample) > 0 {
-			res.RMSEByS[s] = math.Sqrt(se / float64(len(perSample)))
+		if snk != nil {
+			fields := make([]sink.Field, 0, len(res.WindowSet)+1)
+			fields = append(fields, sink.F("truth", samples[i].truth))
+			for wi := range res.WindowSet {
+				fields = append(fields, sink.F(windowKeys[wi], errs[wi]))
+			}
+			emit(sink.Record{Scenario: "fig10", Series: "sample", Cell: i, Fields: fields})
+		}
+	})
+	for wi, s := range res.WindowSet {
+		if len(samples) > 0 {
+			res.RMSEByS[s] = math.Sqrt(se[wi] / float64(len(samples)))
+		}
+		if snk != nil {
+			emit(sink.Record{Scenario: "fig10", Series: "rmse", Cell: wi, Fields: []sink.Field{
+				sink.F("S", s), sink.F("rmse", res.RMSEByS[s]),
+			}})
 		}
 	}
-	return res
+	return res, sinkErr
 }
 
 // Print emits the error CDF and the RMSE-vs-S series.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core/optimize"
 	"repro/internal/experiments/runner"
 	"repro/internal/phy"
+	"repro/internal/scenario/sink"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/transport"
@@ -164,18 +165,32 @@ type fig14Run struct {
 
 // RunFig14 evaluates the three regimes over generated multi-hop
 // configurations. Every (config, regime, iteration) run builds its own
-// mesh and is an independent cell; per-config aggregation happens on the
-// gathered grid. A config whose cells all ran still counts as skipped if
-// any of its runs failed, matching the sequential early-exit semantics.
+// mesh and is an independent cell. A config whose cells all ran still
+// counts as skipped if any of its runs failed, matching the sequential
+// early-exit semantics.
 func RunFig14(seed int64, sc Scale) Fig14Result {
+	res, _ := RunFig14Sink(seed, sc, nil)
+	return res
+}
+
+// fig14Cell is one (config, regime, iteration) unit of work.
+type fig14Cell struct {
+	cfg    FlowConfig
+	regime Regime
+	it     int
+}
+
+// RunFig14Sink is RunFig14 with per-cell streaming: every completed
+// (config, regime, iteration) run writes a record to snk (series "cell")
+// in deterministic cell order, and each configuration's aggregation
+// (series "config") folds and streams as soon as its last cell emits —
+// only one configuration's runs are ever held, instead of the whole
+// grid. A nil snk skips the records; the returned result is identical
+// either way, for any worker-pool size.
+func RunFig14Sink(seed int64, sc Scale, snk sink.Sink) (Fig14Result, error) {
 	var res Fig14Result
 	configs := GenerateConfigs(seed, sc.Configs)
 	regimes := []Regime{NoRC, RCMax, RCProp}
-	type fig14Cell struct {
-		cfg    FlowConfig
-		regime Regime
-		it     int
-	}
 	var cells []fig14Cell
 	for _, cfg := range configs {
 		for _, regime := range regimes {
@@ -184,7 +199,16 @@ func RunFig14(seed int64, sc Scale) Fig14Result {
 			}
 		}
 	}
-	runs := runner.Map(cells, func(_ int, c fig14Cell) fig14Run {
+
+	var sinkErr error
+	emit := func(rec sink.Record) {
+		if snk != nil && sinkErr == nil {
+			sinkErr = snk.Write(rec)
+		}
+	}
+	perConfig := len(regimes) * sc.Iterations
+	window := make([]fig14Run, 0, perConfig) // the in-flight config's runs
+	runner.Stream(cells, func(_ int, c fig14Cell) fig14Run {
 		flows := make([]controller.Flow, len(c.cfg.Flows))
 		for i, f := range c.cfg.Flows {
 			flows[i] = controller.Flow{Src: f.Src, Dst: f.Dst}
@@ -205,61 +229,92 @@ func RunFig14(seed int64, sc Scale) Fig14Result {
 			}
 		}
 		return run
+	}, func(i int, run fig14Run) {
+		if snk != nil {
+			c := cells[i]
+			var agg float64
+			for _, v := range run.got {
+				agg += v
+			}
+			emit(sink.Record{Scenario: "fig14", Series: "cell", Cell: i, Fields: []sink.Field{
+				sink.F("config", i/perConfig),
+				sink.F("regime", c.regime.String()),
+				sink.F("iteration", c.it),
+				sink.F("flows", len(c.cfg.Flows)),
+				sink.F("agg_bps", agg),
+				sink.F("failed", run.err != nil),
+			}})
+		}
+		window = append(window, run)
+		if len(window) == perConfig {
+			ci := i / perConfig
+			reduceFig14Config(&res, configs[ci], cells[ci*perConfig:(ci+1)*perConfig], window, emit, ci)
+			window = window[:0]
+		}
 	})
+	return res, sinkErr
+}
 
-	perConfig := len(regimes) * sc.Iterations
-	for ci := range configs {
-		flows := configs[ci].Flows
-		perRegime := map[Regime][][]float64{} // regime -> iterations -> per-flow goodput
-		var limits []float64
-		ok := true
-		for i := ci * perConfig; i < (ci+1)*perConfig; i++ {
-			if runs[i].err != nil {
-				ok = false
-				break
-			}
-			perRegime[cells[i].regime] = append(perRegime[cells[i].regime], runs[i].got)
-			if runs[i].limits != nil {
-				limits = runs[i].limits
-			}
-		}
-		if !ok {
+// reduceFig14Config folds one configuration's runs into the result and
+// streams the per-config aggregates. The fold order matches the
+// pre-streaming gather-then-reduce exactly, so the reduced floats are
+// bit-identical to it.
+func reduceFig14Config(res *Fig14Result, cfg FlowConfig, cells []fig14Cell, runs []fig14Run, emit func(sink.Record), ci int) {
+	flows := cfg.Flows
+	perRegime := map[Regime][][]float64{} // regime -> iterations -> per-flow goodput
+	var limits []float64
+	for i := range runs {
+		if runs[i].err != nil {
 			res.Skipped++
-			continue
+			emit(sink.Record{Scenario: "fig14", Series: "config", Cell: ci, Fields: []sink.Field{
+				sink.F("skipped", true),
+			}})
+			return
 		}
-
-		agg := func(rs [][]float64) float64 {
-			var t float64
-			for _, run := range rs {
-				for _, v := range run {
-					t += v
-				}
-			}
-			return t / float64(len(rs))
+		perRegime[cells[i].regime] = append(perRegime[cells[i].regime], runs[i].got)
+		if runs[i].limits != nil {
+			limits = runs[i].limits
 		}
-		base := agg(perRegime[NoRC])
-		if base > 0 {
-			res.RatioMax = append(res.RatioMax, agg(perRegime[RCMax])/base)
-			res.RatioProp = append(res.RatioProp, agg(perRegime[RCProp])/base)
-		}
-		res.JFInoRC = append(res.JFInoRC, stats.JainIndex(meanPerFlow(perRegime[NoRC])))
-		res.JFIProp = append(res.JFIProp, stats.JainIndex(meanPerFlow(perRegime[RCProp])))
-
-		propMeans := meanPerFlow(perRegime[RCProp])
-		feasible := make([]bool, len(flows))
-		for s, lim := range limits {
-			if lim > 0 && s < len(propMeans) {
-				f := propMeans[s] / lim
-				res.Feasibility = append(res.Feasibility, f)
-				feasible[s] = f >= 0.9
-			}
-		}
-		res.StabilityNoRC = append(res.StabilityNoRC, deviations(perRegime[NoRC], nil)...)
-		// The paper's Fig. 14(d) reports stability over the feasible
-		// flows of Fig. 14(c).
-		res.StabilityRC = append(res.StabilityRC, deviations(perRegime[RCProp], feasible)...)
 	}
-	return res
+
+	agg := func(rs [][]float64) float64 {
+		var t float64
+		for _, run := range rs {
+			for _, v := range run {
+				t += v
+			}
+		}
+		return t / float64(len(rs))
+	}
+	fields := []sink.Field{sink.F("skipped", false)}
+	base := agg(perRegime[NoRC])
+	if base > 0 {
+		res.RatioMax = append(res.RatioMax, agg(perRegime[RCMax])/base)
+		res.RatioProp = append(res.RatioProp, agg(perRegime[RCProp])/base)
+		fields = append(fields,
+			sink.F("ratio_max", res.RatioMax[len(res.RatioMax)-1]),
+			sink.F("ratio_prop", res.RatioProp[len(res.RatioProp)-1]))
+	}
+	res.JFInoRC = append(res.JFInoRC, stats.JainIndex(meanPerFlow(perRegime[NoRC])))
+	res.JFIProp = append(res.JFIProp, stats.JainIndex(meanPerFlow(perRegime[RCProp])))
+	fields = append(fields,
+		sink.F("jfi_norc", res.JFInoRC[len(res.JFInoRC)-1]),
+		sink.F("jfi_prop", res.JFIProp[len(res.JFIProp)-1]))
+
+	propMeans := meanPerFlow(perRegime[RCProp])
+	feasible := make([]bool, len(flows))
+	for s, lim := range limits {
+		if lim > 0 && s < len(propMeans) {
+			f := propMeans[s] / lim
+			res.Feasibility = append(res.Feasibility, f)
+			feasible[s] = f >= 0.9
+		}
+	}
+	res.StabilityNoRC = append(res.StabilityNoRC, deviations(perRegime[NoRC], nil)...)
+	// The paper's Fig. 14(d) reports stability over the feasible flows of
+	// Fig. 14(c).
+	res.StabilityRC = append(res.StabilityRC, deviations(perRegime[RCProp], feasible)...)
+	emit(sink.Record{Scenario: "fig14", Series: "config", Cell: ci, Fields: fields})
 }
 
 // meanPerFlow averages per-flow goodputs across iterations.

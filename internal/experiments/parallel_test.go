@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"bytes"
 	"reflect"
 	"runtime"
 	"testing"
 
 	"repro/internal/experiments/runner"
+	"repro/internal/scenario/sink"
 	"repro/internal/sim"
 )
 
@@ -53,6 +55,65 @@ func TestRunNetValidationDeterministicAcrossWorkerCounts(t *testing.T) {
 	withWorkers(max(2, runtime.GOMAXPROCS(0)), func() { par = RunNetValidation(11, sc) })
 	if !reflect.DeepEqual(seq, par) {
 		t.Fatalf("NetValidation differs between 1 worker and the full pool:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// TestFig10JSONLByteIdenticalAcrossWorkerCounts extends the engine
+// guarantee to the streaming path: the JSONL record stream a figure
+// emits as its cells complete is byte-identical between 1 worker and a
+// full pool, because runner.Stream emits in cell order regardless of
+// completion order.
+func TestFig10JSONLByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	sc := detScale()
+	render := func(workers int) []byte {
+		var buf bytes.Buffer
+		withWorkers(workers, func() {
+			s := sink.NewJSONL(&buf)
+			if _, err := RunFig10Sink(4, sc, s); err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		return buf.Bytes()
+	}
+	seq := render(1)
+	par := render(max(2, runtime.GOMAXPROCS(0)))
+	if len(seq) == 0 {
+		t.Fatal("Fig10 streamed no records")
+	}
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("Fig10 JSONL differs between 1 worker and the full pool:\nseq:\n%s\npar:\n%s", seq, par)
+	}
+}
+
+// TestFig14JSONLByteIdenticalAcrossWorkerCounts covers the streamed
+// per-config reduction: cell records and folded config aggregates must
+// both stream identically for any pool size.
+func TestFig14JSONLByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	sc := detScale()
+	sc.Configs = 2
+	render := func(workers int) []byte {
+		var buf bytes.Buffer
+		withWorkers(workers, func() {
+			s := sink.NewJSONL(&buf)
+			if _, err := RunFig14Sink(9, sc, s); err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		return buf.Bytes()
+	}
+	seq := render(1)
+	par := render(max(2, runtime.GOMAXPROCS(0)))
+	if len(seq) == 0 {
+		t.Fatal("Fig14 streamed no records")
+	}
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("Fig14 JSONL differs between 1 worker and the full pool:\nseq:\n%s\npar:\n%s", seq, par)
 	}
 }
 

@@ -1,0 +1,150 @@
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Stream runs fn(i, cells[i]) for every cell on the default worker pool
+// and calls emit(i, result) in strictly increasing cell order as results
+// become available, instead of gathering everything first. See StreamN.
+func Stream[T, R any](cells []T, fn func(i int, cell T) R, emit func(i int, r R)) {
+	StreamN(Workers(), cells, fn, emit)
+}
+
+// StreamN is Stream with an explicit worker count (n <= 0 means
+// GOMAXPROCS). Cells execute on the pool exactly as in MapN, but each
+// result is handed to emit on the calling goroutine, serialized, in cell
+// index order, as soon as its index becomes the emission frontier. A
+// result computed out of order is buffered only until every earlier cell
+// has been emitted, so the reduction downstream of emit sees the same
+// order a sequential run would produce: streamed output is bit-identical
+// for any worker count.
+//
+// Memory is genuinely bounded by the reorder window, not the sweep: a
+// worker must hold one of 4×workers tokens to claim a cell, and a
+// token only returns to the pool when its result is emitted (or the run
+// aborts). A straggling early cell therefore stalls the pool after at
+// most 4×workers completed-but-unemitted results instead of letting the
+// rest of the sweep pile up gathered in memory.
+//
+// A panic in any cell stops new cells from being claimed, suppresses
+// emission from that cell onward (earlier cells still emit), and is
+// re-raised on the calling goroutine after the pool drains. A panic in
+// emit itself also propagates to the caller after the workers drain.
+func StreamN[T, R any](workers int, cells []T, fn func(i int, cell T) R, emit func(i int, r R)) {
+	n := len(cells)
+	if n == 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i, c := range cells {
+			emit(i, fn(i, c))
+		}
+		return
+	}
+
+	type item struct {
+		i  int
+		r  R
+		ok bool // false when the cell panicked
+	}
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		panicked  atomic.Value // first cell panic, re-raised by the caller
+		abortOnce sync.Once
+	)
+	window := 4 * workers // reorder-buffer bound (completed, unemitted)
+	tokens := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		tokens <- struct{}{}
+	}
+	abort := make(chan struct{}) // closed when emission stops early
+	results := make(chan item, window)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// A token caps how far completed work may run ahead of
+				// the emission frontier; abort unblocks a stalled pool.
+				select {
+				case <-tokens:
+				case <-abort:
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				var it item
+				it.i = i
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicked.CompareAndSwap(nil, fmt.Errorf("runner: cell %d panicked: %v", i, r))
+						}
+					}()
+					it.r = fn(i, cells[i])
+					it.ok = true
+				}()
+				results <- it
+				if panicked.Load() != nil {
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Reorder buffer: advance the frontier and emit in cell order,
+	// returning one token per emitted result. If emit panics, abort the
+	// pool and keep draining the channel in the background so no worker
+	// is leaked blocking on a send.
+	defer func() {
+		if r := recover(); r != nil {
+			abortOnce.Do(func() { close(abort) })
+			go func() {
+				for range results {
+				}
+			}()
+			panic(r)
+		}
+	}()
+	pending := make(map[int]R)
+	frontier := 0
+	for it := range results {
+		if !it.ok {
+			// The panicked cell's index stalls the frontier for good;
+			// unblock any workers waiting on tokens and stop emitting.
+			abortOnce.Do(func() { close(abort) })
+			continue
+		}
+		pending[it.i] = it.r
+		for {
+			r, ready := pending[frontier]
+			if !ready {
+				break
+			}
+			delete(pending, frontier)
+			emit(frontier, r)
+			frontier++
+			tokens <- struct{}{}
+		}
+	}
+	if p := panicked.Load(); p != nil {
+		panic(p)
+	}
+}

@@ -1,0 +1,138 @@
+package runner
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStreamEmitsInOrder checks the core contract: emit sees every cell
+// exactly once, in index order, whatever the worker count and however
+// skewed the per-cell runtimes are.
+func TestStreamEmitsInOrder(t *testing.T) {
+	cells := make([]int, 100)
+	for i := range cells {
+		cells[i] = i
+	}
+	for _, workers := range []int{1, 2, 7, 16} {
+		rng := rand.New(rand.NewSource(1))
+		delays := make([]time.Duration, len(cells))
+		for i := range delays {
+			delays[i] = time.Duration(rng.Intn(300)) * time.Microsecond
+		}
+		var got []int
+		StreamN(workers, cells, func(i int, c int) int {
+			time.Sleep(delays[i])
+			return c * c
+		}, func(i int, r int) {
+			if r != i*i {
+				t.Fatalf("workers=%d: emit(%d) got %d, want %d", workers, i, r, i*i)
+			}
+			got = append(got, i)
+		})
+		want := make([]int, len(cells))
+		for i := range want {
+			want[i] = i
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: emission order %v", workers, got)
+		}
+	}
+}
+
+// TestStreamMatchesMap pins Stream's results to Map's for a pure cell
+// function.
+func TestStreamMatchesMap(t *testing.T) {
+	cells := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	fn := func(i int, c float64) float64 { return c * float64(i+1) }
+	want := MapN(4, cells, fn)
+	got := make([]float64, len(cells))
+	StreamN(4, cells, fn, func(i int, r float64) { got[i] = r })
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Stream %v != Map %v", got, want)
+	}
+}
+
+// TestStreamPanicPropagates checks a cell panic reaches the caller and
+// that cells before the panicked index still emit.
+func TestStreamPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if !strings.Contains(r.(error).Error(), "boom") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	cells := make([]int, 50)
+	var emitted atomic.Int64
+	StreamN(4, cells, func(i int, _ int) int {
+		if i == 25 {
+			panic("boom")
+		}
+		return i
+	}, func(i int, _ int) {
+		if i >= 25 {
+			t.Errorf("emit fired for cell %d past the panicked index", i)
+		}
+		emitted.Add(1)
+	})
+}
+
+// TestStreamBackpressureBoundsReorderWindow: a straggling early cell
+// must stall the pool once the reorder window fills, instead of letting
+// the whole sweep complete and pile up unemitted.
+func TestStreamBackpressureBoundsReorderWindow(t *testing.T) {
+	const workers = 4
+	cells := make([]int, 400)
+	var maxClaimed atomic.Int64
+	var emitted int
+	StreamN(workers, cells, func(i int, _ int) int {
+		for {
+			cur := maxClaimed.Load()
+			if int64(i) <= cur || maxClaimed.CompareAndSwap(cur, int64(i)) {
+				break
+			}
+		}
+		if i == 0 {
+			// Straggle: without backpressure the other workers chew
+			// through all 400 trivial cells during this sleep.
+			time.Sleep(100 * time.Millisecond)
+		}
+		return i
+	}, func(i int, r int) {
+		if i == 0 {
+			// Everything claimed so far ran ahead of a stalled frontier;
+			// the token pool caps that at the reorder window plus the
+			// workers' in-flight cells.
+			if got, limit := maxClaimed.Load(), int64(4*workers+workers); got > limit {
+				t.Errorf("claimed up to cell %d while cell 0 stalled (limit ~%d)", got, limit)
+			}
+		}
+		emitted++
+	})
+	if emitted != len(cells) {
+		t.Fatalf("emitted %d of %d after the frontier released", emitted, len(cells))
+	}
+}
+
+// TestStreamEmptyAndSingle covers the degenerate shapes.
+func TestStreamEmptyAndSingle(t *testing.T) {
+	StreamN(4, nil, func(i int, c int) int { return c }, func(int, int) {
+		t.Fatal("emit on empty cells")
+	})
+	var n int
+	StreamN(4, []int{7}, func(i int, c int) int { return c }, func(i int, r int) {
+		if i != 0 || r != 7 {
+			t.Fatalf("got (%d,%d)", i, r)
+		}
+		n++
+	})
+	if n != 1 {
+		t.Fatalf("emit count %d", n)
+	}
+}

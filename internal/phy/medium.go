@@ -130,6 +130,7 @@ type Medium struct {
 	shadow map[[2]int]float64 // symmetric per-pair shadowing, dB; cold (gain build only)
 	ber    map[[2]int]float64 // staging for per-directed-link bit error rates
 	gain   [][]float64        // cached rx power in mW; built lazily
+	table  *GainTable         // frozen gain table backing gain (possibly shared)
 
 	// Dense [src*n+dst] mirrors, built when the medium freezes.
 	ln1mBER  []float64 // log1p(-ber); 0 means a clean link
@@ -255,6 +256,26 @@ func (m *Medium) GainMW(a, b int) float64 {
 // RxPowerDBm returns the received power in dBm at b when a transmits.
 func (m *Medium) RxPowerDBm(a, b int) float64 { return MWToDBm(m.GainMW(a, b)) }
 
+// SetGainTable installs a precomputed gain table, sparing the O(n²)
+// path-loss rebuild when many simulations share one mesh layout. It must
+// be called before the medium freezes, and the table must have been
+// built for the same radio count, positions, shadowing and config the
+// medium would otherwise compute from — the topology cache guarantees
+// this by keying tables on the layout inputs.
+func (m *Medium) SetGainTable(t *GainTable) {
+	if m.gain != nil {
+		panic("phy: SetGainTable after medium in use")
+	}
+	m.table = t
+}
+
+// GainTable returns the medium's frozen gain table, freezing the medium
+// if needed. The table is immutable and safe to share across media.
+func (m *Medium) GainTable() *GainTable {
+	m.freeze()
+	return m.table
+}
+
 // freeze builds the gain matrix and the dense per-link mirrors; radios
 // can no longer be added afterwards.
 func (m *Medium) freeze() {
@@ -262,20 +283,26 @@ func (m *Medium) freeze() {
 		return
 	}
 	n := len(m.radios)
-	m.gain = make([][]float64, n)
-	flat := make([]float64, n*n)
-	for i := range m.gain {
-		m.gain[i], flat = flat[:n], flat[n:]
-	}
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
-			}
-			d := m.radios[i].pos.Distance(m.radios[j].pos)
-			pl := m.cfg.Prop.PathLossDB(d, m.shadow[pairKey(i, j)])
-			m.gain[i][j] = DBmToMW(m.cfg.TxPowerDBm - pl)
+	if m.table == nil {
+		pos := make([]Position, n)
+		for i, r := range m.radios {
+			pos[i] = r.pos
 		}
+		m.table = BuildGainTable(m.cfg, pos, m.shadow)
+	} else {
+		if m.table.n != n {
+			panic(fmt.Sprintf("phy: gain table built for %d radios, medium has %d", m.table.n, n))
+		}
+		if len(m.shadow) > 0 {
+			// Shadows staged via SetShadow would be silently ignored in
+			// favour of the preset table — the builder must fold them
+			// into BuildGainTable instead.
+			panic("phy: SetShadow combined with SetGainTable; bake shadowing into the table")
+		}
+	}
+	m.gain = make([][]float64, n) // non-nil marks the medium frozen
+	for i := range m.gain {
+		m.gain[i] = m.table.mw[i*n : (i+1)*n]
 	}
 	m.ln1mBER = make([]float64, n*n)
 	for k, ber := range m.ber {

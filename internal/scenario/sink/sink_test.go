@@ -1,0 +1,117 @@
+package sink
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func rec(series string, cell int, fields ...Field) Record {
+	return Record{Scenario: "test", Series: series, Cell: cell, Fields: fields}
+}
+
+func TestJSONLFormat(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONL(&buf)
+	if err := s.Write(rec("a", 0, F("x", 1.5), F("name", "hi"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(rec("a", 1, F("x", math.NaN()))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"scenario":"test","series":"a","cell":0,"x":1.5,"name":"hi"}
+{"scenario":"test","series":"a","cell":1,"x":null}
+`
+	if buf.String() != want {
+		t.Fatalf("JSONL output:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestJSONLDeterministic(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		s := NewJSONL(&buf)
+		for i := 0; i < 10; i++ {
+			s.Write(rec("s", i, F("v", float64(i)/3), F("flag", i%2 == 0)))
+		}
+		s.Close()
+		return buf.String()
+	}
+	if render() != render() {
+		t.Fatal("JSONL output is not deterministic")
+	}
+}
+
+func TestCSVHeaderPerSeries(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewCSV(&buf)
+	s.Write(rec("a", 0, F("x", 1.25)))
+	s.Write(rec("a", 1, F("x", 2.5)))
+	s.Write(rec("b", 0, F("y", "z")))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	want := []string{
+		"scenario,series,cell,x",
+		"test,a,0,1.25",
+		"test,a,1,2.5",
+		"scenario,series,cell,y",
+		"test,b,0,z",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("CSV lines: %v", lines)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("CSV line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+// TestCSVHeaderOnSchemaChange: records in one series with different
+// field sets (e.g. a skipped fig14 config's short record) must get a
+// fresh header so values never land under the wrong columns.
+func TestCSVHeaderOnSchemaChange(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewCSV(&buf)
+	s.Write(rec("config", 0, F("skipped", false), F("ratio", 1.25)))
+	s.Write(rec("config", 1, F("skipped", true)))
+	s.Write(rec("config", 2, F("skipped", false), F("ratio", 0.5)))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"scenario,series,cell,skipped,ratio",
+		"test,config,0,false,1.25",
+		"scenario,series,cell,skipped",
+		"test,config,1,true",
+		"scenario,series,cell,skipped,ratio",
+		"test,config,2,false,0.5",
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(want) {
+		t.Fatalf("CSV lines: %v", lines)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("CSV line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestMemoryCollects(t *testing.T) {
+	m := NewMemory()
+	m.Write(rec("a", 0, F("x", 1)))
+	m.Write(rec("a", 1, F("x", 2)))
+	if got := m.Records(); len(got) != 2 || got[1].Cell != 1 {
+		t.Fatalf("memory records: %+v", got)
+	}
+	if err := Discard.Write(rec("a", 0)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/node"
 	"repro/internal/phy"
 	"repro/internal/sim"
+	"repro/internal/topology/cache"
 )
 
 // Link is a directed transmitter->receiver pair.
@@ -36,6 +37,25 @@ func New(seed int64, cfg phy.Config, positions []phy.Position, defaultRate phy.R
 	med := phy.NewMedium(s, cfg)
 	n := &Network{Sim: s, Medium: med}
 	for _, p := range positions {
+		r := med.AddRadio(p)
+		n.Nodes = append(n.Nodes, node.New(med, r, defaultRate))
+	}
+	return n
+}
+
+// pooledNew is New with the gain table drawn from the shared layout
+// pool: cells sharing a layout key reuse one frozen table instead of
+// recomputing the O(n²) path-loss matrix per simulation. The builders
+// below all use phy.DefaultConfig, which the pool keys assume.
+func pooledNew(simSeed int64, key cache.Key, pos []phy.Position, shadow map[[2]int]float64, defaultRate phy.Rate) *Network {
+	cfg := phy.DefaultConfig()
+	s := sim.New(simSeed)
+	med := phy.NewMedium(s, cfg)
+	med.SetGainTable(cache.Shared.Get(key, func() *phy.GainTable {
+		return phy.BuildGainTable(cfg, pos, shadow)
+	}))
+	n := &Network{Sim: s, Medium: med}
+	for _, p := range pos {
 		r := med.AddRadio(p)
 		n.Nodes = append(n.Nodes, node.New(med, r, defaultRate))
 	}
@@ -119,7 +139,6 @@ type TwoLinkResult struct {
 // transmit power and the default propagation, the carrier-sense and
 // interference relations defining each class hold.
 func TwoLink(seed int64, class Class, rate1, rate2 phy.Rate) *TwoLinkResult {
-	cfg := phy.DefaultConfig()
 	var pos []phy.Position
 	switch class {
 	case CS:
@@ -137,7 +156,7 @@ func TwoLink(seed int64, class Class, rate1, rate2 phy.Rate) *TwoLinkResult {
 	default:
 		panic("topology: unknown class")
 	}
-	nw := New(seed, cfg, pos, rate1)
+	nw := pooledNew(seed, cache.Key{Kind: "twolink-" + class.String(), N: len(pos)}, pos, nil, rate1)
 	res := &TwoLinkResult{Network: nw, Link1: Link{0, 1}, Link2: Link{2, 3}}
 	nw.SetRate(res.Link1, rate1)
 	nw.SetRate(res.Link2, rate2)
@@ -153,7 +172,7 @@ func Chain(seed int64, n int, hopMetres float64, rate phy.Rate) *Network {
 	for i := range pos {
 		pos[i] = phy.Position{X: float64(i) * hopMetres}
 	}
-	nw := New(seed, phy.DefaultConfig(), pos, rate)
+	nw := pooledNew(seed, cache.Key{Kind: "chain", N: n, Param: hopMetres}, pos, nil, rate)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if i == j {
@@ -197,9 +216,18 @@ func Mesh18Seeded(layoutSeed, simSeed int64) *Network {
 	cluster(160, 40, 5, 60)  // building B
 	cluster(320, 0, 4, 60)   // building C
 	cluster(160, 160, 4, 90) // parking lot strip
-	nw := New(simSeed, phy.DefaultConfig(), pos, phy.Rate11)
 
-	// Wall/floor attenuation between different clusters.
+	// Wall/floor attenuation between different clusters. Shadows feed the
+	// gain-table build (via the layout pool) rather than the medium: the
+	// table is a pure function of (layoutSeed), so cells sharing a layout
+	// reuse one frozen table.
+	shadow := make(map[[2]int]float64)
+	setShadow := func(i, j int, db float64) {
+		if i > j {
+			i, j = j, i
+		}
+		shadow[[2]int{i, j}] = db
+	}
 	clusterOf := func(i int) int {
 		switch {
 		case i < 5:
@@ -217,17 +245,18 @@ func Mesh18Seeded(layoutSeed, simSeed int64) *Network {
 			ci, cj := clusterOf(i), clusterOf(j)
 			if ci == cj {
 				if rng.Float64() < 0.3 { // interior walls
-					nw.Medium.SetShadow(i, j, 3+rng.Float64()*5)
+					setShadow(i, j, 3+rng.Float64()*5)
 				}
 				continue
 			}
 			if ci == 3 || cj == 3 { // outdoor path: mild
-				nw.Medium.SetShadow(i, j, rng.Float64()*6)
+				setShadow(i, j, rng.Float64()*6)
 			} else { // building to building
-				nw.Medium.SetShadow(i, j, 6+rng.Float64()*12)
+				setShadow(i, j, 6+rng.Float64()*12)
 			}
 		}
 	}
+	nw := pooledNew(simSeed, cache.Key{Kind: "mesh18", Seed: layoutSeed, N: len(pos)}, pos, shadow, phy.Rate11)
 
 	// Channel error diversity: most links clean, a fifth moderate, a
 	// tenth poor — matching the testbed's mix of good and marginal links.
@@ -264,7 +293,7 @@ func Mesh18Seeded(layoutSeed, simSeed int64) *Network {
 // annihilation and not even rate control can revive the 2-hop flow.
 func GatewayScenario(seed int64, rate phy.Rate) *Network {
 	pos := []phy.Position{{X: 0}, {X: 90}, {X: 240}}
-	nw := New(seed, phy.DefaultConfig(), pos, rate)
+	nw := pooledNew(seed, cache.Key{Kind: "gateway", N: len(pos)}, pos, nil, rate)
 	for i := 0; i < 3; i++ {
 		for j := 0; j < 3; j++ {
 			if i == j {

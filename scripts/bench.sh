@@ -3,14 +3,24 @@
 # snapshot so successive PRs accumulate a performance trajectory.
 #
 # Usage: scripts/bench.sh [output.json]
-#   default output: BENCH_1.json in the repo root (bump the number per PR)
+#   default output: the next free BENCH_<n>.json in the repo root, so
+#   successive PRs never clobber an earlier snapshot. An explicit output
+#   path that already exists is refused for the same reason.
 #
 # The JSON maps benchmark name -> {ns_per_op, bytes_per_op, allocs_per_op},
 # taking the fastest of -count=3 runs (the usual noise-robust choice).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_1.json}"
+OUT="${1:-}"
+if [ -z "$OUT" ]; then
+    n=1
+    while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
+    OUT="BENCH_${n}.json"
+elif [ -e "$OUT" ]; then
+    echo "refusing to overwrite existing $OUT (pass a fresh path or let bench.sh pick the next free index)" >&2
+    exit 1
+fi
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 

@@ -24,4 +24,10 @@ go test ./...
 echo "== go test -race (parallel experiment engine)"
 go test -race ./internal/experiments/...
 
+echo "== scenario schema gate (round-trip parse/marshal goldens)"
+go test ./internal/scenario -run 'TestGolden|TestBuiltinsMarshalParse' -count=1
+
+echo "== scenario smoke (meshopt run quickstart at quick scale)"
+go run ./cmd/meshopt run quickstart -scale quick -o /dev/null
+
 echo "CI OK"
