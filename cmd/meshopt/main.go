@@ -1,29 +1,32 @@
 // Command meshopt regenerates the paper's evaluation figures on the
-// simulated mesh substrate and runs declarative scenarios.
+// simulated mesh substrate and runs declarative scenarios, all through
+// one experiment registry.
 //
 // Usage:
 //
-//	meshopt -fig 3                  # reproduce one figure (3..14)
-//	meshopt -all                    # reproduce every figure
-//	meshopt -fig 13 -scale paper -seed 7
-//	meshopt -all -workers 8         # pin the experiment worker pool
-//	meshopt run quickstart          # run a registered scenario
+//	meshopt fig 10                      # run one figure suite (3..14, or a name)
+//	meshopt fig netvalid -scale paper
+//	meshopt fig 10 -shard 0/2 -o s0.jsonl   # one residue class of the cells
+//	meshopt merge -o full.jsonl s0.jsonl s1.jsonl
+//	meshopt run quickstart              # run a registered scenario
 //	meshopt run spec.json -o out.jsonl -format jsonl
-//	meshopt list                    # enumerate figures and scenarios
+//	meshopt list                        # figures and scenarios in one table
 //
-// Figures 7, 8 and 12 share one network-validation run and are printed
-// together when any of them is requested.
+// Every figure suite is an experiment: a deterministic cell enumeration
+// streamed as one record per cell (JSONL or CSV) plus a reduced summary.
+// Records go to stdout (summary to stderr) by default, or to the -o file
+// (summary to stdout).
 //
-// `run` executes a scenario — a registered name or a JSON spec file
-// (see internal/scenario) — streaming per-cell result records as JSONL
-// (or CSV) while a human-readable summary goes to the other stream:
-// records to stdout and summary to stderr by default, records to the
-// -o file and summary to stdout when -o is given.
+// Sharding: `-shard i/k` runs the cells whose index ≡ i (mod k) and
+// streams their records; `meshopt merge` recombines shard files into a
+// stream byte-identical to an unsharded run — for any -workers value on
+// any shard — and prints the same reduced summary. Shard streams must be
+// JSONL.
 //
-// Experiments fan independent simulation cells out across a worker pool
-// (GOMAXPROCS workers by default; see internal/experiments/runner). The
-// output — streamed records included — is bit-identical for any
-// -workers value.
+// The flag-driven figure mode (`meshopt -fig N`, `-all`) remains as a
+// deprecated alias over the same registry; `-all` now spans the whole
+// registry — netvalid and the exhaustive comparison included — not just
+// the numbered figures.
 package main
 
 import (
@@ -32,36 +35,23 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/experiments/exp"
 	"repro/internal/experiments/runner"
 	"repro/internal/scenario"
 	"repro/internal/scenario/sink"
 )
 
-// figDescriptions names every reproducible figure for `list`.
-var figDescriptions = []struct {
-	fig  int
-	desc string
-}{
-	{3, "pairwise LIR distributions at 1 and 11 Mb/s (bimodality of interference)"},
-	{4, "binary interference classifier false positives/negatives per class"},
-	{5, "three-point feasibility check on CS/IA/NF rate regions"},
-	{6, "LIR threshold sensitivity over the measured LIR population"},
-	{7, "network validation: over-estimation of the feasible rate region"},
-	{8, "network validation: under-estimation and scaled-gain variants"},
-	{9, "channel-loss estimator cases (sliding-minimum curve and knee)"},
-	{10, "channel-loss estimation accuracy: error CDF and RMSE vs window"},
-	{11, "online capacity estimation vs Ad Hoc Probe on sampled links"},
-	{12, "two-hop conflict model vs measured LIR conflicts"},
-	{13, "two-flow upstream TCP starvation and rate-control regimes"},
-	{14, "multi-config TCP suite: throughput ratio, fairness, feasibility, stability"},
-}
-
 func main() {
 	if len(os.Args) > 1 {
 		switch os.Args[1] {
+		case "fig":
+			os.Exit(runFig(os.Args[2:]))
+		case "merge":
+			os.Exit(runMerge(os.Args[2:]))
 		case "run":
 			os.Exit(runScenario(os.Args[2:]))
 		case "list":
@@ -72,20 +62,197 @@ func main() {
 	legacyFigures()
 }
 
-// list enumerates figures and registered scenarios with one-line
-// descriptions.
+// list enumerates figure experiments and registered scenarios in one
+// table.
 func list(w io.Writer) {
-	fmt.Fprintln(w, "Figures (meshopt -fig N):")
-	for _, f := range figDescriptions {
-		fmt.Fprintf(w, "  %2d  %s\n", f.fig, f.desc)
+	fmt.Fprintf(w, "%-12s %-9s %s\n", "NAME", "KIND", "DESCRIPTION")
+	for _, name := range exp.Names() {
+		e, _ := exp.Find(name)
+		fmt.Fprintf(w, "%-12s %-9s %s\n", name, "figure", e.Describe())
 	}
-	fmt.Fprintln(w, "\nScenarios (meshopt run NAME):")
 	names := scenario.Names()
 	sort.Strings(names)
 	for _, n := range names {
-		fmt.Fprintf(w, "  %-11s %s\n", n, scenario.Describe(n))
+		if spec, ok := scenario.Lookup(n); ok && spec.Figure != 0 {
+			continue // figure delegates already listed above
+		}
+		fmt.Fprintf(w, "%-12s %-9s %s\n", n, "scenario", scenario.Describe(n))
 	}
-	fmt.Fprintln(w, "\nA JSON spec file also works: meshopt run path/to/spec.json")
+	aliases := exp.Aliases()
+	var as []string
+	for a := range aliases {
+		as = append(as, a)
+	}
+	sort.Strings(as)
+	for _, a := range as {
+		fmt.Fprintf(w, "%-12s %-9s alias of %s\n", a, "figure", aliases[a])
+	}
+	fmt.Fprintln(w, "\nRun figures with `meshopt fig <n|name>`, scenarios with `meshopt run <name|spec.json>`.")
+}
+
+// resolveExperiment maps a CLI target — a figure number or a registry
+// name/alias — to its experiment.
+func resolveExperiment(target string) (exp.Experiment, bool) {
+	if n, err := strconv.Atoi(target); err == nil {
+		return exp.Find(fmt.Sprintf("fig%d", n))
+	}
+	return exp.Find(target)
+}
+
+// parseScale resolves the -scale flag.
+func parseScale(name string) (experiments.Scale, error) {
+	switch name {
+	case "quick":
+		return experiments.Quick(), nil
+	case "paper":
+		return experiments.Paper(), nil
+	}
+	return experiments.Scale{}, fmt.Errorf("unknown scale %q (want quick or paper)", name)
+}
+
+// openRecords routes the record stream and the human-readable summary:
+// records to stdout (summary to stderr) unless -o sends records to a
+// file (summary to stdout). The returned closer finalizes the -o file.
+func openRecords(out string) (recordW io.Writer, logW io.Writer, closer func() error, err error) {
+	if out == "" {
+		return os.Stdout, os.Stderr, func() error { return nil }, nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return f, os.Stdout, f.Close, nil
+}
+
+// runFig implements the `fig` subcommand. Exit codes: 0 ok, 1 runtime
+// failure, 2 usage or unknown figure.
+func runFig(args []string) int {
+	fs := flag.NewFlagSet("meshopt fig", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "experiment seed")
+	scaleName := fs.String("scale", "quick", "experiment scale: quick or paper")
+	workers := fs.Int("workers", 0, "experiment worker pool size; 0 = GOMAXPROCS")
+	shardSpec := fs.String("shard", "", "run one residue class of cells (i/k, e.g. 0/2); requires -format jsonl")
+	out := fs.String("o", "", "write result records to this file (default: stdout)")
+	format := fs.String("format", "jsonl", "record format: jsonl or csv")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: meshopt fig <n|name> [flags]")
+		fs.PrintDefaults()
+	}
+	// Accept the target either before or after the flags.
+	var target string
+	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		target, args = args[0], args[1:]
+	}
+	fs.Parse(args)
+	if target == "" && fs.NArg() > 0 {
+		target = fs.Arg(0)
+	}
+	if target == "" {
+		fs.Usage()
+		return 2
+	}
+	e, ok := resolveExperiment(target)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\nregistered: %v\n", target, exp.Names())
+		return 2
+	}
+	sc, err := parseScale(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var shard exp.Shard
+	if *shardSpec != "" {
+		if shard, err = exp.ParseShard(*shardSpec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if *format != "jsonl" {
+			fmt.Fprintln(os.Stderr, "-shard requires -format jsonl (shard streams are merged line-wise)")
+			return 2
+		}
+	}
+	if *format != "jsonl" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "unknown format %q (want jsonl or csv)\n", *format)
+		return 2 // before os.Create: a usage error must not truncate -o
+	}
+
+	runner.SetWorkers(*workers)
+	recordW, logW, closeOut, err := openRecords(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var snk sink.Sink
+	if *format == "csv" {
+		snk = sink.NewCSV(recordW)
+	} else {
+		snk = sink.NewJSONL(recordW)
+	}
+
+	start := time.Now()
+	res, err := exp.Run(e, *seed, sc, exp.Options{Sink: snk, Shard: shard})
+	if cerr := snk.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := closeOut(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if shard.Enabled() {
+		fmt.Fprintf(logW, "%s shard %s streamed in %v (merge shards with `meshopt merge` for the reduction)\n",
+			e.Name(), shard, time.Since(start).Round(time.Millisecond))
+		return 0
+	}
+	res.Print(logW)
+	fmt.Fprintf(logW, "done in %v\n", time.Since(start).Round(time.Millisecond))
+	return 0
+}
+
+// runMerge implements the `merge` subcommand: recombine shard JSONL
+// files into the unsharded stream and print its reduction.
+func runMerge(args []string) int {
+	fs := flag.NewFlagSet("meshopt merge", flag.ExitOnError)
+	out := fs.String("o", "", "write the merged records to this file (default: stdout)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: meshopt merge [-o merged.jsonl] shard0.jsonl shard1.jsonl ...")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+	var ins []io.Reader
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer f.Close()
+		ins = append(ins, f)
+	}
+	recordW, logW, closeOut, err := openRecords(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	res, err := exp.Merge(ins, recordW)
+	if cerr := closeOut(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if res != nil {
+		res.Print(logW)
+	}
+	return 0
 }
 
 // runScenario implements the `run` subcommand. Exit codes: 0 ok, 1
@@ -117,16 +284,12 @@ func runScenario(args []string) int {
 
 	runner.SetWorkers(*workers)
 	opts := scenario.Options{}
-	switch *scaleName {
-	case "quick":
-		opts.Scale = experiments.Quick()
-		opts.Quick = true
-	case "paper":
-		opts.Scale = experiments.Paper()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or paper)\n", *scaleName)
+	var err error
+	if opts.Scale, err = parseScale(*scaleName); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
+	opts.Quick = *scaleName == "quick"
 	seedSet := false
 	fs.Visit(func(f *flag.Flag) {
 		if f.Name == "seed" {
@@ -156,21 +319,12 @@ func runScenario(args []string) int {
 		fmt.Fprintf(os.Stderr, "unknown format %q (want jsonl or csv)\n", *format)
 		return 2 // before os.Create: a usage error must not truncate -o
 	}
-	// Records and summary share stdout/stderr without interleaving:
-	// records go to stdout (summary to stderr) unless -o routes them to
-	// a file (summary to stdout).
-	recordW := io.Writer(os.Stdout)
-	opts.Log = os.Stderr
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-		defer f.Close()
-		recordW = f
-		opts.Log = os.Stdout
+	recordW, logW, closeOut, err := openRecords(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
 	}
+	opts.Log = logW
 	if *format == "csv" {
 		opts.Sink = sink.NewCSV(recordW)
 	} else {
@@ -178,8 +332,11 @@ func runScenario(args []string) int {
 	}
 
 	start := time.Now()
-	err := scenario.Run(spec, opts)
+	err = scenario.Run(spec, opts)
 	if cerr := opts.Sink.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := closeOut(); err == nil {
 		err = cerr
 	}
 	if err != nil {
@@ -190,18 +347,21 @@ func runScenario(args []string) int {
 	return 0
 }
 
-// legacyFigures is the original flag-driven figure reproduction mode.
+// legacyFigures is the original flag-driven figure mode, kept as a
+// deprecated alias over the experiment registry.
 func legacyFigures() {
-	fig := flag.Int("fig", 0, "figure number to reproduce (3..14); 0 with -all for everything")
-	all := flag.Bool("all", false, "reproduce every figure")
+	fig := flag.Int("fig", 0, "deprecated: use `meshopt fig N`")
+	all := flag.Bool("all", false, "run every registered figure experiment")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or paper")
 	workers := flag.Int("workers", 0, "experiment worker pool size; 0 = GOMAXPROCS")
 	doList := flag.Bool("list", false, "list figures and registered scenarios, then exit")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: meshopt [-fig N | -all | -list] [flags]")
+		fmt.Fprintln(os.Stderr, "usage: meshopt fig <n|name> [flags]")
+		fmt.Fprintln(os.Stderr, "       meshopt merge [-o merged.jsonl] shard.jsonl ...")
 		fmt.Fprintln(os.Stderr, "       meshopt run <scenario.json|name> [flags]")
 		fmt.Fprintln(os.Stderr, "       meshopt list")
+		fmt.Fprintln(os.Stderr, "legacy flags (deprecated aliases over the same registry):")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -212,70 +372,65 @@ func legacyFigures() {
 	}
 
 	runner.SetWorkers(*workers)
-
-	var sc experiments.Scale
-	switch *scaleName {
-	case "quick":
-		sc = experiments.Quick()
-	case "paper":
-		sc = experiments.Paper()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or paper)\n", *scaleName)
+	sc, err := parseScale(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-
-	if !*all && (*fig < 3 || *fig > 14) {
+	if !*all && *fig == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	want := func(n int) bool { return *all || *fig == n }
+	var targets []string
+	if *all {
+		targets = exp.Names()
+	} else {
+		fmt.Fprintf(os.Stderr, "note: -fig is deprecated; use `meshopt fig %d`\n", *fig)
+		name := fmt.Sprintf("fig%d", *fig)
+		if _, ok := exp.Find(name); !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %d\n", *fig)
+			os.Exit(2)
+		}
+		targets = []string{name}
+	}
+
 	start := time.Now()
-
-	if want(3) || want(6) {
-		res3 := experiments.RunFig3(*seed, sc)
-		if want(3) {
-			res3.Print(os.Stdout)
-			fmt.Println()
+	// fig6 reduces the same cells fig3 measures; when -all runs both,
+	// capture fig3's record stream and replay it through fig6's
+	// reduction instead of paying the pairwise sweep twice.
+	var fig3Records []sink.Record
+	for _, name := range targets {
+		e, _ := exp.Find(name)
+		var res exp.Result
+		var err error
+		switch {
+		case *all && name == "fig3":
+			mem := sink.NewMemory()
+			res, err = exp.Run(e, *seed, sc, exp.Options{Sink: mem})
+			fig3Records = mem.Records()
+		case *all && name == "fig6" && fig3Records != nil:
+			res = replay(e, fig3Records)
+		default:
+			res, err = exp.Run(e, *seed, sc, exp.Options{})
 		}
-		if want(6) {
-			lirs := append(append([]float64(nil), res3.LIR1...), res3.LIR11...)
-			experiments.RunFig6(lirs).Print(os.Stdout)
-			fmt.Println()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
-	}
-	if want(4) {
-		experiments.RunFig4(*seed, sc).Print(os.Stdout)
+		res.Print(os.Stdout)
 		fmt.Println()
 	}
-	if want(5) {
-		experiments.RunFig5(*seed, sc).Print(os.Stdout)
-		fmt.Println()
-	}
-	if want(7) || want(8) || want(12) {
-		experiments.RunNetValidation(*seed, sc).Print(os.Stdout)
-		fmt.Println()
-	}
-	if want(9) {
-		experiments.RunFig9(*seed, sc).Print(os.Stdout)
-		fmt.Println()
-	}
-	if want(10) {
-		experiments.RunFig10(*seed, sc).Print(os.Stdout)
-		fmt.Println()
-	}
-	if want(11) {
-		experiments.RunFig11(*seed, sc).Print(os.Stdout)
-		fmt.Println()
-	}
-	if want(13) {
-		experiments.RunFig13(*seed, sc).Print(os.Stdout)
-		fmt.Println()
-	}
-	if want(14) {
-		experiments.RunFig14(*seed, sc).Print(os.Stdout)
-		fmt.Println()
-	}
-
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// replay feeds an already-gathered record stream to an experiment's
+// reduction.
+func replay(e exp.Experiment, recs []sink.Record) exp.Result {
+	ch := make(chan sink.Record, len(recs))
+	for _, rec := range recs {
+		ch <- rec
+	}
+	close(ch)
+	return e.Reduce(ch)
 }

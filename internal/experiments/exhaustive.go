@@ -5,9 +5,10 @@ import (
 	"io"
 
 	"repro/internal/core/feasibility"
-	"repro/internal/experiments/runner"
+	"repro/internal/experiments/exp"
 	"repro/internal/measure"
 	"repro/internal/phy"
+	"repro/internal/scenario/sink"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
@@ -31,43 +32,72 @@ type ExhaustiveResult struct {
 	Sampled         int
 }
 
-// RunExhaustive measures every activation combination of the first three
+// exhaustiveLinks are the chain links every activation combination
+// draws from.
+var exhaustiveLinks = []topology.Link{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}}
+
+// exhaustiveCell is one activation-mask measurement.
+type exhaustiveCell struct {
+	seed int64
+	sc   Scale
+	mask int
+}
+
+// exhaustiveExp measures every activation combination of the first three
 // links of a mesh chain and compares the resulting measured-point region
 // with the MIS region built from solo capacities and measured pairwise
 // LIRs. Each activation combination is an independent cell on its own
 // chain instance.
-func RunExhaustive(seed int64, sc Scale) ExhaustiveResult {
-	links := []topology.Link{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}}
-	res := ExhaustiveResult{Links: links}
+type exhaustiveExp struct{}
 
-	// Measure every nonempty combination (7 activations for L=3).
-	masks := make([]int, 0, 1<<len(links)-1)
-	for mask := 1; mask < 1<<len(links); mask++ {
-		masks = append(masks, mask)
+func (exhaustiveExp) Name() string { return "exhaustive" }
+func (exhaustiveExp) Describe() string {
+	return "O(2^L) measured feasibility region vs the online MIS construction (§3.2 offline alternative)"
+}
+
+func (exhaustiveExp) Cells(seed int64, sc Scale) []exp.Cell {
+	var cells []exp.Cell
+	for mask := 1; mask < 1<<len(exhaustiveLinks); mask++ {
+		cells = append(cells, exp.Cell{Seed: seed, Data: exhaustiveCell{seed: seed, sc: sc, mask: mask}})
 	}
-	points := runner.Map(masks, func(_ int, mask int) []float64 {
-		nw := topology.Chain(seed, 4, 70, phy.Rate11)
-		var active []topology.Link
-		for i := range links {
-			if mask&(1<<i) != 0 {
-				active = append(active, links[i])
-			}
+	return cells
+}
+
+func (exhaustiveExp) RunCell(c exp.Cell) sink.Record {
+	d := c.Data.(exhaustiveCell)
+	nw := topology.Chain(d.seed, 4, 70, phy.Rate11)
+	var active []topology.Link
+	for i := range exhaustiveLinks {
+		if d.mask&(1<<i) != 0 {
+			active = append(active, exhaustiveLinks[i])
 		}
-		out := measure.Simultaneous(nw, active, traffic.DefaultPayload, sc.PhaseDur)
-		point := make([]float64, len(links))
-		ai := 0
-		for i := range links {
-			if mask&(1<<i) != 0 {
-				point[i] = out[ai].ThroughputBps
-				ai++
-			}
+	}
+	out := measure.Simultaneous(nw, active, traffic.DefaultPayload, d.sc.PhaseDur)
+	point := make([]float64, len(exhaustiveLinks))
+	ai := 0
+	for i := range exhaustiveLinks {
+		if d.mask&(1<<i) != 0 {
+			point[i] = out[ai].ThroughputBps
+			ai++
 		}
-		return point
-	})
+	}
+	return sink.Record{Fields: []sink.Field{
+		sink.F("mask", d.mask),
+		sink.F("point_bps", point),
+	}}
+}
+
+func (exhaustiveExp) Reduce(recs <-chan sink.Record) exp.Result {
+	links := exhaustiveLinks
+	res := ExhaustiveResult{Links: links}
 	byMask := map[int][]float64{}
-	for i, mask := range masks {
-		byMask[mask] = points[i]
-		res.MeasuredPoints = append(res.MeasuredPoints, points[i])
+	for rec := range recs {
+		point := rec.Floats("point_bps")
+		byMask[rec.Int("mask")] = point
+		res.MeasuredPoints = append(res.MeasuredPoints, point)
+	}
+	if len(byMask) < 1<<len(links)-1 {
+		return res
 	}
 	exhaustive := &feasibility.Region{Points: res.MeasuredPoints,
 		Capacities: []float64{byMask[1][0], byMask[2][1], byMask[4][2]}}
@@ -124,6 +154,13 @@ func RunExhaustive(seed int64, sc Scale) ExhaustiveResult {
 		res.MISConservative = 1
 	}
 	return res
+}
+
+// RunExhaustive runs the region comparison through the experiment
+// engine.
+func RunExhaustive(seed int64, sc Scale) ExhaustiveResult {
+	res, _ := exp.Run(exhaustiveExp{}, seed, sc, exp.Options{})
+	return res.(ExhaustiveResult)
 }
 
 // Print emits the comparison summary.

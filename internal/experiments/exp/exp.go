@@ -1,0 +1,237 @@
+// Package exp is the unified experiment abstraction: every figure of the
+// paper's evaluation — and any workload shaped like one — is a sweep of
+// independent simulation cells reduced to a result over an ordered record
+// stream.
+//
+// An Experiment declares its cell enumeration (Cells: inputs plus
+// pre-assigned seeds, computed before any fan-out), a deterministic
+// private-state cell body (RunCell), and a streaming reduction (Reduce)
+// that folds records in cell order. The engine (Run) owns everything
+// else: fanning cells over the parallel worker pool, normalizing and
+// streaming one record per cell to a sink in deterministic cell order,
+// and feeding the same ordered stream to the reduction.
+//
+// Because the record stream is the *only* channel between cells and the
+// reduction, a run can be split across processes: Run with a Shard
+// executes one residue class of the cell enumeration and streams its
+// records, and Merge recombines shard streams into the byte-identical
+// unsharded stream and the same reduction. The engine's determinism
+// contract therefore extends across process boundaries: for any worker
+// count and any shard count, merged output is bit-identical to a
+// single-process run.
+//
+// The contract a cell body must honour is the runner's usual one:
+// derive all randomness from the cell's own inputs, build private
+// simulator/medium/node state, and write only to its return value.
+// Cells() itself must be a pure function of (seed, Scale) so every
+// shard enumerates the identical cell list.
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/experiments/runner"
+	"repro/internal/scenario/sink"
+	"repro/internal/sim"
+)
+
+// Scale sets the fidelity/runtime trade-off of an experiment run.
+type Scale struct {
+	// PhaseDur is the duration of one activation/measurement phase
+	// (the paper uses 30 s per phase).
+	PhaseDur sim.Time
+	// Pairs bounds how many link pairs Fig. 3/10/11-style sweeps visit.
+	Pairs int
+	// Configs bounds how many network configurations Figs. 7/8/12/14
+	// evaluate.
+	Configs int
+	// Iterations is the per-configuration repeat count.
+	Iterations int
+	// GridN is the per-axis resolution of feasibility-region sampling.
+	GridN int
+	// ProbeWindow is the estimator window S in probes.
+	ProbeWindow int
+	// ProbePeriod is the probing period.
+	ProbePeriod sim.Time
+	// TrafficDur is the duration of TCP/UDP application phases.
+	TrafficDur sim.Time
+}
+
+// Quick is the scale used by unit benches and tests: phases of a couple
+// of simulated seconds, few repetitions.
+func Quick() Scale {
+	return Scale{
+		PhaseDur:    2 * sim.Second,
+		Pairs:       12,
+		Configs:     3,
+		Iterations:  2,
+		GridN:       5,
+		ProbeWindow: 200,
+		ProbePeriod: 40 * sim.Millisecond,
+		TrafficDur:  8 * sim.Second,
+	}
+}
+
+// Paper approximates the paper's measurement durations (kept shorter than
+// the literal 30 s phases — the simulator's variance, unlike a testbed's,
+// is purely statistical and converges faster).
+func Paper() Scale {
+	return Scale{
+		PhaseDur:    10 * sim.Second,
+		Pairs:       141,
+		Configs:     10,
+		Iterations:  5,
+		GridN:       8,
+		ProbeWindow: 1280,
+		ProbePeriod: 100 * sim.Millisecond,
+		TrafficDur:  30 * sim.Second,
+	}
+}
+
+// Cell is one independent simulation unit of an experiment: a seed
+// assigned before the fan-out plus the experiment's own cell payload.
+// Index is the cell's position in the experiment's enumeration; the
+// engine assigns it, experiments never set it.
+type Cell struct {
+	Index int
+	Seed  int64
+	Data  any
+}
+
+// Result is a reduced experiment outcome; every figure's result type
+// satisfies it.
+type Result interface {
+	Print(w io.Writer)
+}
+
+// Experiment is one cell-streaming experiment. Implementations must keep
+// the three methods deterministic: Cells a pure function of its inputs,
+// RunCell private-state (per the runner contract), and Reduce a pure
+// function of the ordered record stream — the stream is the only data
+// that crosses a process boundary when a run is sharded, so anything the
+// reduction needs must ride in the records.
+type Experiment interface {
+	// Name is the registry key and the Scenario stamped on every record.
+	Name() string
+	// Describe is the one-line description `meshopt list` shows.
+	Describe() string
+	// Cells enumerates the run's independent cells, seeds pre-assigned.
+	Cells(seed int64, sc Scale) []Cell
+	// RunCell executes one cell and returns its record. The engine
+	// overwrites the record's Scenario and Cell and defaults its Series
+	// to "cell", so implementations only populate Fields (and Series
+	// when they want a non-default one).
+	RunCell(c Cell) sink.Record
+	// Reduce folds the ordered record stream (one record per cell, in
+	// cell order) into the experiment's result.
+	Reduce(recs <-chan sink.Record) Result
+}
+
+// Shard selects one residue class of a cell enumeration: a run with
+// Shard{i, k} executes exactly the cells whose index ≡ i (mod k). The
+// zero value means unsharded.
+type Shard struct {
+	Index, Count int
+}
+
+// Enabled reports whether the shard selects a strict subset of cells.
+func (s Shard) Enabled() bool { return s.Count > 0 }
+
+func (s Shard) String() string {
+	if !s.Enabled() {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}
+
+// ParseShard parses an "i/k" shard spec (0 <= i < k).
+func ParseShard(spec string) (Shard, error) {
+	var s Shard
+	if _, err := fmt.Sscanf(spec, "%d/%d", &s.Index, &s.Count); err != nil {
+		return Shard{}, fmt.Errorf("exp: shard %q: want i/k (e.g. 0/2)", spec)
+	}
+	if s.Count < 1 || s.Index < 0 || s.Index >= s.Count {
+		return Shard{}, fmt.Errorf("exp: shard %q: need 0 <= i < k", spec)
+	}
+	return s, nil
+}
+
+// Options tunes an engine run.
+type Options struct {
+	// Sink receives the streamed per-cell records; nil discards them.
+	Sink sink.Sink
+	// Shard restricts the run to one residue class of cells. A sharded
+	// run streams records but skips the reduction (Run returns a nil
+	// Result); Merge recombines shard streams and reduces.
+	Shard Shard
+}
+
+// Run executes an experiment: enumerate cells, fan them over the worker
+// pool, stream one normalized record per cell to the sink in cell order,
+// and reduce the same stream. The returned Result is nil for sharded
+// runs (a partial reduction would be meaningless); the error is the
+// first sink write failure, if any.
+//
+// Determinism: the record stream — and therefore the reduction — is
+// bit-identical for any worker count, and the concatenation (by Merge)
+// of all k shard streams is bit-identical to the unsharded stream.
+func Run(e Experiment, seed int64, sc Scale, o Options) (Result, error) {
+	cells := e.Cells(seed, sc)
+	for i := range cells {
+		cells[i].Index = i
+	}
+	snk := o.Sink
+	if snk == nil {
+		snk = sink.Discard
+	}
+	runCell := func(_ int, c Cell) sink.Record {
+		rec := e.RunCell(c)
+		rec.Scenario = e.Name()
+		rec.Cell = c.Index
+		if rec.Series == "" {
+			rec.Series = "cell"
+		}
+		return rec
+	}
+
+	if o.Shard.Enabled() {
+		var mine []Cell
+		for _, c := range cells {
+			if c.Index%o.Shard.Count == o.Shard.Index {
+				mine = append(mine, c)
+			}
+		}
+		var sinkErr error
+		runner.Stream(mine, runCell, func(_ int, rec sink.Record) {
+			if sinkErr == nil {
+				sinkErr = snk.Write(rec)
+			}
+		})
+		return nil, sinkErr
+	}
+
+	// The reduction consumes the stream concurrently with the sink; both
+	// see records in cell order. The deferred close keeps the reducer
+	// goroutine from leaking if a cell panics mid-run.
+	ch := make(chan sink.Record, 4*runner.Workers())
+	done := make(chan Result, 1)
+	go func() { done <- e.Reduce(ch) }()
+	closed := false
+	closeCh := func() {
+		if !closed {
+			closed = true
+			close(ch)
+		}
+	}
+	defer closeCh()
+	var sinkErr error
+	runner.Stream(cells, runCell, func(_ int, rec sink.Record) {
+		if sinkErr == nil {
+			sinkErr = snk.Write(rec)
+		}
+		ch <- rec
+	})
+	closeCh()
+	return <-done, sinkErr
+}

@@ -1,0 +1,201 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario/sink"
+)
+
+// toyResult is the toy experiment's reduction: the running sum of every
+// cell's value, in order.
+type toyResult struct {
+	Sum   float64
+	Cells int
+}
+
+func (r toyResult) Print(w io.Writer) { fmt.Fprintf(w, "toy: sum=%g over %d cells\n", r.Sum, r.Cells) }
+
+// toyExp is a minimal experiment: cell i contributes seed*100 + i.
+type toyExp struct{ n int }
+
+func (toyExp) Name() string     { return "toy" }
+func (toyExp) Describe() string { return "toy experiment for engine tests" }
+
+func (t toyExp) Cells(seed int64, sc Scale) []Cell {
+	cells := make([]Cell, t.n)
+	for i := range cells {
+		cells[i] = Cell{Seed: seed, Data: i}
+	}
+	return cells
+}
+
+func (toyExp) RunCell(c Cell) sink.Record {
+	i := c.Data.(int)
+	return sink.Record{Fields: []sink.Field{
+		sink.F("v", float64(c.Seed)*100+float64(i)),
+	}}
+}
+
+func (toyExp) Reduce(recs <-chan sink.Record) Result {
+	var res toyResult
+	for rec := range recs {
+		res.Sum += rec.Float("v")
+		res.Cells++
+	}
+	return res
+}
+
+func init() { Register(toyExp{n: 7}) }
+
+func TestRunNormalizesAndOrdersRecords(t *testing.T) {
+	mem := sink.NewMemory()
+	res, err := Run(toyExp{n: 7}, 3, Quick(), Options{Sink: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := mem.Records()
+	if len(recs) != 7 {
+		t.Fatalf("got %d records, want 7", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Scenario != "toy" || rec.Series != "cell" || rec.Cell != i {
+			t.Fatalf("record %d not normalized: %+v", i, rec)
+		}
+	}
+	want := toyResult{Sum: 300*7 + 21, Cells: 7}
+	if res != want {
+		t.Fatalf("reduced %+v, want %+v", res, want)
+	}
+}
+
+func TestRunShardSelectsResidueClass(t *testing.T) {
+	mem := sink.NewMemory()
+	res, err := Run(toyExp{n: 7}, 3, Quick(), Options{Sink: mem, Shard: Shard{Index: 1, Count: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil {
+		t.Fatalf("sharded run returned a result: %+v", res)
+	}
+	var cells []int
+	for _, rec := range mem.Records() {
+		cells = append(cells, rec.Cell)
+	}
+	if !reflect.DeepEqual(cells, []int{1, 4}) {
+		t.Fatalf("shard 1/3 of 7 cells ran %v, want [1 4]", cells)
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	if s, err := ParseShard("2/5"); err != nil || s != (Shard{Index: 2, Count: 5}) {
+		t.Fatalf("ParseShard(2/5) = %v, %v", s, err)
+	}
+	for _, bad := range []string{"", "x", "3/2", "2/2", "-1/2", "1/0"} {
+		if _, err := ParseShard(bad); err == nil {
+			t.Errorf("ParseShard(%q) accepted", bad)
+		}
+	}
+}
+
+// renderShards returns the full JSONL stream plus each of k shard
+// streams.
+func renderShards(t *testing.T, k int) (full []byte, shards [][]byte) {
+	t.Helper()
+	render := func(shard Shard) []byte {
+		var buf bytes.Buffer
+		s := sink.NewJSONL(&buf)
+		if _, err := Run(toyExp{n: 7}, 3, Quick(), Options{Sink: s, Shard: shard}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	full = render(Shard{})
+	for i := 0; i < k; i++ {
+		shards = append(shards, render(Shard{Index: i, Count: k}))
+	}
+	return full, shards
+}
+
+func TestMergeReassemblesShards(t *testing.T) {
+	for _, k := range []int{2, 3, 8, 9} { // 8 > cells: some empty shards; 9 ≡ shards of ≤1 cell
+		full, shards := renderShards(t, k)
+		var ins []io.Reader
+		for _, s := range shards {
+			ins = append(ins, bytes.NewReader(s))
+		}
+		var merged bytes.Buffer
+		res, err := Merge(ins, &merged)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if !bytes.Equal(merged.Bytes(), full) {
+			t.Fatalf("k=%d: merged stream differs:\nmerged:\n%s\nfull:\n%s", k, merged.Bytes(), full)
+		}
+		if res != (toyResult{Sum: 300*7 + 21, Cells: 7}) {
+			t.Fatalf("k=%d: merged reduction %+v", k, res)
+		}
+	}
+}
+
+func TestMergeDetectsMissingShard(t *testing.T) {
+	_, shards := renderShards(t, 2)
+	if _, err := Merge([]io.Reader{bytes.NewReader(shards[1])}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "missing") {
+		t.Fatalf("merge of a lone odd shard: err = %v, want missing-shard error", err)
+	}
+}
+
+func TestMergeRejectsDuplicateShard(t *testing.T) {
+	_, shards := renderShards(t, 2)
+	// The same shard twice: duplicated cells must not silently
+	// double-count in the reduction.
+	ins := []io.Reader{bytes.NewReader(shards[0]), bytes.NewReader(shards[0]), bytes.NewReader(shards[1])}
+	if _, err := Merge(ins, io.Discard); err == nil || !strings.Contains(err.Error(), "duplicated") {
+		t.Fatalf("merge with a duplicated shard: err = %v, want duplicate-shard error", err)
+	}
+}
+
+func TestMergeUnknownScenarioSkipsReduction(t *testing.T) {
+	in := strings.NewReader(`{"scenario":"nope","series":"cell","cell":0,"v":1}` + "\n")
+	var out bytes.Buffer
+	res, err := Merge([]io.Reader{in}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil {
+		t.Fatalf("unexpected reduction: %+v", res)
+	}
+	if !strings.Contains(out.String(), `"scenario":"nope"`) {
+		t.Fatalf("merged stream lost the record: %s", out.String())
+	}
+}
+
+func TestRegistryFindAliasesAndNames(t *testing.T) {
+	if _, ok := Find("toy"); !ok {
+		t.Fatal("toy not registered")
+	}
+	RegisterAlias("toy-alias", "toy")
+	if e, ok := Find("toy-alias"); !ok || e.Name() != "toy" {
+		t.Fatal("alias did not resolve")
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "toy-alias" {
+			t.Fatal("alias leaked into Names")
+		}
+		if n == "toy" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Names missing toy")
+	}
+}

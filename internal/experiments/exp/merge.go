@@ -1,0 +1,133 @@
+package exp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/scenario/sink"
+)
+
+// Merge recombines shard record streams (JSONL, as written by sharded
+// Run invocations) into the unsharded stream and its reduction.
+//
+// Lines are k-way merged by ascending cell index and written to out
+// *verbatim*, so the merged bytes are identical to what an unsharded run
+// would have streamed — the byte-identity contract holds across process
+// boundaries without re-serialization. In parallel, each line is decoded
+// and fed to the Reduce of the experiment registered under the stream's
+// scenario name; the returned Result is nil when the name resolves to no
+// registered experiment (e.g. a declarative scenario stream).
+//
+// Merge validates that the merged cell sequence is gapless from cell 0
+// (each record's cell equals the previous record's or follows it by
+// one), which catches a missing or truncated shard before it silently
+// corrupts a reduction.
+func Merge(ins []io.Reader, out io.Writer) (Result, error) {
+	if out == nil {
+		out = io.Discard
+	}
+	type cursor struct {
+		sc   *bufio.Scanner
+		line []byte
+		rec  sink.Record
+		ok   bool
+	}
+	advance := func(c *cursor) error {
+		for c.sc.Scan() {
+			line := c.sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			rec, err := sink.DecodeJSONL(line)
+			if err != nil {
+				return err
+			}
+			c.line = append(c.line[:0], line...)
+			c.rec = rec
+			c.ok = true
+			return nil
+		}
+		c.ok = false
+		return c.sc.Err()
+	}
+
+	cursors := make([]*cursor, len(ins))
+	for i, in := range ins {
+		cursors[i] = &cursor{sc: sink.NewLineScanner(in)}
+		if err := advance(cursors[i]); err != nil {
+			return nil, fmt.Errorf("exp: merge: shard %d: %w", i, err)
+		}
+	}
+
+	bw := bufio.NewWriter(out)
+	var (
+		reduceCh chan sink.Record
+		done     chan Result
+		started  bool
+		nextCell int
+	)
+	finish := func() Result {
+		if reduceCh == nil {
+			return nil
+		}
+		close(reduceCh)
+		reduceCh = nil
+		return <-done
+	}
+	defer finish()
+
+	for {
+		// Pick the cursor holding the smallest cell index (ties break to
+		// the earliest shard argument — disjoint residue classes never
+		// tie, so this only matters for degenerate inputs).
+		best := -1
+		for i, c := range cursors {
+			if c.ok && (best < 0 || c.rec.Cell < cursors[best].rec.Cell) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		c := cursors[best]
+
+		if !started {
+			started = true
+			if e, ok := Find(c.rec.Scenario); ok {
+				reduceCh = make(chan sink.Record, 64)
+				done = make(chan Result, 1)
+				go func(e Experiment, ch <-chan sink.Record) { done <- e.Reduce(ch) }(e, reduceCh)
+			}
+		}
+		// Experiment shard streams carry exactly one record per cell, so
+		// a reduction demands a strictly gapless, duplicate-free cell
+		// sequence — a repeated cell means the same shard (or an
+		// overlapping residue spec) was passed twice and would silently
+		// double-count in Reduce. Streams with no registered experiment
+		// (e.g. a scenario's multi-record cells) only need the sequence
+		// to stay contiguous.
+		if c.rec.Cell != nextCell && (reduceCh != nil || c.rec.Cell != nextCell-1) {
+			return nil, fmt.Errorf("exp: merge: cell %d follows cell %d — missing, truncated or duplicated shard?",
+				c.rec.Cell, nextCell-1)
+		}
+		nextCell = c.rec.Cell + 1
+
+		if _, err := bw.Write(c.line); err != nil {
+			return nil, err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return nil, err
+		}
+		if reduceCh != nil {
+			reduceCh <- c.rec
+		}
+		if err := advance(c); err != nil {
+			return nil, fmt.Errorf("exp: merge: shard %d: %w", best, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	return finish(), nil
+}

@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The registry maps experiment names to implementations. Experiments
+// register themselves at init (internal/experiments registers every
+// figure suite); the CLI, the scenario engine and Merge resolve names
+// through Find.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Experiment{}
+	aliases  = map[string]string{}
+	regOrder []string
+)
+
+// Register adds an experiment under its Name. Registering a duplicate or
+// empty name is a programming error and panics at init time.
+func Register(e Experiment) {
+	name := e.Name()
+	if name == "" {
+		panic("exp: Register with empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("exp: duplicate experiment %q", name))
+	}
+	if _, dup := aliases[name]; dup {
+		panic(fmt.Sprintf("exp: experiment %q collides with an alias", name))
+	}
+	registry[name] = e
+	regOrder = append(regOrder, name)
+}
+
+// RegisterAlias makes alias resolve to the experiment registered under
+// name (e.g. fig7/fig8/fig12 all resolve to the shared network
+// validation suite).
+func RegisterAlias(alias, name string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, ok := registry[name]; !ok {
+		panic(fmt.Sprintf("exp: alias %q for unregistered %q", alias, name))
+	}
+	if _, dup := registry[alias]; dup {
+		panic(fmt.Sprintf("exp: alias %q collides with an experiment", alias))
+	}
+	aliases[alias] = name
+}
+
+// Find resolves a name or alias to its experiment.
+func Find(name string) (Experiment, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if target, ok := aliases[name]; ok {
+		name = target
+	}
+	e, ok := registry[name]
+	return e, ok
+}
+
+// Names lists registered experiment names in registration order
+// (aliases excluded).
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, len(regOrder))
+	copy(out, regOrder)
+	return out
+}
+
+// Aliases returns the alias map (alias -> canonical name).
+func Aliases() map[string]string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make(map[string]string, len(aliases))
+	for a, n := range aliases {
+		out[a] = n
+	}
+	return out
+}

@@ -1,72 +1,38 @@
 // Package experiments reproduces every figure of the paper's evaluation
-// (Figs. 3-14) on the simulated mesh substrate. Each figure has a RunFigN
-// function returning a structured result with a Print method that emits
-// the same series the paper plots; bench_test.go and cmd/meshopt wrap
-// these. Scale parameters let benches run abbreviated versions while the
-// CLI runs paper-scale ones.
+// (Figs. 3-14) on the simulated mesh substrate. Each figure suite is an
+// exp.Experiment — a deterministic cell enumeration, a private-state
+// per-cell body, and a streaming reduction — registered in the exp
+// registry (see register.go); the engine in internal/experiments/exp
+// runs, streams, shards and merges them uniformly. The RunFigN functions
+// are thin wrappers returning each figure's structured result (with a
+// Print method emitting the series the paper plots); bench_test.go and
+// cmd/meshopt drive the same registry. Scale parameters let benches run
+// abbreviated versions while the CLI runs paper-scale ones.
 package experiments
 
 import (
 	"math/rand"
 
+	"repro/internal/experiments/exp"
 	"repro/internal/measure"
 	"repro/internal/phy"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
 
-// Scale sets the fidelity/runtime trade-off of an experiment run.
-type Scale struct {
-	// PhaseDur is the duration of one activation/measurement phase
-	// (the paper uses 30 s per phase).
-	PhaseDur sim.Time
-	// Pairs bounds how many link pairs Fig. 3/10/11-style sweeps visit.
-	Pairs int
-	// Configs bounds how many network configurations Figs. 7/8/12/14
-	// evaluate.
-	Configs int
-	// Iterations is the per-configuration repeat count.
-	Iterations int
-	// GridN is the per-axis resolution of feasibility-region sampling.
-	GridN int
-	// ProbeWindow is the estimator window S in probes.
-	ProbeWindow int
-	// ProbePeriod is the probing period.
-	ProbePeriod sim.Time
-	// TrafficDur is the duration of TCP/UDP application phases.
-	TrafficDur sim.Time
-}
+// Scale sets the fidelity/runtime trade-off of an experiment run; it
+// lives in the exp package alongside the engine, aliased here for the
+// many call sites that predate the unified API.
+type Scale = exp.Scale
 
 // Quick is the scale used by unit benches and tests: phases of a couple
 // of simulated seconds, few repetitions.
-func Quick() Scale {
-	return Scale{
-		PhaseDur:    2 * sim.Second,
-		Pairs:       12,
-		Configs:     3,
-		Iterations:  2,
-		GridN:       5,
-		ProbeWindow: 200,
-		ProbePeriod: 40 * sim.Millisecond,
-		TrafficDur:  8 * sim.Second,
-	}
-}
+func Quick() Scale { return exp.Quick() }
 
 // Paper approximates the paper's measurement durations (kept shorter than
 // the literal 30 s phases — the simulator's variance, unlike a testbed's,
 // is purely statistical and converges faster).
-func Paper() Scale {
-	return Scale{
-		PhaseDur:    10 * sim.Second,
-		Pairs:       141,
-		Configs:     10,
-		Iterations:  5,
-		GridN:       8,
-		ProbeWindow: 1280,
-		ProbePeriod: 100 * sim.Millisecond,
-		TrafficDur:  30 * sim.Second,
-	}
-}
+func Paper() Scale { return exp.Paper() }
 
 // PairSpec is a candidate link pair for pairwise experiments.
 type PairSpec struct {

@@ -4,9 +4,10 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/experiments/runner"
+	"repro/internal/experiments/exp"
 	"repro/internal/measure"
 	"repro/internal/phy"
+	"repro/internal/scenario/sink"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -21,49 +22,80 @@ type Fig3Result struct {
 
 // fig3Cell is one independent measurement cell: a link pair at a rate.
 type fig3Cell struct {
+	seed int64
+	sc   Scale
 	rate phy.Rate
 	pair PairSpec
 }
 
-// RunFig3 measures LIRs over sampled node-disjoint link pairs of the
+// fig3Exp measures LIRs over sampled node-disjoint link pairs of the
 // 18-node mesh at both data rates. Every pair is an independent cell —
-// it rebuilds the mesh from the run seed and owns its simulator — so the
-// sweep fans out across the worker pool with results gathered in pair
-// order.
-func RunFig3(seed int64, sc Scale) Fig3Result {
-	var cells []fig3Cell
+// it rebuilds the mesh from the run seed and owns its simulator.
+type fig3Exp struct{}
+
+func (fig3Exp) Name() string { return "fig3" }
+func (fig3Exp) Describe() string {
+	return "pairwise LIR distributions at 1 and 11 Mb/s (bimodality of interference)"
+}
+
+func (fig3Exp) Cells(seed int64, sc Scale) []exp.Cell {
+	var cells []exp.Cell
 	for _, rate := range []phy.Rate{phy.Rate1, phy.Rate11} {
 		nw := topologyAtRate(seed, rate)
 		for _, p := range SamplePairs(nw, rate, sc.Pairs, seed+int64(rate)) {
-			cells = append(cells, fig3Cell{rate: rate, pair: p})
+			cells = append(cells, exp.Cell{Seed: seed, Data: fig3Cell{seed: seed, sc: sc, rate: rate, pair: p}})
 		}
 	}
-	lirs := runner.Map(cells, func(_ int, c fig3Cell) float64 {
-		nw := topologyAtRate(seed, c.rate)
-		nw.SetRate(c.pair.L1, c.rate)
-		nw.SetRate(c.pair.L2, c.rate)
-		r := measure.MeasureLIR(nw, c.pair.L1, c.pair.L2, traffic.DefaultPayload, sc.PhaseDur)
-		if r.C11 <= 0 || r.C22 <= 0 {
-			return -1 // dead link; the paper excludes such pairs too
-		}
-		lir := r.LIR()
+	return cells
+}
+
+func (fig3Exp) RunCell(c exp.Cell) sink.Record {
+	d := c.Data.(fig3Cell)
+	nw := topologyAtRate(d.seed, d.rate)
+	nw.SetRate(d.pair.L1, d.rate)
+	nw.SetRate(d.pair.L2, d.rate)
+	r := measure.MeasureLIR(nw, d.pair.L1, d.pair.L2, traffic.DefaultPayload, d.sc.PhaseDur)
+	lir := -1.0 // dead link; the paper excludes such pairs too
+	if r.C11 > 0 && r.C22 > 0 {
+		lir = r.LIR()
 		if lir > 1 {
 			lir = 1 // measurement noise can nudge past 1
 		}
-		return lir
-	})
+	}
+	return sink.Record{Fields: []sink.Field{
+		sink.F("rate", int(d.rate)),
+		sink.F("pair", d.pair.L1.String()+"|"+d.pair.L2.String()),
+		sink.F("lir", lir),
+	}}
+}
+
+func (fig3Exp) Reduce(recs <-chan sink.Record) exp.Result {
+	return fig3Gather(recs)
+}
+
+// fig3Gather folds the record stream into the two per-rate populations;
+// fig3 and fig6 share it.
+func fig3Gather(recs <-chan sink.Record) Fig3Result {
 	var res Fig3Result
-	for i, c := range cells {
-		if lirs[i] < 0 {
+	for rec := range recs {
+		lir := rec.Float("lir")
+		if lir < 0 {
 			continue
 		}
-		if c.rate == phy.Rate1 {
-			res.LIR1 = append(res.LIR1, lirs[i])
+		if phy.Rate(rec.Int("rate")) == phy.Rate1 {
+			res.LIR1 = append(res.LIR1, lir)
 		} else {
-			res.LIR11 = append(res.LIR11, lirs[i])
+			res.LIR11 = append(res.LIR11, lir)
 		}
 	}
 	return res
+}
+
+// RunFig3 measures the Fig. 3 LIR populations through the experiment
+// engine.
+func RunFig3(seed int64, sc Scale) Fig3Result {
+	res, _ := exp.Run(fig3Exp{}, seed, sc, exp.Options{})
+	return res.(Fig3Result)
 }
 
 // Bimodality summarizes the two-mode structure the paper reports: the

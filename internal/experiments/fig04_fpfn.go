@@ -5,9 +5,10 @@ import (
 	"io"
 
 	"repro/internal/core/feasibility"
-	"repro/internal/experiments/runner"
+	"repro/internal/experiments/exp"
 	"repro/internal/measure"
 	"repro/internal/phy"
+	"repro/internal/scenario/sink"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -38,42 +39,90 @@ var fig4RateCombos = [][2]phy.Rate{
 
 // fig4Cell is one (class, rate combo, channel variant) configuration.
 type fig4Cell struct {
+	sc      Scale
 	class   topology.Class
 	combo   [2]phy.Rate
 	variant int // 0 = clean channel, 1 = lossy
 	seed    int64
 }
 
-// RunFig4 evaluates the binary-LIR two-point model (and the three-point
+// fig4Exp evaluates the binary-LIR two-point model (and the three-point
 // extension) on the CS/IA/NF classes across rate combinations, with and
 // without channel losses. Each configuration builds its own two-link
 // network, so the 18 cells fan out across the worker pool.
-func RunFig4(seed int64, sc Scale) Fig4Result {
-	var cells []fig4Cell
+type fig4Exp struct{}
+
+func (fig4Exp) Name() string { return "fig4" }
+func (fig4Exp) Describe() string {
+	return "binary interference classifier false positives/negatives per class"
+}
+
+func (fig4Exp) Cells(seed int64, sc Scale) []exp.Cell {
+	var cells []exp.Cell
 	for _, class := range []topology.Class{topology.CS, topology.IA, topology.NF} {
 		for ci, combo := range fig4RateCombos {
 			for variant := 0; variant < 2; variant++ { // clean / lossy channel
-				cells = append(cells, fig4Cell{
-					class: class, combo: combo, variant: variant,
-					seed: seed + int64(ci)*7 + int64(class)*31 + int64(variant)*997,
-				})
+				cellSeed := seed + int64(ci)*7 + int64(class)*31 + int64(variant)*997
+				cells = append(cells, exp.Cell{Seed: cellSeed, Data: fig4Cell{
+					sc: sc, class: class, combo: combo, variant: variant, seed: cellSeed,
+				}})
 			}
 		}
 	}
-	outcomes := runner.Map(cells, func(_ int, c fig4Cell) PairOutcome {
-		nw := topology.TwoLink(c.seed, c.class, c.combo[0], c.combo[1])
-		if c.variant == 1 {
-			nw.Medium.SetBER(nw.Link1.Src, nw.Link1.Dst, 8e-6)
-		}
-		return evalPair(nw, c.class, c.combo, sc)
-	})
+	return cells
+}
+
+func (fig4Exp) RunCell(c exp.Cell) sink.Record {
+	d := c.Data.(fig4Cell)
+	nw := topology.TwoLink(d.seed, d.class, d.combo[0], d.combo[1])
+	if d.variant == 1 {
+		nw.Medium.SetBER(nw.Link1.Src, nw.Link1.Dst, 8e-6)
+	}
+	out := evalPair(nw, d.class, d.combo, d.sc)
+	return sink.Record{Fields: []sink.Field{
+		sink.F("class", int(out.Class)),
+		sink.F("rate1", int(out.Rates[0])),
+		sink.F("rate2", int(out.Rates[1])),
+		sink.F("c11", out.LIR.C11),
+		sink.F("c22", out.LIR.C22),
+		sink.F("c31", out.LIR.C31),
+		sink.F("c32", out.LIR.C32),
+		sink.F("fp2", out.FP2),
+		sink.F("fn2", out.FN2),
+		sink.F("fp3", out.FP3),
+		sink.F("fn3", out.FN3),
+		sink.F("tested", out.Tested),
+		sink.F("missed_area", out.MissedArea),
+	}}
+}
+
+func (fig4Exp) Reduce(recs <-chan sink.Record) exp.Result {
 	var res Fig4Result
-	for _, out := range outcomes {
-		if out.Tested > 0 {
-			res.Outcomes = append(res.Outcomes, out)
+	for rec := range recs {
+		if rec.Int("tested") == 0 {
+			continue
 		}
+		res.Outcomes = append(res.Outcomes, PairOutcome{
+			Class: topology.Class(rec.Int("class")),
+			Rates: [2]phy.Rate{phy.Rate(rec.Int("rate1")), phy.Rate(rec.Int("rate2"))},
+			LIR: measure.LIRResult{
+				C11: rec.Float("c11"), C22: rec.Float("c22"),
+				C31: rec.Float("c31"), C32: rec.Float("c32"),
+			},
+			FP2: rec.Float("fp2"), FN2: rec.Float("fn2"),
+			FP3: rec.Float("fp3"), FN3: rec.Float("fn3"),
+			Tested:     rec.Int("tested"),
+			MissedArea: rec.Float("missed_area"),
+		})
 	}
 	return res
+}
+
+// RunFig4 evaluates the Fig. 4 model-accuracy suite through the
+// experiment engine.
+func RunFig4(seed int64, sc Scale) Fig4Result {
+	res, _ := exp.Run(fig4Exp{}, seed, sc, exp.Options{})
+	return res.(Fig4Result)
 }
 
 // evalPair runs the §4.3.1 methodology on one pair: measure the primaries

@@ -5,9 +5,10 @@ import (
 	"io"
 
 	"repro/internal/core/feasibility"
-	"repro/internal/experiments/runner"
+	"repro/internal/experiments/exp"
 	"repro/internal/measure"
 	"repro/internal/phy"
+	"repro/internal/scenario/sink"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
@@ -34,55 +35,94 @@ type Fig5Result struct {
 	RecoveredFraction float64
 }
 
-// RunFig5 samples the feasibility region of an IA pair at 1 Mb/s. The
-// extreme points are measured once; every grid point is then an
-// independent injection cell on its own copy of the two-link network
-// (rebuilt from the same seed), fanned out across the worker pool.
-func RunFig5(seed int64, sc Scale) Fig5Result {
+// fig5Cell is one grid-point injection cell. The extreme points are
+// measured once in Cells and ride along so both the cell body and the
+// reduction are pure functions of their inputs.
+type fig5Cell struct {
+	seed     int64
+	sc       Scale
+	y1, y2   float64
+	in1, in2 float64    // loss-adjusted injection rates
+	c        [4]float64 // C11, C22, C31, C32
+}
+
+// fig5Exp samples the feasibility region of an IA pair at 1 Mb/s. The
+// extreme points are measured once (in Cells); every grid point is then
+// an independent injection cell on its own copy of the two-link network
+// (rebuilt from the same seed).
+type fig5Exp struct{}
+
+func (fig5Exp) Name() string { return "fig5" }
+func (fig5Exp) Describe() string {
+	return "three-point feasibility check on CS/IA/NF rate regions"
+}
+
+func (fig5Exp) Cells(seed int64, sc Scale) []exp.Cell {
 	nw := topology.TwoLink(seed, topology.IA, phy.Rate1, phy.Rate1)
 	solo1 := measure.MaxUDP(nw.Network, nw.Link1, traffic.DefaultPayload, sc.PhaseDur)
 	solo2 := measure.MaxUDP(nw.Network, nw.Link2, traffic.DefaultPayload, sc.PhaseDur)
 	both := measure.Simultaneous(nw.Network, []topology.Link{nw.Link1, nw.Link2},
 		traffic.DefaultPayload, sc.PhaseDur)
-	res := Fig5Result{
-		C11: solo1.ThroughputBps, C22: solo2.ThroughputBps,
-		C31: both[0].ThroughputBps, C32: both[1].ThroughputBps,
-	}
-	two := feasibility.TwoLinkModel{C11: res.C11, C22: res.C22}
-	three := feasibility.TwoLinkModel{
-		C11: res.C11, C22: res.C22,
-		ThreePoint: true, C31: res.C31, C32: res.C32,
-	}
+	c := [4]float64{solo1.ThroughputBps, solo2.ThroughputBps, both[0].ThroughputBps, both[1].ThroughputBps}
 	n := sc.GridN
-	type gridCell struct{ y1, y2 float64 }
-	var cells []gridCell
+	var cells []exp.Cell
 	for i := 1; i <= n; i++ {
 		for j := 1; j <= n; j++ {
-			cells = append(cells, gridCell{
-				y1: res.C11 * float64(i) / float64(n),
-				y2: res.C22 * float64(j) / float64(n),
-			})
+			y1 := c[0] * float64(i) / float64(n)
+			y2 := c[1] * float64(j) / float64(n)
+			cells = append(cells, exp.Cell{Seed: seed, Data: fig5Cell{
+				seed: seed, sc: sc,
+				y1: y1, y2: y2,
+				in1: y1 / (1 - solo1.LossRate), in2: y2 / (1 - solo2.LossRate),
+				c: c,
+			}})
 		}
 	}
-	res.Points = runner.Map(cells, func(_ int, c gridCell) Fig5Point {
-		cnw := topology.TwoLink(seed, topology.IA, phy.Rate1, phy.Rate1)
-		flows := []measure.Flow{
-			{Src: cnw.Link1.Src, Dst: cnw.Link1.Dst},
-			{Src: cnw.Link2.Src, Dst: cnw.Link2.Dst},
-		}
-		in1 := c.y1 / (1 - solo1.LossRate)
-		in2 := c.y2 / (1 - solo2.LossRate)
-		r := measure.InjectRates(cnw.Network, flows, []float64{in1, in2},
-			traffic.DefaultPayload, sc.TrafficDur)
-		return Fig5Point{
-			Y1: c.y1, Y2: c.y2,
-			Measured:   r[0].OutputBps >= 0.98*c.y1 && r[1].OutputBps >= 0.98*c.y2,
-			TwoPoint:   two.Feasible(c.y1, c.y2),
-			ThreePoint: three.Feasible(c.y1, c.y2),
-		}
-	})
+	return cells
+}
+
+func (fig5Exp) RunCell(cell exp.Cell) sink.Record {
+	d := cell.Data.(fig5Cell)
+	two := feasibility.TwoLinkModel{C11: d.c[0], C22: d.c[1]}
+	three := feasibility.TwoLinkModel{
+		C11: d.c[0], C22: d.c[1],
+		ThreePoint: true, C31: d.c[2], C32: d.c[3],
+	}
+	cnw := topology.TwoLink(d.seed, topology.IA, phy.Rate1, phy.Rate1)
+	flows := []measure.Flow{
+		{Src: cnw.Link1.Src, Dst: cnw.Link1.Dst},
+		{Src: cnw.Link2.Src, Dst: cnw.Link2.Dst},
+	}
+	r := measure.InjectRates(cnw.Network, flows, []float64{d.in1, d.in2},
+		traffic.DefaultPayload, d.sc.TrafficDur)
+	return sink.Record{Fields: []sink.Field{
+		sink.F("y1", d.y1),
+		sink.F("y2", d.y2),
+		sink.F("c11", d.c[0]),
+		sink.F("c22", d.c[1]),
+		sink.F("c31", d.c[2]),
+		sink.F("c32", d.c[3]),
+		sink.F("measured", r[0].OutputBps >= 0.98*d.y1 && r[1].OutputBps >= 0.98*d.y2),
+		sink.F("twopoint", two.Feasible(d.y1, d.y2)),
+		sink.F("threepoint", three.Feasible(d.y1, d.y2)),
+	}}
+}
+
+func (fig5Exp) Reduce(recs <-chan sink.Record) exp.Result {
+	var res Fig5Result
 	var missed, recovered, feasible int
-	for _, pt := range res.Points {
+	for rec := range recs {
+		if len(res.Points) == 0 {
+			res.C11, res.C22 = rec.Float("c11"), rec.Float("c22")
+			res.C31, res.C32 = rec.Float("c31"), rec.Float("c32")
+		}
+		pt := Fig5Point{
+			Y1: rec.Float("y1"), Y2: rec.Float("y2"),
+			Measured:   rec.Bool("measured"),
+			TwoPoint:   rec.Bool("twopoint"),
+			ThreePoint: rec.Bool("threepoint"),
+		}
+		res.Points = append(res.Points, pt)
 		if pt.Measured {
 			feasible++
 			if !pt.TwoPoint {
@@ -100,6 +140,13 @@ func RunFig5(seed int64, sc Scale) Fig5Result {
 		res.RecoveredFraction = float64(recovered) / float64(missed)
 	}
 	return res
+}
+
+// RunFig5 samples the Fig. 5 feasibility region through the experiment
+// engine.
+func RunFig5(seed int64, sc Scale) Fig5Result {
+	res, _ := exp.Run(fig5Exp{}, seed, sc, exp.Options{})
+	return res.(Fig5Result)
 }
 
 // Print emits the extreme points and the missed/recovered fractions.
@@ -129,7 +176,24 @@ type Fig6Result struct {
 	At095 feasibility.PairErrors
 }
 
-// RunFig6 sweeps LIR thresholds over the Fig. 3 LIR population.
+// fig6Exp is the §4.4 threshold sweep: it reuses fig3's cell enumeration
+// and body (the measured LIR population is its input) and swaps the
+// reduction for the threshold analysis.
+type fig6Exp struct{ fig3Exp }
+
+func (fig6Exp) Name() string { return "fig6" }
+func (fig6Exp) Describe() string {
+	return "LIR threshold sensitivity over the measured LIR population"
+}
+
+func (fig6Exp) Reduce(recs <-chan sink.Record) exp.Result {
+	pop := fig3Gather(recs)
+	lirs := append(append([]float64(nil), pop.LIR1...), pop.LIR11...)
+	return RunFig6(lirs)
+}
+
+// RunFig6 sweeps LIR thresholds over a measured LIR population (the
+// Fig. 3 LIRs when run as the registered fig6 experiment).
 func RunFig6(lirs []float64) Fig6Result {
 	var res Fig6Result
 	for _, th := range []float64{0.50, 0.60, 0.70, 0.80, 0.85, 0.90, 0.95, 0.99} {

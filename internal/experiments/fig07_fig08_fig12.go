@@ -5,7 +5,8 @@ import (
 	"io"
 
 	"repro/internal/core/optimize"
-	"repro/internal/experiments/runner"
+	"repro/internal/experiments/exp"
+	"repro/internal/scenario/sink"
 	"repro/internal/stats"
 )
 
@@ -29,59 +30,114 @@ type NetValidationResult struct {
 	SkippedConfigs int
 }
 
-// netvalCell is the outcome of one configuration's validation runs.
-type netvalCell struct {
-	lir, twoHop []FlowSample
-	skipped     int
+// netvalidCell is one configuration's validation workload.
+type netvalidCell struct {
+	sc  Scale
+	cfg FlowConfig
 }
 
-// RunNetValidation executes the §4.5 methodology over generated
+// netvalidExp executes the §4.5 methodology over generated
 // configurations: proportional-fair rates from the model under test are
 // injected at each scaling factor and the achieved throughputs recorded.
 // Each configuration prepares its own mesh and runs both conflict models
-// on it, so configurations fan out as independent cells; samples are
-// gathered in configuration order.
-func RunNetValidation(seed int64, sc Scale) NetValidationResult {
-	cells := runner.Map(GenerateConfigs(seed, sc.Configs), func(ci int, cfg FlowConfig) netvalCell {
-		var cell netvalCell
-		v, err := PrepareValidation(cfg, sc)
-		if err != nil {
-			cell.skipped = 1
-			return cell
-		}
+// on it, so configurations fan out as independent cells; the record
+// stream carries each configuration's samples in configuration order.
+// One experiment feeds Figs. 7, 8 and 12 (the aliases resolve here).
+type netvalidExp struct{}
+
+func (netvalidExp) Name() string { return "netvalid" }
+func (netvalidExp) Describe() string {
+	return "network validation behind Figs. 7/8/12: feasible-region over/under-estimation and the two-hop model comparison"
+}
+
+func (netvalidExp) Cells(seed int64, sc Scale) []exp.Cell {
+	cfgs := GenerateConfigs(seed, sc.Configs)
+	cells := make([]exp.Cell, len(cfgs))
+	for i, cfg := range cfgs {
+		cells[i] = exp.Cell{Seed: cfg.Seed, Data: netvalidCell{sc: sc, cfg: cfg}}
+	}
+	return cells
+}
+
+func (netvalidExp) RunCell(c exp.Cell) sink.Record {
+	d := c.Data.(netvalidCell)
+	skipped := 0
+	var lir, twoHop []FlowSample
+	v, err := PrepareValidation(d.cfg, d.sc)
+	if err != nil {
+		skipped = 1
+	} else {
 		for _, model := range []string{"lir", "twohop"} {
 			region := v.RegionLIR(LIRThreshold)
 			if model == "twohop" {
 				region = v.RegionTwoHop()
 			}
-			runs, err := v.OptimizeAndInject(region, optimize.ProportionalFair, ValidationScales, sc)
+			runs, err := v.OptimizeAndInject(region, optimize.ProportionalFair, ValidationScales, d.sc)
 			if err != nil {
-				cell.skipped++
+				skipped++
 				continue
 			}
 			for _, run := range runs {
 				for s := range run.Target {
 					sample := FlowSample{
-						Config: ci, Scale: run.Scale,
+						Scale:  run.Scale,
 						Target: run.Target[s], Achieved: run.Achieved[s],
 					}
 					if model == "lir" {
-						cell.lir = append(cell.lir, sample)
+						lir = append(lir, sample)
 					} else {
-						cell.twoHop = append(cell.twoHop, sample)
+						twoHop = append(twoHop, sample)
 					}
 				}
 			}
 		}
-		return cell
-	})
+	}
+	fields := []sink.Field{sink.F("skipped", skipped)}
+	for _, group := range []struct {
+		prefix  string
+		samples []FlowSample
+	}{{"lir", lir}, {"twohop", twoHop}} {
+		scales := make([]float64, len(group.samples))
+		targets := make([]float64, len(group.samples))
+		achieved := make([]float64, len(group.samples))
+		for i, s := range group.samples {
+			scales[i], targets[i], achieved[i] = s.Scale, s.Target, s.Achieved
+		}
+		fields = append(fields,
+			sink.F(group.prefix+"_scale", scales),
+			sink.F(group.prefix+"_target", targets),
+			sink.F(group.prefix+"_achieved", achieved))
+	}
+	return sink.Record{Fields: fields}
+}
+
+func (netvalidExp) Reduce(recs <-chan sink.Record) exp.Result {
 	var res NetValidationResult
-	for _, c := range cells {
-		res.LIRSamples = append(res.LIRSamples, c.lir...)
-		res.TwoHopSamples = append(res.TwoHopSamples, c.twoHop...)
-		res.SkippedConfigs += c.skipped
+	for rec := range recs {
+		res.SkippedConfigs += rec.Int("skipped")
+		for _, group := range []struct {
+			prefix string
+			out    *[]FlowSample
+		}{{"lir", &res.LIRSamples}, {"twohop", &res.TwoHopSamples}} {
+			scales := rec.Floats(group.prefix + "_scale")
+			targets := rec.Floats(group.prefix + "_target")
+			achieved := rec.Floats(group.prefix + "_achieved")
+			for i := range scales {
+				*group.out = append(*group.out, FlowSample{
+					Config: rec.Cell, Scale: scales[i],
+					Target: targets[i], Achieved: achieved[i],
+				})
+			}
+		}
 	}
 	return res
+}
+
+// RunNetValidation executes the shared Figs. 7/8/12 validation suite
+// through the experiment engine.
+func RunNetValidation(seed int64, sc Scale) NetValidationResult {
+	res, _ := exp.Run(netvalidExp{}, seed, sc, exp.Options{})
+	return res.(NetValidationResult)
 }
 
 // scaleSamples filters samples at a scaling factor.

@@ -4,9 +4,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"repro/internal/core/capacity"
-	"repro/internal/experiments/runner"
+	"repro/internal/experiments/exp"
 	"repro/internal/measure"
 	"repro/internal/phy"
 	"repro/internal/probe"
@@ -33,57 +34,105 @@ type Fig9Result struct {
 	Interfed Fig9Case // collisions present, knee selection
 }
 
-// RunFig9 probes one lossy link twice: alone, then under a hidden
+// fig9Cell is one estimator trace case.
+type fig9Cell struct {
+	seed      int64
+	sc        Scale
+	name      string
+	interfere bool
+}
+
+// fig9Exp probes one lossy link twice: alone, then under a hidden
 // interferer, and records the estimator's view of both traces.
-func RunFig9(seed int64, sc Scale) Fig9Result {
-	period := probePeriodFor(phy.Rate11, sc)
-	run := func(name string, interfere bool) Fig9Case {
-		nw := topology.TwoLink(seed, topology.IA, phy.Rate11, phy.Rate11)
-		nw.Medium.SetBER(nw.Link1.Src, nw.Link1.Dst, 4e-6)
-		rec := probe.NewRecorder(nw.Node(nw.Link1.Dst))
-		pr := probe.NewProber(nw.Sim, nw.Node(nw.Link1.Src), phy.Rate11, traffic.DefaultPayload)
-		pr.SetPeriod(period)
-		pr.Start()
-		if interfere {
-			// Bursty hidden transmitter on link 2. Bursts must be
-			// sparse relative to the estimator's maximum-curvature
-			// window (~0.14 S) or no clean window exists for the
-			// sliding minimum to find.
-			burst := traffic.NewCBR(nw.Sim, nw.Node(nw.Link2.Src), 9, nw.Link2.Dst,
-				traffic.DefaultPayload, 5e6)
-			nw.InstallDirectRoute(nw.Link2)
-			var cycle func()
-			on := false
-			cycle = func() {
-				if on {
-					burst.Stop()
-					nw.Sim.After(sim.Time(80)*period, cycle)
-				} else {
-					burst.Start()
-					nw.Sim.After(sim.Time(5)*period, cycle)
-				}
-				on = !on
+type fig9Exp struct{}
+
+func (fig9Exp) Name() string { return "fig9" }
+func (fig9Exp) Describe() string {
+	return "channel-loss estimator cases (sliding-minimum curve and knee)"
+}
+
+func (fig9Exp) Cells(seed int64, sc Scale) []exp.Cell {
+	return []exp.Cell{
+		{Seed: seed, Data: fig9Cell{seed: seed, sc: sc, name: "no interference", interfere: false}},
+		{Seed: seed, Data: fig9Cell{seed: seed, sc: sc, name: "hidden interferer", interfere: true}},
+	}
+}
+
+func (fig9Exp) RunCell(c exp.Cell) sink.Record {
+	d := c.Data.(fig9Cell)
+	period := probePeriodFor(phy.Rate11, d.sc)
+	nw := topology.TwoLink(d.seed, topology.IA, phy.Rate11, phy.Rate11)
+	nw.Medium.SetBER(nw.Link1.Src, nw.Link1.Dst, 4e-6)
+	rec := probe.NewRecorder(nw.Node(nw.Link1.Dst))
+	pr := probe.NewProber(nw.Sim, nw.Node(nw.Link1.Src), phy.Rate11, traffic.DefaultPayload)
+	pr.SetPeriod(period)
+	pr.Start()
+	if d.interfere {
+		// Bursty hidden transmitter on link 2. Bursts must be
+		// sparse relative to the estimator's maximum-curvature
+		// window (~0.14 S) or no clean window exists for the
+		// sliding minimum to find.
+		burst := traffic.NewCBR(nw.Sim, nw.Node(nw.Link2.Src), 9, nw.Link2.Dst,
+			traffic.DefaultPayload, 5e6)
+		nw.InstallDirectRoute(nw.Link2)
+		var cycle func()
+		on := false
+		cycle = func() {
+			if on {
+				burst.Stop()
+				nw.Sim.After(sim.Time(80)*period, cycle)
+			} else {
+				burst.Start()
+				nw.Sim.After(sim.Time(5)*period, cycle)
 			}
-			cycle()
+			on = !on
 		}
-		nw.Sim.Run(nw.Sim.Now() + sim.Time(sc.ProbeWindow+10)*period)
-		pr.Stop()
-		trace := rec.Trace(nw.Link1.Src, probe.ClassData, sc.ProbeWindow)
-		return Fig9Case{
-			Name:  name,
-			Curve: capacity.SlidingMinCurve(trace, capacity.DefaultWmin),
-			P:     trace.MeasuredLoss(),
-			Truth: nw.Medium.FrameLossProb(nw.Link1.Src, nw.Link1.Dst, phy.Rate11, traffic.DefaultPayload+phy.MACHeaderBytes),
-			Est:   capacity.EstimateChannelLoss(trace, capacity.DefaultWmin),
+		cycle()
+	}
+	nw.Sim.Run(nw.Sim.Now() + sim.Time(d.sc.ProbeWindow+10)*period)
+	pr.Stop()
+	trace := rec.Trace(nw.Link1.Src, probe.ClassData, d.sc.ProbeWindow)
+	est := capacity.EstimateChannelLoss(trace, capacity.DefaultWmin)
+	return sink.Record{Fields: []sink.Field{
+		sink.F("name", d.name),
+		sink.F("p", trace.MeasuredLoss()),
+		sink.F("truth", nw.Medium.FrameLossProb(nw.Link1.Src, nw.Link1.Dst, phy.Rate11, traffic.DefaultPayload+phy.MACHeaderBytes)),
+		sink.F("est_pch", est.Pch),
+		sink.F("est_w", est.W),
+		sink.F("est_case", int(est.Case)),
+		sink.F("est_p", est.P),
+		sink.F("curve", capacity.SlidingMinCurve(trace, capacity.DefaultWmin)),
+	}}
+}
+
+func (fig9Exp) Reduce(recs <-chan sink.Record) exp.Result {
+	var res Fig9Result
+	for rec := range recs {
+		cs := Fig9Case{
+			Name:  rec.Text("name"),
+			Curve: rec.Floats("curve"),
+			P:     rec.Float("p"),
+			Truth: rec.Float("truth"),
+			Est: capacity.Estimate{
+				Pch:  rec.Float("est_pch"),
+				W:    rec.Int("est_w"),
+				Case: capacity.EstimateCase(rec.Int("est_case")),
+				P:    rec.Float("est_p"),
+			},
+		}
+		if rec.Cell == 0 {
+			res.Uniform = cs
+		} else {
+			res.Interfed = cs
 		}
 	}
-	cases := runner.Map([]bool{false, true}, func(_ int, interfere bool) Fig9Case {
-		if interfere {
-			return run("hidden interferer", true)
-		}
-		return run("no interference", false)
-	})
-	return Fig9Result{Uniform: cases[0], Interfed: cases[1]}
+	return res
+}
+
+// RunFig9 runs both estimator cases through the experiment engine.
+func RunFig9(seed int64, sc Scale) Fig9Result {
+	res, _ := exp.Run(fig9Exp{}, seed, sc, exp.Options{})
+	return res.(Fig9Result)
 }
 
 // Print emits both curves.
@@ -121,119 +170,175 @@ type fig10Sample struct {
 	truth float64
 }
 
-// RunFig10 probes all mesh nodes simultaneously (collision-rich, as in
-// the paper's second phase) and scores the estimator against the
-// analytic channel loss of each sampled link. The two rates are
-// independent simulation cells; estimator scoring then fans out per
-// sampled link.
-func RunFig10(seed int64, sc Scale) Fig10Result {
-	res, _ := RunFig10Sink(seed, sc, nil)
+// fig10Windows is the probing-window sweep for a scale.
+func fig10Windows(sc Scale) []float64 {
+	var out []float64
+	for _, w := range []int{100, 200, 320, 640, 1280} {
+		if w < sc.ProbeWindow {
+			out = append(out, float64(w))
+		}
+	}
+	return append(out, float64(sc.ProbeWindow))
+}
+
+// fig10Share is one rate's probing phase: all mesh nodes probe
+// simultaneously (collision-rich, as in the paper's second phase) in one
+// simulation whose traces every scoring cell of that rate reads. It is
+// computed lazily, once per process, by whichever cell runs first — a
+// pure function of (seed, scale, rate), so every worker, process and
+// shard sees bit-identical samples (the same contract the shared
+// gain-table cache relies on).
+type fig10Share struct {
+	once    sync.Once
+	seed    int64
+	sc      Scale
+	rate    phy.Rate
+	samples map[topology.Link]fig10Sample
+}
+
+func (s *fig10Share) sample(l topology.Link) (fig10Sample, bool) {
+	s.once.Do(s.build)
+	smp, ok := s.samples[l]
+	return smp, ok
+}
+
+func (s *fig10Share) build() {
+	nw := topologyAtRate(s.seed+int64(s.rate), s.rate)
+	period := probePeriodFor(s.rate, s.sc)
+	links := fig10Links(nw, s.rate, s.sc)
+	recs := make([]*probe.Recorder, len(nw.Nodes))
+	for i, n := range nw.Nodes {
+		recs[i] = probe.NewRecorder(n)
+		pr := probe.NewProber(nw.Sim, n, s.rate, traffic.DefaultPayload)
+		pr.SetPeriod(period)
+		pr.Start()
+	}
+	nw.Sim.Run(nw.Sim.Now() + sim.Time(s.sc.ProbeWindow+10)*period)
+	s.samples = map[topology.Link]fig10Sample{}
+	for _, l := range links {
+		tr := recs[l.Dst].Trace(l.Src, probe.ClassData, s.sc.ProbeWindow)
+		if len(tr) < s.sc.ProbeWindow/2 {
+			continue
+		}
+		truth := nw.Medium.FrameLossProb(l.Src, l.Dst, s.rate, traffic.DefaultPayload+phy.MACHeaderBytes)
+		s.samples[l] = fig10Sample{trace: tr, truth: truth}
+	}
+}
+
+// fig10Links is the deterministic per-rate link sample.
+func fig10Links(nw *topology.Network, rate phy.Rate, sc Scale) []topology.Link {
+	links := nw.Links(rate)
+	if len(links) > sc.Pairs {
+		links = links[:sc.Pairs]
+	}
+	return links
+}
+
+// fig10Cell scores one probed link at every window.
+type fig10Cell struct {
+	share   *fig10Share
+	link    topology.Link
+	windows []float64
+}
+
+// fig10Exp probes all mesh nodes simultaneously at both rates and scores
+// the estimator against the analytic channel loss of each sampled link.
+// Cells are (rate, link) scoring units sharing the per-rate probe phase.
+type fig10Exp struct{}
+
+func (fig10Exp) Name() string { return "fig10" }
+func (fig10Exp) Describe() string {
+	return "channel-loss estimation accuracy: error CDF and RMSE vs window"
+}
+
+func (fig10Exp) Cells(seed int64, sc Scale) []exp.Cell {
+	windows := fig10Windows(sc)
+	var perRate [][]exp.Cell
+	for _, rate := range []phy.Rate{phy.Rate1, phy.Rate11} {
+		share := &fig10Share{seed: seed, sc: sc, rate: rate}
+		nw := topologyAtRate(seed+int64(rate), rate)
+		var cells []exp.Cell
+		for _, l := range fig10Links(nw, rate, sc) {
+			cells = append(cells, exp.Cell{Seed: seed + int64(rate), Data: fig10Cell{
+				share: share, link: l, windows: windows,
+			}})
+		}
+		perRate = append(perRate, cells)
+	}
+	// Interleave the rates so the earliest cells span both shares: the
+	// two probe simulations then build concurrently even when the pool
+	// is small (a rate-major order would park every worker on the first
+	// rate's once.Do and serialize the heavy phase).
+	var cells []exp.Cell
+	for i := 0; len(cells) < len(perRate[0])+len(perRate[1]); i++ {
+		for _, rc := range perRate {
+			if i < len(rc) {
+				cells = append(cells, rc[i])
+			}
+		}
+	}
+	return cells
+}
+
+func (fig10Exp) RunCell(c exp.Cell) sink.Record {
+	d := c.Data.(fig10Cell)
+	smp, ok := d.share.sample(d.link)
+	fields := []sink.Field{
+		sink.F("link", d.link.String()),
+		sink.F("skipped", !ok),
+		sink.F("windows", d.windows),
+	}
+	if !ok {
+		return sink.Record{Fields: fields}
+	}
+	errs := make([]float64, len(d.windows))
+	for wi, wf := range d.windows {
+		s := int(wf)
+		tr := smp.trace
+		if len(tr) > s {
+			tr = tr[len(tr)-s:]
+		}
+		est := capacity.EstimateChannelLoss(tr, capacity.DefaultWmin)
+		errs[wi] = est.Pch - smp.truth
+	}
+	fields = append(fields, sink.F("truth", smp.truth), sink.F("errs", errs))
+	return sink.Record{Fields: fields}
+}
+
+func (fig10Exp) Reduce(recs <-chan sink.Record) exp.Result {
+	res := Fig10Result{RMSEByS: map[int]float64{}}
+	var se []float64
+	samples := 0
+	for rec := range recs {
+		if res.WindowSet == nil {
+			for _, w := range rec.Floats("windows") {
+				res.WindowSet = append(res.WindowSet, int(w))
+			}
+			se = make([]float64, len(res.WindowSet))
+		}
+		if rec.Bool("skipped") {
+			continue
+		}
+		errs := rec.Floats("errs")
+		samples++
+		for wi := range res.WindowSet {
+			se[wi] += errs[wi] * errs[wi]
+		}
+		res.Errors = append(res.Errors, math.Abs(errs[len(errs)-1]))
+	}
+	if samples > 0 {
+		for wi, s := range res.WindowSet {
+			res.RMSEByS[s] = math.Sqrt(se[wi] / float64(samples))
+		}
+	}
 	return res
 }
 
-// RunFig10Sink is RunFig10 with per-cell streaming: each scored sample's
-// signed errors are written to snk (series "sample") as scoring cells
-// complete, in deterministic cell order, and the RMSE/CDF reduction is
-// folded incrementally over that stream instead of a gathered grid. The
-// summary series ("rmse") follows once every sample has streamed. A nil
-// snk just skips the records; the returned result is identical either
-// way, for any worker-pool size.
-func RunFig10Sink(seed int64, sc Scale, snk sink.Sink) (Fig10Result, error) {
-	res := Fig10Result{RMSEByS: map[int]float64{}}
-	for _, w := range []int{100, 200, 320, 640, 1280} {
-		if w < sc.ProbeWindow {
-			res.WindowSet = append(res.WindowSet, w)
-		}
-	}
-	res.WindowSet = append(res.WindowSet, sc.ProbeWindow)
-
-	perRate := runner.Map([]phy.Rate{phy.Rate1, phy.Rate11}, func(_ int, rate phy.Rate) []fig10Sample {
-		nw := topologyAtRate(seed+int64(rate), rate)
-		period := probePeriodFor(rate, sc)
-		links := nw.Links(rate)
-		if len(links) > sc.Pairs {
-			links = links[:sc.Pairs]
-		}
-		recs := make([]*probe.Recorder, len(nw.Nodes))
-		for i, n := range nw.Nodes {
-			recs[i] = probe.NewRecorder(n)
-			pr := probe.NewProber(nw.Sim, n, rate, traffic.DefaultPayload)
-			pr.SetPeriod(period)
-			pr.Start()
-		}
-		nw.Sim.Run(nw.Sim.Now() + sim.Time(sc.ProbeWindow+10)*period)
-		var samples []fig10Sample
-		for _, l := range links {
-			tr := recs[l.Dst].Trace(l.Src, probe.ClassData, sc.ProbeWindow)
-			if len(tr) < sc.ProbeWindow/2 {
-				continue
-			}
-			truth := nw.Medium.FrameLossProb(l.Src, l.Dst, rate, traffic.DefaultPayload+phy.MACHeaderBytes)
-			samples = append(samples, fig10Sample{trace: tr, truth: truth})
-		}
-		return samples
-	})
-	var samples []fig10Sample
-	for _, s := range perRate {
-		samples = append(samples, s...)
-	}
-
-	// Score every sample at every window in parallel. Each sample streams
-	// to the sink and folds into the reduction as its cell completes; the
-	// ordered emission (runner.Stream) keeps the float accumulation in
-	// sample order, so the aggregate is independent of scheduling and the
-	// per-sample grid never has to be held in memory.
-	var sinkErr error
-	emit := func(rec sink.Record) {
-		if snk != nil && sinkErr == nil {
-			sinkErr = snk.Write(rec)
-		}
-	}
-	var windowKeys []string // per-window record keys, built once per run
-	if snk != nil {
-		for _, s := range res.WindowSet {
-			windowKeys = append(windowKeys, fmt.Sprintf("err_S%d", s))
-		}
-	}
-	se := make([]float64, len(res.WindowSet))
-	runner.Stream(samples, func(_ int, smp fig10Sample) []float64 {
-		errs := make([]float64, len(res.WindowSet))
-		for wi, s := range res.WindowSet {
-			tr := smp.trace
-			if len(tr) > s {
-				tr = tr[len(tr)-s:]
-			}
-			est := capacity.EstimateChannelLoss(tr, capacity.DefaultWmin)
-			errs[wi] = est.Pch - smp.truth
-		}
-		return errs
-	}, func(i int, errs []float64) {
-		for wi, s := range res.WindowSet {
-			se[wi] += errs[wi] * errs[wi]
-			if s == sc.ProbeWindow {
-				res.Errors = append(res.Errors, math.Abs(errs[wi]))
-			}
-		}
-		if snk != nil {
-			fields := make([]sink.Field, 0, len(res.WindowSet)+1)
-			fields = append(fields, sink.F("truth", samples[i].truth))
-			for wi := range res.WindowSet {
-				fields = append(fields, sink.F(windowKeys[wi], errs[wi]))
-			}
-			emit(sink.Record{Scenario: "fig10", Series: "sample", Cell: i, Fields: fields})
-		}
-	})
-	for wi, s := range res.WindowSet {
-		if len(samples) > 0 {
-			res.RMSEByS[s] = math.Sqrt(se[wi] / float64(len(samples)))
-		}
-		if snk != nil {
-			emit(sink.Record{Scenario: "fig10", Series: "rmse", Cell: wi, Fields: []sink.Field{
-				sink.F("S", s), sink.F("rmse", res.RMSEByS[s]),
-			}})
-		}
-	}
-	return res, sinkErr
+// RunFig10 runs the estimator accuracy suite through the experiment
+// engine.
+func RunFig10(seed int64, sc Scale) Fig10Result {
+	res, _ := exp.Run(fig10Exp{}, seed, sc, exp.Options{})
+	return res.(Fig10Result)
 }
 
 // Print emits the error CDF and the RMSE-vs-S series.
@@ -265,75 +370,104 @@ type Fig11Result struct {
 	AdHocRMSE  float64
 }
 
-// RunFig11 measures sampled links in two phases: solo maxUDP, then
+// fig11Cell is one (rate, pair) measurement cell.
+type fig11Cell struct {
+	seed int64
+	sc   Scale
+	rate phy.Rate
+	pair PairSpec
+}
+
+// fig11Exp measures sampled links in two phases: solo maxUDP, then
 // concurrent probing plus Ad Hoc Probe packet pairs under background
 // interference. Every (rate, pair) is an independent cell on its own
 // mesh instance.
-func RunFig11(seed int64, sc Scale) Fig11Result {
-	type fig11Cell struct {
-		rate phy.Rate
-		pair PairSpec
-	}
-	var cells []fig11Cell
+type fig11Exp struct{}
+
+func (fig11Exp) Name() string { return "fig11" }
+func (fig11Exp) Describe() string {
+	return "online capacity estimation vs Ad Hoc Probe on sampled links"
+}
+
+func (fig11Exp) Cells(seed int64, sc Scale) []exp.Cell {
+	var cells []exp.Cell
 	for _, rate := range []phy.Rate{phy.Rate1, phy.Rate11} {
 		nw := topologyAtRate(seed+int64(rate)*13, rate)
 		for _, p := range SamplePairs(nw, rate, sc.Pairs/2+1, seed+int64(rate)) {
-			cells = append(cells, fig11Cell{rate: rate, pair: p})
+			cells = append(cells, exp.Cell{Seed: seed + int64(rate)*13, Data: fig11Cell{
+				seed: seed, sc: sc, rate: rate, pair: p,
+			}})
 		}
 	}
-	links := runner.Map(cells, func(_ int, c fig11Cell) *Fig11Link {
-		rate := c.rate
-		nw := topologyAtRate(seed+int64(rate)*13, rate)
-		period := probePeriodFor(rate, sc)
-		l := c.pair.L1
-		nw.SetRate(l, rate)
-		nominal := capacity.NominalGoodput(rate, traffic.DefaultPayload)
+	return cells
+}
 
-		// Phase 1: solo maxUDP.
-		solo := measure.MaxUDP(nw, l, traffic.DefaultPayload, sc.PhaseDur)
-		if solo.ThroughputBps <= 0 {
-			return nil
-		}
+func (fig11Exp) RunCell(c exp.Cell) sink.Record {
+	d := c.Data.(fig11Cell)
+	rate := d.rate
+	nw := topologyAtRate(d.seed+int64(rate)*13, rate)
+	period := probePeriodFor(rate, d.sc)
+	l := d.pair.L1
+	nw.SetRate(l, rate)
+	nominal := capacity.NominalGoodput(rate, traffic.DefaultPayload)
+	dead := sink.Record{Fields: []sink.Field{sink.F("ok", false)}}
 
-		// Phase 2: probing + packet pairs under background traffic
-		// on the second sampled link.
-		rec := probe.NewRecorder(nw.Node(l.Dst))
-		pr := probe.NewProber(nw.Sim, nw.Node(l.Src), rate, traffic.DefaultPayload)
-		pr.SetPeriod(period)
-		nw.InstallDirectRoute(c.pair.L2)
-		bg := traffic.NewCBR(nw.Sim, nw.Node(c.pair.L2.Src), 99, c.pair.L2.Dst, traffic.DefaultPayload,
-			0.3*capacity.NominalGoodput(rate, traffic.DefaultPayload))
-		nw.InstallDirectRoute(l)
-		ah := probe.NewAdHocProbe(nw.Sim, nw.Node(l.Src), l.Dst, traffic.DefaultPayload,
-			200, 4*period)
-		pr.Start()
-		bg.Start()
-		ah.Start(nw.Node(l.Dst))
-		nw.Sim.Run(nw.Sim.Now() + sim.Time(sc.ProbeWindow+10)*period)
-		pr.Stop()
-		bg.Stop()
-		ah.Stop()
+	// Phase 1: solo maxUDP.
+	solo := measure.MaxUDP(nw, l, traffic.DefaultPayload, d.sc.PhaseDur)
+	if solo.ThroughputBps <= 0 {
+		return dead
+	}
 
-		est, ok := rec.Estimate(l.Src, sc.ProbeWindow)
-		if !ok {
-			return nil
-		}
-		online := capacity.MaxUDP(est.Pl, rate, traffic.DefaultPayload)
-		return &Fig11Link{
-			Link:    l,
-			MaxUDP:  solo.ThroughputBps,
-			Online:  online,
-			AdHoc:   ah.EstimateBps(),
-			Nominal: nominal,
-		}
-	})
+	// Phase 2: probing + packet pairs under background traffic
+	// on the second sampled link.
+	rec := probe.NewRecorder(nw.Node(l.Dst))
+	pr := probe.NewProber(nw.Sim, nw.Node(l.Src), rate, traffic.DefaultPayload)
+	pr.SetPeriod(period)
+	nw.InstallDirectRoute(d.pair.L2)
+	bg := traffic.NewCBR(nw.Sim, nw.Node(d.pair.L2.Src), 99, d.pair.L2.Dst, traffic.DefaultPayload,
+		0.3*capacity.NominalGoodput(rate, traffic.DefaultPayload))
+	nw.InstallDirectRoute(l)
+	ah := probe.NewAdHocProbe(nw.Sim, nw.Node(l.Src), l.Dst, traffic.DefaultPayload,
+		200, 4*period)
+	pr.Start()
+	bg.Start()
+	ah.Start(nw.Node(l.Dst))
+	nw.Sim.Run(nw.Sim.Now() + sim.Time(d.sc.ProbeWindow+10)*period)
+	pr.Stop()
+	bg.Stop()
+	ah.Stop()
+
+	est, ok := rec.Estimate(l.Src, d.sc.ProbeWindow)
+	if !ok {
+		return dead
+	}
+	online := capacity.MaxUDP(est.Pl, rate, traffic.DefaultPayload)
+	return sink.Record{Fields: []sink.Field{
+		sink.F("ok", true),
+		sink.F("src", l.Src),
+		sink.F("dst", l.Dst),
+		sink.F("maxudp_bps", solo.ThroughputBps),
+		sink.F("online_bps", online),
+		sink.F("adhoc_bps", ah.EstimateBps()),
+		sink.F("nominal_bps", nominal),
+	}}
+}
+
+func (fig11Exp) Reduce(recs <-chan sink.Record) exp.Result {
 	var res Fig11Result
 	var onlineN, adhocN, truthN []float64
-	for _, l := range links {
-		if l == nil {
+	for rec := range recs {
+		if !rec.Bool("ok") {
 			continue
 		}
-		res.Links = append(res.Links, *l)
+		l := Fig11Link{
+			Link:    topology.Link{Src: rec.Int("src"), Dst: rec.Int("dst")},
+			MaxUDP:  rec.Float("maxudp_bps"),
+			Online:  rec.Float("online_bps"),
+			AdHoc:   rec.Float("adhoc_bps"),
+			Nominal: rec.Float("nominal_bps"),
+		}
+		res.Links = append(res.Links, l)
 		onlineN = append(onlineN, l.Online/l.Nominal)
 		adhocN = append(adhocN, l.AdHoc/l.Nominal)
 		truthN = append(truthN, l.MaxUDP/l.Nominal)
@@ -341,6 +475,13 @@ func RunFig11(seed int64, sc Scale) Fig11Result {
 	res.OnlineRMSE = stats.RMSE(onlineN, truthN)
 	res.AdHocRMSE = stats.RMSE(adhocN, truthN)
 	return res
+}
+
+// RunFig11 runs the capacity-estimation comparison through the
+// experiment engine.
+func RunFig11(seed int64, sc Scale) Fig11Result {
+	res, _ := exp.Run(fig11Exp{}, seed, sc, exp.Options{})
+	return res.(Fig11Result)
 }
 
 // Print emits per-link normalized estimates as in Fig. 11.

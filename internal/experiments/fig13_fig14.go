@@ -7,7 +7,7 @@ import (
 
 	"repro/internal/core/controller"
 	"repro/internal/core/optimize"
-	"repro/internal/experiments/runner"
+	"repro/internal/experiments/exp"
 	"repro/internal/phy"
 	"repro/internal/scenario/sink"
 	"repro/internal/stats"
@@ -85,46 +85,81 @@ type Fig13Result struct {
 	Totals    map[Regime]float64
 }
 
-// RunFig13 runs the gateway starvation scenario at 1 Mb/s under the three
-// regimes, repeated per iteration with fresh MAC randomness. Each
+// fig13Cell is one (regime, iteration) run.
+type fig13Cell struct {
+	seed   int64
+	sc     Scale
+	regime Regime
+	it     int
+}
+
+// fig13Exp runs the gateway starvation scenario at 1 Mb/s under the
+// three regimes, repeated per iteration with fresh MAC randomness. Each
 // (regime, iteration) run is an independent cell.
-func RunFig13(seed int64, sc Scale) Fig13Result {
+type fig13Exp struct{}
+
+func (fig13Exp) Name() string { return "fig13" }
+func (fig13Exp) Describe() string {
+	return "two-flow upstream TCP starvation and rate-control regimes"
+}
+
+func (fig13Exp) Cells(seed int64, sc Scale) []exp.Cell {
+	var cells []exp.Cell
+	for _, regime := range []Regime{NoRC, RCMax, RCProp} {
+		for it := 0; it < sc.Iterations; it++ {
+			cells = append(cells, exp.Cell{Seed: seed + int64(it)*17, Data: fig13Cell{
+				seed: seed, sc: sc, regime: regime, it: it,
+			}})
+		}
+	}
+	return cells
+}
+
+func (fig13Exp) RunCell(c exp.Cell) sink.Record {
+	d := c.Data.(fig13Cell)
+	flows := []controller.Flow{{Src: 1, Dst: 0}, {Src: 2, Dst: 0}}
+	nw := topology.GatewayScenario(d.seed+int64(d.it)*17, phy.Rate1)
+	out, _, err := tcpRun(nw, flows, phy.Rate1, d.regime, d.sc)
+	fields := []sink.Field{
+		sink.F("regime", int(d.regime)),
+		sink.F("iteration", d.it),
+		sink.F("failed", err != nil),
+	}
+	if err == nil {
+		fields = append(fields, sink.F("goodput_bps", out))
+	}
+	return sink.Record{Fields: fields}
+}
+
+func (fig13Exp) Reduce(recs <-chan sink.Record) exp.Result {
 	res := Fig13Result{
 		PerRegime: map[Regime][2]stats.Summary{},
 		Totals:    map[Regime]float64{},
 	}
-	flows := []controller.Flow{{Src: 1, Dst: 0}, {Src: 2, Dst: 0}}
-	type fig13Cell struct {
-		regime Regime
-		it     int
+	perRegime := map[Regime][2][]float64{}
+	for rec := range recs {
+		if rec.Bool("failed") {
+			continue
+		}
+		got := rec.Floats("goodput_bps")
+		regime := Regime(rec.Int("regime"))
+		e := perRegime[regime]
+		e[0] = append(e[0], got[0])
+		e[1] = append(e[1], got[1])
+		perRegime[regime] = e
 	}
-	var cells []fig13Cell
 	for _, regime := range []Regime{NoRC, RCMax, RCProp} {
-		for it := 0; it < sc.Iterations; it++ {
-			cells = append(cells, fig13Cell{regime: regime, it: it})
-		}
-	}
-	got := runner.Map(cells, func(_ int, c fig13Cell) []float64 {
-		nw := topology.GatewayScenario(seed+int64(c.it)*17, phy.Rate1)
-		out, _, err := tcpRun(nw, flows, phy.Rate1, c.regime, sc)
-		if err != nil {
-			return nil
-		}
-		return out
-	})
-	for _, regime := range []Regime{NoRC, RCMax, RCProp} {
-		var oneHop, twoHop []float64
-		for i, c := range cells {
-			if c.regime != regime || got[i] == nil {
-				continue
-			}
-			oneHop = append(oneHop, got[i][0])
-			twoHop = append(twoHop, got[i][1])
-		}
-		res.PerRegime[regime] = [2]stats.Summary{stats.Summarize(oneHop), stats.Summarize(twoHop)}
-		res.Totals[regime] = stats.Mean(oneHop) + stats.Mean(twoHop)
+		e := perRegime[regime]
+		res.PerRegime[regime] = [2]stats.Summary{stats.Summarize(e[0]), stats.Summarize(e[1])}
+		res.Totals[regime] = stats.Mean(e[0]) + stats.Mean(e[1])
 	}
 	return res
+}
+
+// RunFig13 runs the starvation suite through the experiment engine.
+func RunFig13(seed int64, sc Scale) Fig13Result {
+	res, _ := exp.Run(fig13Exp{}, seed, sc, exp.Options{})
+	return res.(Fig13Result)
 }
 
 // Print emits the Fig. 13 bars.
@@ -156,122 +191,134 @@ type Fig14Result struct {
 	Skipped                    int
 }
 
-// fig14Run is the outcome of one (config, regime, iteration) cell.
+// fig14Run is the outcome of one (config, regime, iteration) cell, as
+// rebuilt from its record.
 type fig14Run struct {
+	regime Regime
 	got    []float64
 	limits []float64 // RCProp it==0 only: per-flow TCP feasibility limits
-	err    error
-}
-
-// RunFig14 evaluates the three regimes over generated multi-hop
-// configurations. Every (config, regime, iteration) run builds its own
-// mesh and is an independent cell. A config whose cells all ran still
-// counts as skipped if any of its runs failed, matching the sequential
-// early-exit semantics.
-func RunFig14(seed int64, sc Scale) Fig14Result {
-	res, _ := RunFig14Sink(seed, sc, nil)
-	return res
+	failed bool
 }
 
 // fig14Cell is one (config, regime, iteration) unit of work.
 type fig14Cell struct {
+	sc     Scale
 	cfg    FlowConfig
+	config int
 	regime Regime
 	it     int
 }
 
-// RunFig14Sink is RunFig14 with per-cell streaming: every completed
-// (config, regime, iteration) run writes a record to snk (series "cell")
-// in deterministic cell order, and each configuration's aggregation
-// (series "config") folds and streams as soon as its last cell emits —
-// only one configuration's runs are ever held, instead of the whole
-// grid. A nil snk skips the records; the returned result is identical
-// either way, for any worker-pool size.
-func RunFig14Sink(seed int64, sc Scale, snk sink.Sink) (Fig14Result, error) {
-	var res Fig14Result
-	configs := GenerateConfigs(seed, sc.Configs)
-	regimes := []Regime{NoRC, RCMax, RCProp}
-	var cells []fig14Cell
-	for _, cfg := range configs {
-		for _, regime := range regimes {
-			for it := 0; it < sc.Iterations; it++ {
-				cells = append(cells, fig14Cell{cfg: cfg, regime: regime, it: it})
-			}
-		}
-	}
+// fig14Exp evaluates the three regimes over generated multi-hop
+// configurations. Every (config, regime, iteration) run builds its own
+// mesh and is an independent cell; the reduction folds each
+// configuration as its last cell streams, so only one configuration's
+// runs are ever held. A config whose cells all ran still counts as
+// skipped if any of its runs failed, matching the sequential early-exit
+// semantics.
+type fig14Exp struct{}
 
-	var sinkErr error
-	emit := func(rec sink.Record) {
-		if snk != nil && sinkErr == nil {
-			sinkErr = snk.Write(rec)
-		}
-	}
-	perConfig := len(regimes) * sc.Iterations
-	window := make([]fig14Run, 0, perConfig) // the in-flight config's runs
-	runner.Stream(cells, func(_ int, c fig14Cell) fig14Run {
-		flows := make([]controller.Flow, len(c.cfg.Flows))
-		for i, f := range c.cfg.Flows {
-			flows[i] = controller.Flow{Src: f.Src, Dst: f.Dst}
-		}
-		nw := topology.Mesh18Seeded(c.cfg.Seed, c.cfg.Seed+int64(c.it)*29+int64(c.regime)*113)
-		for _, n := range nw.Nodes {
-			n.SetDefaultRate(c.cfg.Rate)
-		}
-		got, plan, err := tcpRun(nw, flows, c.cfg.Rate, c.regime, sc)
-		if err != nil {
-			return fig14Run{err: err}
-		}
-		run := fig14Run{got: got}
-		if c.regime == RCProp && c.it == 0 {
-			scale := optimize.TCPAckScale(transport.HeaderBytes, transport.ACKBytes, transport.MSS)
-			for s := range flows {
-				run.limits = append(run.limits, plan.OutputRates[s]*scale)
-			}
-		}
-		return run
-	}, func(i int, run fig14Run) {
-		if snk != nil {
-			c := cells[i]
-			var agg float64
-			for _, v := range run.got {
-				agg += v
-			}
-			emit(sink.Record{Scenario: "fig14", Series: "cell", Cell: i, Fields: []sink.Field{
-				sink.F("config", i/perConfig),
-				sink.F("regime", c.regime.String()),
-				sink.F("iteration", c.it),
-				sink.F("flows", len(c.cfg.Flows)),
-				sink.F("agg_bps", agg),
-				sink.F("failed", run.err != nil),
-			}})
-		}
-		window = append(window, run)
-		if len(window) == perConfig {
-			ci := i / perConfig
-			reduceFig14Config(&res, configs[ci], cells[ci*perConfig:(ci+1)*perConfig], window, emit, ci)
-			window = window[:0]
-		}
-	})
-	return res, sinkErr
+func (fig14Exp) Name() string { return "fig14" }
+func (fig14Exp) Describe() string {
+	return "multi-config TCP suite: throughput ratio, fairness, feasibility, stability"
 }
 
-// reduceFig14Config folds one configuration's runs into the result and
-// streams the per-config aggregates. The fold order matches the
-// pre-streaming gather-then-reduce exactly, so the reduced floats are
-// bit-identical to it.
-func reduceFig14Config(res *Fig14Result, cfg FlowConfig, cells []fig14Cell, runs []fig14Run, emit func(sink.Record), ci int) {
-	flows := cfg.Flows
+func (fig14Exp) Cells(seed int64, sc Scale) []exp.Cell {
+	var cells []exp.Cell
+	for ci, cfg := range GenerateConfigs(seed, sc.Configs) {
+		for _, regime := range []Regime{NoRC, RCMax, RCProp} {
+			for it := 0; it < sc.Iterations; it++ {
+				cells = append(cells, exp.Cell{Seed: cfg.Seed, Data: fig14Cell{
+					sc: sc, cfg: cfg, config: ci, regime: regime, it: it,
+				}})
+			}
+		}
+	}
+	return cells
+}
+
+func (fig14Exp) RunCell(c exp.Cell) sink.Record {
+	d := c.Data.(fig14Cell)
+	flows := make([]controller.Flow, len(d.cfg.Flows))
+	for i, f := range d.cfg.Flows {
+		flows[i] = controller.Flow{Src: f.Src, Dst: f.Dst}
+	}
+	nw := topology.Mesh18Seeded(d.cfg.Seed, d.cfg.Seed+int64(d.it)*29+int64(d.regime)*113)
+	for _, n := range nw.Nodes {
+		n.SetDefaultRate(d.cfg.Rate)
+	}
+	got, plan, err := tcpRun(nw, flows, d.cfg.Rate, d.regime, d.sc)
+	fields := []sink.Field{
+		sink.F("config", d.config),
+		sink.F("regime", int(d.regime)),
+		sink.F("iteration", d.it),
+		sink.F("flows", len(d.cfg.Flows)),
+		sink.F("failed", err != nil),
+	}
+	if err != nil {
+		return sink.Record{Fields: fields}
+	}
+	var agg float64
+	for _, v := range got {
+		agg += v
+	}
+	fields = append(fields, sink.F("agg_bps", agg), sink.F("goodput_bps", got))
+	if d.regime == RCProp && d.it == 0 {
+		scale := optimize.TCPAckScale(transport.HeaderBytes, transport.ACKBytes, transport.MSS)
+		limits := make([]float64, len(flows))
+		for s := range flows {
+			limits[s] = plan.OutputRates[s] * scale
+		}
+		fields = append(fields, sink.F("limits_bps", limits))
+	}
+	return sink.Record{Fields: fields}
+}
+
+func (fig14Exp) Reduce(recs <-chan sink.Record) exp.Result {
+	var res Fig14Result
+	config := -1
+	var window []fig14Run // the in-flight config's runs, in cell order
+	flush := func() {
+		if config >= 0 {
+			reduceFig14Config(&res, window)
+		}
+		window = window[:0]
+	}
+	for rec := range recs {
+		if ci := rec.Int("config"); ci != config {
+			flush()
+			config = ci
+		}
+		window = append(window, fig14Run{
+			regime: Regime(rec.Int("regime")),
+			got:    rec.Floats("goodput_bps"),
+			limits: rec.Floats("limits_bps"),
+			failed: rec.Bool("failed"),
+		})
+	}
+	flush()
+	return res
+}
+
+// RunFig14 runs the multi-config TCP suite through the experiment
+// engine.
+func RunFig14(seed int64, sc Scale) Fig14Result {
+	res, _ := exp.Run(fig14Exp{}, seed, sc, exp.Options{})
+	return res.(Fig14Result)
+}
+
+// reduceFig14Config folds one configuration's runs into the result. The
+// fold order matches the original gather-then-reduce exactly, so the
+// reduced floats are bit-identical to it.
+func reduceFig14Config(res *Fig14Result, runs []fig14Run) {
 	perRegime := map[Regime][][]float64{} // regime -> iterations -> per-flow goodput
 	var limits []float64
 	for i := range runs {
-		if runs[i].err != nil {
+		if runs[i].failed {
 			res.Skipped++
-			emit(sink.Record{Scenario: "fig14", Series: "config", Cell: ci, Fields: []sink.Field{
-				sink.F("skipped", true),
-			}})
 			return
 		}
-		perRegime[cells[i].regime] = append(perRegime[cells[i].regime], runs[i].got)
+		perRegime[runs[i].regime] = append(perRegime[runs[i].regime], runs[i].got)
 		if runs[i].limits != nil {
 			limits = runs[i].limits
 		}
@@ -286,23 +333,16 @@ func reduceFig14Config(res *Fig14Result, cfg FlowConfig, cells []fig14Cell, runs
 		}
 		return t / float64(len(rs))
 	}
-	fields := []sink.Field{sink.F("skipped", false)}
 	base := agg(perRegime[NoRC])
 	if base > 0 {
 		res.RatioMax = append(res.RatioMax, agg(perRegime[RCMax])/base)
 		res.RatioProp = append(res.RatioProp, agg(perRegime[RCProp])/base)
-		fields = append(fields,
-			sink.F("ratio_max", res.RatioMax[len(res.RatioMax)-1]),
-			sink.F("ratio_prop", res.RatioProp[len(res.RatioProp)-1]))
 	}
 	res.JFInoRC = append(res.JFInoRC, stats.JainIndex(meanPerFlow(perRegime[NoRC])))
 	res.JFIProp = append(res.JFIProp, stats.JainIndex(meanPerFlow(perRegime[RCProp])))
-	fields = append(fields,
-		sink.F("jfi_norc", res.JFInoRC[len(res.JFInoRC)-1]),
-		sink.F("jfi_prop", res.JFIProp[len(res.JFIProp)-1]))
 
 	propMeans := meanPerFlow(perRegime[RCProp])
-	feasible := make([]bool, len(flows))
+	feasible := make([]bool, len(propMeans))
 	for s, lim := range limits {
 		if lim > 0 && s < len(propMeans) {
 			f := propMeans[s] / lim
@@ -314,7 +354,6 @@ func reduceFig14Config(res *Fig14Result, cfg FlowConfig, cells []fig14Cell, runs
 	// The paper's Fig. 14(d) reports stability over the feasible flows of
 	// Fig. 14(c).
 	res.StabilityRC = append(res.StabilityRC, deviations(perRegime[RCProp], feasible)...)
-	emit(sink.Record{Scenario: "fig14", Series: "config", Cell: ci, Fields: fields})
 }
 
 // meanPerFlow averages per-flow goodputs across iterations.

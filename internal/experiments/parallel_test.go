@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/experiments/exp"
 	"repro/internal/experiments/runner"
 	"repro/internal/scenario/sink"
 	"repro/internal/sim"
@@ -58,6 +59,27 @@ func TestRunNetValidationDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// renderJSONL streams an experiment's records through the engine into a
+// JSONL buffer under a pinned worker count, returning the bytes and the
+// reduced result.
+func renderJSONL(t *testing.T, e exp.Experiment, seed int64, sc Scale, workers int) ([]byte, exp.Result) {
+	t.Helper()
+	var buf bytes.Buffer
+	var res exp.Result
+	withWorkers(workers, func() {
+		s := sink.NewJSONL(&buf)
+		var err error
+		res, err = exp.Run(e, seed, sc, exp.Options{Sink: s})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return buf.Bytes(), res
+}
+
 // TestFig10JSONLByteIdenticalAcrossWorkerCounts extends the engine
 // guarantee to the streaming path: the JSONL record stream a figure
 // emits as its cells complete is byte-identical between 1 worker and a
@@ -65,21 +87,8 @@ func TestRunNetValidationDeterministicAcrossWorkerCounts(t *testing.T) {
 // completion order.
 func TestFig10JSONLByteIdenticalAcrossWorkerCounts(t *testing.T) {
 	sc := detScale()
-	render := func(workers int) []byte {
-		var buf bytes.Buffer
-		withWorkers(workers, func() {
-			s := sink.NewJSONL(&buf)
-			if _, err := RunFig10Sink(4, sc, s); err != nil {
-				t.Fatalf("workers=%d: %v", workers, err)
-			}
-			if err := s.Close(); err != nil {
-				t.Fatal(err)
-			}
-		})
-		return buf.Bytes()
-	}
-	seq := render(1)
-	par := render(max(2, runtime.GOMAXPROCS(0)))
+	seq, _ := renderJSONL(t, fig10Exp{}, 4, sc, 1)
+	par, _ := renderJSONL(t, fig10Exp{}, 4, sc, max(2, runtime.GOMAXPROCS(0)))
 	if len(seq) == 0 {
 		t.Fatal("Fig10 streamed no records")
 	}
@@ -89,31 +98,21 @@ func TestFig10JSONLByteIdenticalAcrossWorkerCounts(t *testing.T) {
 }
 
 // TestFig14JSONLByteIdenticalAcrossWorkerCounts covers the streamed
-// per-config reduction: cell records and folded config aggregates must
-// both stream identically for any pool size.
+// per-config reduction: cell records and the folded result must both be
+// identical for any pool size.
 func TestFig14JSONLByteIdenticalAcrossWorkerCounts(t *testing.T) {
 	sc := detScale()
 	sc.Configs = 2
-	render := func(workers int) []byte {
-		var buf bytes.Buffer
-		withWorkers(workers, func() {
-			s := sink.NewJSONL(&buf)
-			if _, err := RunFig14Sink(9, sc, s); err != nil {
-				t.Fatalf("workers=%d: %v", workers, err)
-			}
-			if err := s.Close(); err != nil {
-				t.Fatal(err)
-			}
-		})
-		return buf.Bytes()
-	}
-	seq := render(1)
-	par := render(max(2, runtime.GOMAXPROCS(0)))
+	seq, seqRes := renderJSONL(t, fig14Exp{}, 9, sc, 1)
+	par, parRes := renderJSONL(t, fig14Exp{}, 9, sc, max(2, runtime.GOMAXPROCS(0)))
 	if len(seq) == 0 {
 		t.Fatal("Fig14 streamed no records")
 	}
 	if !bytes.Equal(seq, par) {
 		t.Fatalf("Fig14 JSONL differs between 1 worker and the full pool:\nseq:\n%s\npar:\n%s", seq, par)
+	}
+	if !reflect.DeepEqual(seqRes, parRes) {
+		t.Fatalf("Fig14 reduction differs between 1 worker and the full pool:\nseq: %+v\npar: %+v", seqRes, parRes)
 	}
 }
 

@@ -1,0 +1,24 @@
+package experiments
+
+import "repro/internal/experiments/exp"
+
+// Every figure suite registers here, in figure order; cmd/meshopt, the
+// scenario engine and exp.Merge resolve them by name. Figures 7, 8 and
+// 12 share one network-validation run, so they alias the netvalid
+// experiment.
+func init() {
+	exp.Register(fig3Exp{})
+	exp.Register(fig4Exp{})
+	exp.Register(fig5Exp{})
+	exp.Register(fig6Exp{})
+	exp.Register(netvalidExp{})
+	exp.Register(fig9Exp{})
+	exp.Register(fig10Exp{})
+	exp.Register(fig11Exp{})
+	exp.Register(fig13Exp{})
+	exp.Register(fig14Exp{})
+	exp.Register(exhaustiveExp{})
+	exp.RegisterAlias("fig7", "netvalid")
+	exp.RegisterAlias("fig8", "netvalid")
+	exp.RegisterAlias("fig12", "netvalid")
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core/controller"
 	"repro/internal/core/optimize"
 	"repro/internal/experiments"
+	"repro/internal/experiments/exp"
 	"repro/internal/experiments/runner"
 	"repro/internal/measure"
 	"repro/internal/phy"
@@ -85,26 +86,19 @@ func Run(spec *Spec, opts Options) error {
 	return sinkErr
 }
 
-// runFigure drives a scenario-ported figure suite through the sink.
+// runFigure drives a figure suite from the experiment registry through
+// the sink.
 func runFigure(spec *Spec, seed int64, o Options) error {
-	switch spec.Figure {
-	case 10:
-		res, err := experiments.RunFig10Sink(seed, o.Scale, o.Sink)
-		if err != nil {
-			return err
-		}
-		res.Print(o.Log)
-		return nil
-	case 14:
-		res, err := experiments.RunFig14Sink(seed, o.Scale, o.Sink)
-		if err != nil {
-			return err
-		}
-		res.Print(o.Log)
-		return nil
-	default:
-		return fmt.Errorf("scenario %q: figure %d is not scenario-ported", spec.Name, spec.Figure)
+	e, ok := exp.Find(fmt.Sprintf("fig%d", spec.Figure))
+	if !ok {
+		return fmt.Errorf("scenario %q: figure %d has no registered experiment", spec.Name, spec.Figure)
 	}
+	res, err := exp.Run(e, seed, o.Scale, exp.Options{Sink: o.Sink})
+	if err != nil {
+		return err
+	}
+	res.Print(o.Log)
+	return nil
 }
 
 // sweepPoint is one cell's coordinates in the sweep cross product.

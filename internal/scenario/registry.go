@@ -5,9 +5,11 @@ import (
 	"sort"
 )
 
-// builtins reproduce the examples/ programs — and the scenario-ported
-// figure suites — as data. Each is a plain Spec literal; `meshopt run
-// <name>` executes it and `meshopt list` enumerates them.
+// builtins reproduce the examples/ programs as data, plus fig10/fig14
+// entries that delegate to the experiment registry. Each is a plain
+// Spec literal; `meshopt run <name>` executes it and `meshopt list`
+// enumerates the non-delegate ones (figures are listed from the
+// experiment registry directly).
 var builtins = []*Spec{
 	{
 		Name:        "quickstart",
@@ -102,13 +104,13 @@ var builtins = []*Spec{
 	},
 	{
 		Name:        "fig10",
-		Description: "Fig. 10 channel-loss estimator accuracy suite on scenario/sink plumbing (error CDF + RMSE vs probing window)",
+		Description: "Fig. 10 channel-loss estimator accuracy suite, delegated to the experiment registry (error CDF + RMSE vs probing window)",
 		Seed:        1,
 		Figure:      10,
 	},
 	{
 		Name:        "fig14",
-		Description: "Fig. 14 multi-config TCP suite on scenario/sink plumbing (throughput ratios, fairness, feasibility, stability)",
+		Description: "Fig. 14 multi-config TCP suite, delegated to the experiment registry (throughput ratios, fairness, feasibility, stability)",
 		Seed:        1,
 		Figure:      14,
 	},

@@ -219,7 +219,7 @@ func TestValidateRejects(t *testing.T) {
 		{"bad rate", `{"name":"x","topology":{"kind":"chain","nodes":3,"spacing_m":70,"rate":"3Mbps"},"measure":{"duration_sec":1}}`, "rate"},
 		{"flow out of range", `{"name":"x","topology":{"kind":"chain","nodes":3,"spacing_m":70,"rate":"11Mbps"},"traffic":[{"src":0,"dst":9,"transport":"tcp"}],"measure":{"duration_sec":1}}`, "out of range"},
 		{"bad axis", `{"name":"x","topology":{"kind":"chain","nodes":3,"spacing_m":70,"rate":"11Mbps"},"traffic":[{"src":0,"dst":1,"transport":"tcp"}],"measure":{"duration_sec":1},"sweep":[{"name":"phase","values":[1]}]}`, "sweep axis"},
-		{"unported figure", `{"name":"x","figure":5}`, "not scenario-ported"},
+		{"unregistered figure", `{"name":"x","figure":99}`, "no registered experiment"},
 	}
 	for _, tc := range cases {
 		_, err := Parse([]byte(tc.src))

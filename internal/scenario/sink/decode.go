@@ -1,0 +1,247 @@
+package sink
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// DecodeJSONL parses one line produced by a JSONL sink back into a
+// Record, preserving field order. It is the wire-format inverse the
+// shard/merge machinery relies on: numbers decode as float64 (JSON's
+// shortest representation round-trips float64 exactly), null as nil,
+// booleans and strings as themselves, and arrays as []any. Nested
+// objects decode as []Field in key order.
+func DecodeJSONL(line []byte) (Record, error) {
+	var rec Record
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.UseNumber()
+	tok, err := dec.Token()
+	if err != nil {
+		return rec, fmt.Errorf("sink: decode: %w", err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return rec, fmt.Errorf("sink: decode: record line must be a JSON object")
+	}
+	// The writer emits scenario, series, cell as the first three keys;
+	// everything after is payload (which may itself reuse those names).
+	pos := 0
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return rec, fmt.Errorf("sink: decode: %w", err)
+		}
+		key := keyTok.(string)
+		val, err := decodeValue(dec)
+		if err != nil {
+			return rec, err
+		}
+		switch pos {
+		case 0, 1:
+			want := [...]string{"scenario", "series"}[pos]
+			s, isStr := val.(string)
+			if key != want || !isStr {
+				return rec, fmt.Errorf("sink: decode: key %d is %q, want %q", pos, key, want)
+			}
+			if pos == 0 {
+				rec.Scenario = s
+			} else {
+				rec.Series = s
+			}
+		case 2:
+			f, isNum := val.(float64)
+			if key != "cell" || !isNum {
+				return rec, fmt.Errorf("sink: decode: key 2 is %q, want \"cell\"", key)
+			}
+			rec.Cell = int(f)
+		default:
+			rec.Fields = append(rec.Fields, Field{Key: key, Value: val})
+		}
+		pos++
+	}
+	if _, err := dec.Token(); err != nil { // closing '}'
+		return rec, fmt.Errorf("sink: decode: %w", err)
+	}
+	return rec, nil
+}
+
+// decodeValue reads one JSON value from dec.
+func decodeValue(dec *json.Decoder) (any, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, fmt.Errorf("sink: decode: %w", err)
+	}
+	switch t := tok.(type) {
+	case json.Delim:
+		switch t {
+		case '[':
+			arr := []any{}
+			for dec.More() {
+				v, err := decodeValue(dec)
+				if err != nil {
+					return nil, err
+				}
+				arr = append(arr, v)
+			}
+			if _, err := dec.Token(); err != nil { // ']'
+				return nil, fmt.Errorf("sink: decode: %w", err)
+			}
+			return arr, nil
+		case '{':
+			var fields []Field
+			for dec.More() {
+				keyTok, err := dec.Token()
+				if err != nil {
+					return nil, fmt.Errorf("sink: decode: %w", err)
+				}
+				v, err := decodeValue(dec)
+				if err != nil {
+					return nil, err
+				}
+				fields = append(fields, Field{Key: keyTok.(string), Value: v})
+			}
+			if _, err := dec.Token(); err != nil { // '}'
+				return nil, fmt.Errorf("sink: decode: %w", err)
+			}
+			return fields, nil
+		}
+		return nil, fmt.Errorf("sink: decode: unexpected delimiter %v", t)
+	case json.Number:
+		f, err := t.Float64()
+		if err != nil {
+			return nil, fmt.Errorf("sink: decode: number %q: %w", t, err)
+		}
+		return f, nil
+	default:
+		// string, bool, or nil (JSON null).
+		return t, nil
+	}
+}
+
+// NewLineScanner returns a line scanner sized for record lines (large
+// array payloads can exceed bufio's default token limit).
+func NewLineScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	return sc
+}
+
+// DecodeJSONLStream decodes every record line from r, in order.
+func DecodeJSONLStream(r io.Reader) ([]Record, error) {
+	sc := NewLineScanner(r)
+	var out []Record
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		rec, err := DecodeJSONL(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, sc.Err()
+}
+
+// --- Field access ------------------------------------------------------
+//
+// Reductions read records through these accessors so one implementation
+// serves both record provenances: in-process values (typed ints, bools,
+// float slices) and values re-decoded from a shard's JSONL stream
+// (everything numeric is float64). The coercions below are exactly the
+// ones that make those two views identical.
+
+// Field returns the first field stored under key.
+func (r Record) Field(key string) (any, bool) {
+	for _, f := range r.Fields {
+		if f.Key == key {
+			return f.Value, true
+		}
+	}
+	return nil, false
+}
+
+// Float returns the field as a float64: NaN when the field is absent,
+// null, or not numeric (NaN itself encodes as null, so the two are one
+// value on the wire).
+func (r Record) Float(key string) float64 {
+	v, ok := r.Field(key)
+	if !ok {
+		return math.NaN()
+	}
+	f, ok := toFloat(v)
+	if !ok {
+		return math.NaN()
+	}
+	return f
+}
+
+// Int returns the field truncated to int (0 when absent or non-numeric).
+func (r Record) Int(key string) int {
+	f := r.Float(key)
+	if math.IsNaN(f) {
+		return 0
+	}
+	return int(f)
+}
+
+// Bool returns the field as a bool (false when absent or not a bool).
+func (r Record) Bool(key string) bool {
+	v, _ := r.Field(key)
+	b, _ := v.(bool)
+	return b
+}
+
+// Text returns the field as a string ("" when absent or not a string).
+func (r Record) Text(key string) string {
+	v, _ := r.Field(key)
+	s, _ := v.(string)
+	return s
+}
+
+// Floats returns the field as a float slice: []float64 values are
+// returned directly, decoded []any arrays are coerced element-wise, and
+// anything else (including null) is nil.
+func (r Record) Floats(key string) []float64 {
+	v, ok := r.Field(key)
+	if !ok {
+		return nil
+	}
+	switch x := v.(type) {
+	case []float64:
+		return x
+	case []any:
+		out := make([]float64, len(x))
+		for i, e := range x {
+			f, ok := toFloat(e)
+			if !ok {
+				f = math.NaN()
+			}
+			out[i] = f
+		}
+		return out
+	}
+	return nil
+}
+
+// toFloat coerces the numeric types records carry in-process.
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case float32:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case nil:
+		// JSON null: the encoding of NaN/Inf.
+		return math.NaN(), true
+	}
+	return 0, false
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/experiments/exp"
 	"repro/internal/phy"
 )
 
@@ -38,9 +39,9 @@ type Spec struct {
 	// Sweep axes expand into the cross product of their values, one
 	// simulation cell per point, last axis fastest.
 	Sweep []Axis `json:"sweep,omitempty"`
-	// Figure delegates the run to a scenario-ported figure suite (10 or
-	// 14) instead of the declarative engine; the other workload fields
-	// are ignored.
+	// Figure delegates the run to the figure suite registered as
+	// "fig<n>" in the experiment registry instead of the declarative
+	// engine; the other workload fields are ignored.
 	Figure int `json:"figure,omitempty"`
 }
 
@@ -232,8 +233,8 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("scenario: name is required")
 	}
 	if s.Figure != 0 {
-		if s.Figure != 10 && s.Figure != 14 {
-			return fail("figure %d is not scenario-ported (10 and 14 are)", s.Figure)
+		if _, ok := exp.Find(fmt.Sprintf("fig%d", s.Figure)); !ok {
+			return fail("figure %d has no registered experiment", s.Figure)
 		}
 		return nil
 	}

@@ -30,4 +30,14 @@ go test ./internal/scenario -run 'TestGolden|TestBuiltinsMarshalParse' -count=1
 echo "== scenario smoke (meshopt run quickstart at quick scale)"
 go run ./cmd/meshopt run quickstart -scale quick -o /dev/null
 
+echo "== shard smoke (fig10 as 2 shards + merge == unsharded, byte-for-byte)"
+SHARD_TMP="$(mktemp -d)"
+trap 'rm -rf "$SHARD_TMP"' EXIT
+go build -o "$SHARD_TMP/meshopt" ./cmd/meshopt
+"$SHARD_TMP/meshopt" fig 10 -scale quick -seed 4 -o "$SHARD_TMP/full.jsonl" >/dev/null
+"$SHARD_TMP/meshopt" fig 10 -scale quick -seed 4 -shard 0/2 -workers 1 -o "$SHARD_TMP/s0.jsonl" >/dev/null
+"$SHARD_TMP/meshopt" fig 10 -scale quick -seed 4 -shard 1/2 -o "$SHARD_TMP/s1.jsonl" >/dev/null
+"$SHARD_TMP/meshopt" merge -o "$SHARD_TMP/merged.jsonl" "$SHARD_TMP/s0.jsonl" "$SHARD_TMP/s1.jsonl" >/dev/null
+cmp "$SHARD_TMP/full.jsonl" "$SHARD_TMP/merged.jsonl"
+
 echo "CI OK"
