@@ -8,6 +8,7 @@
 //	meshopt fig netvalid -scale paper
 //	meshopt fig 10 -shard 0/2 -o s0.jsonl   # one residue class of the cells
 //	meshopt merge -o full.jsonl s0.jsonl s1.jsonl
+//	meshopt coord 10 -shards 4 -workers 4 -dir run/  # dispatch + live merge + checkpoint
 //	meshopt run quickstart              # run a registered scenario
 //	meshopt run spec.json -o out.jsonl -format jsonl
 //	meshopt list                        # figures and scenarios in one table
@@ -15,13 +16,31 @@
 // Every figure suite is an experiment: a deterministic cell enumeration
 // streamed as one record per cell (JSONL or CSV) plus a reduced summary.
 // Records go to stdout (summary to stderr) by default, or to the -o file
-// (summary to stdout).
+// (summary to stdout). Swept scenarios are experiments too: `fig`,
+// `coord` and `-shard` accept a registered scenario name or a spec file
+// wherever they accept a figure.
 //
 // Sharding: `-shard i/k` runs the cells whose index ≡ i (mod k) and
 // streams their records; `meshopt merge` recombines shard files into a
 // stream byte-identical to an unsharded run — for any -workers value on
 // any shard — and prints the same reduced summary. Shard streams must be
-// JSONL.
+// JSONL. A merge whose inputs miss whole residue classes exits 2 and
+// names the missing shards.
+//
+// Coordinator: `meshopt coord <fig|scenario> -shards k -workers <n|cmd>
+// -dir run/` dispatches the k residue classes over a pool of workers —
+// `-workers 4` spawns four local `meshopt work` subprocesses, while
+// `-workers 'ssh mesh{slot} meshopt work'` (with `-slots n`) fans out
+// over any transport whose command speaks the `meshopt work` stdio
+// protocol. Shard streams are merged live in cell order; completed
+// shards checkpoint into the run directory, failed workers are retried
+// with bounded backoff, and re-running the same command resumes the run,
+// re-dispatching only missing or invalid shards. run/merged.jsonl (and
+// -o) is byte-identical to the unsharded `meshopt fig` stream.
+//
+//	meshopt coord 10 -shards 6 -workers 3 -dir run/   # quickstart
+//	meshopt coord 10 -shards 6 -workers 3 -dir run/   # ...resume after a crash
+//	meshopt merge -o full.jsonl run/shard_*.jsonl     # offline re-merge also works
 //
 // The flag-driven figure mode (`meshopt -fig N`, `-all`) remains as a
 // deprecated alias over the same registry; `-all` now spans the whole
@@ -30,6 +49,9 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -38,6 +60,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/experiments/exp"
 	"repro/internal/experiments/runner"
@@ -52,6 +75,10 @@ func main() {
 			os.Exit(runFig(os.Args[2:]))
 		case "merge":
 			os.Exit(runMerge(os.Args[2:]))
+		case "coord":
+			os.Exit(runCoord(os.Args[2:]))
+		case "work":
+			os.Exit(runWork())
 		case "run":
 			os.Exit(runScenario(os.Args[2:]))
 		case "list":
@@ -99,13 +126,66 @@ func resolveExperiment(target string) (exp.Experiment, bool) {
 	return exp.Find(target)
 }
 
-// parseScale resolves the -scale flag.
+// shardTarget is a resolved shardable target: any experiment the fig
+// and coord subcommands accept.
+type shardTarget struct {
+	name string          // canonical name a fresh worker process can resolve
+	e    exp.Experiment  // the experiment itself
+	spec json.RawMessage // inline scenario spec when the target was a file
+	seed int64           // default seed (the scenario's own, or 1 for figures)
+}
+
+// resolveShardable maps a CLI target to its experiment: a figure number,
+// a registry name/alias, a registered scenario name, or a scenario spec
+// file. Scenario targets resolve through the scenario→experiment adapter
+// so sweeps shard like figures do.
+func resolveShardable(target string) (*shardTarget, error) {
+	if e, ok := resolveExperiment(target); ok {
+		return &shardTarget{name: e.Name(), e: e, seed: 1}, nil
+	}
+	if spec, ok := scenario.Lookup(target); ok {
+		e, err := scenario.Experiment(spec)
+		if err != nil {
+			return nil, err
+		}
+		return &shardTarget{name: target, e: e, seed: spec.Seed}, nil
+	}
+	if data, err := os.ReadFile(target); err == nil {
+		spec, err := scenario.Parse(data)
+		if err != nil {
+			return nil, err
+		}
+		e, err := scenario.Experiment(spec)
+		if err != nil {
+			return nil, err
+		}
+		return &shardTarget{name: spec.Name, e: e, spec: data, seed: spec.Seed}, nil
+	}
+	return nil, fmt.Errorf("unknown target %q (not a figure, registered experiment, scenario name or readable spec file)\nregistered experiments: %v\nregistered scenarios: %v",
+		target, exp.Names(), scenario.Names())
+}
+
+// seedOrDefault resolves the effective seed: the -seed flag when the
+// user set it, else the target's own default (a scenario's spec seed).
+func seedOrDefault(fs *flag.FlagSet, flagSeed int64, def int64) int64 {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			set = true
+		}
+	})
+	if set {
+		return flagSeed
+	}
+	return def
+}
+
+// parseScale resolves the -scale flag through the same name table the
+// worker protocol uses (exp.NamedScale), so the CLI and remote workers
+// can never diverge on what a scale name means.
 func parseScale(name string) (experiments.Scale, error) {
-	switch name {
-	case "quick":
-		return experiments.Quick(), nil
-	case "paper":
-		return experiments.Paper(), nil
+	if sc, ok := exp.NamedScale(name); ok {
+		return sc, nil
 	}
 	return experiments.Scale{}, fmt.Errorf("unknown scale %q (want quick or paper)", name)
 }
@@ -151,11 +231,12 @@ func runFig(args []string) int {
 		fs.Usage()
 		return 2
 	}
-	e, ok := resolveExperiment(target)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown figure %q\nregistered: %v\n", target, exp.Names())
+	ti, err := resolveShardable(target)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
+	e := ti.e
 	sc, err := parseScale(*scaleName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -191,7 +272,7 @@ func runFig(args []string) int {
 	}
 
 	start := time.Now()
-	res, err := exp.Run(e, *seed, sc, exp.Options{Sink: snk, Shard: shard})
+	res, err := exp.Run(e, seedOrDefault(fs, *seed, ti.seed), sc, exp.Options{Sink: snk, Shard: shard})
 	if cerr := snk.Close(); err == nil {
 		err = cerr
 	}
@@ -247,12 +328,132 @@ func runMerge(args []string) int {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		// An incomplete input set (missing shard streams) is a usage
+		// error — the fix is passing the named shards — not a runtime
+		// failure.
+		var gap *exp.GapError
+		if errors.As(err, &gap) {
+			return 2
+		}
 		return 1
 	}
 	if res != nil {
 		res.Print(logW)
 	}
 	return 0
+}
+
+// runWork implements the `work` subcommand: serve one shard dispatch on
+// stdin/stdout for a `meshopt coord` coordinator (local subprocess, ssh,
+// k8s exec, ...).
+func runWork() int {
+	if err := dist.ServeWork(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
+}
+
+// runCoord implements the `coord` subcommand. Exit codes: 0 ok, 1
+// runtime failure (incomplete run — rerun the same command to resume),
+// 2 usage.
+func runCoord(args []string) int {
+	fs := flag.NewFlagSet("meshopt coord", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "experiment seed")
+	scaleName := fs.String("scale", "quick", "experiment scale: quick or paper")
+	shards := fs.Int("shards", 0, "number of shards (residue classes) to dispatch")
+	workers := fs.String("workers", "", "worker pool: a count of local `meshopt work` subprocesses, or a command template speaking the work protocol ('ssh mesh{slot} meshopt work')")
+	slots := fs.Int("slots", 0, "concurrent worker slots for a template pool (default: min(shards, GOMAXPROCS))")
+	dir := fs.String("dir", "", "run directory for checkpoints and the merged output (required)")
+	retries := fs.Int("retries", 3, "dispatch attempts per shard before the run gives up (>= 1)")
+	timeout := fs.Duration("timeout", 0, "per-attempt timeout (0 = none); set for remote pools where a wedged transport would hold its slot forever")
+	out := fs.String("o", "", "also copy the merged records to this file")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: meshopt coord <n|name|scenario|spec.json> -shards k -workers <n|cmd-template> -dir rundir [flags]")
+		fs.PrintDefaults()
+	}
+	// Accept the target either before or after the flags.
+	var target string
+	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		target, args = args[0], args[1:]
+	}
+	fs.Parse(args)
+	if target == "" && fs.NArg() > 0 {
+		target = fs.Arg(0)
+	}
+	if target == "" || *dir == "" {
+		fs.Usage()
+		return 2
+	}
+	ti, err := resolveShardable(target)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if _, err := parseScale(*scaleName); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if *shards < 1 {
+		fmt.Fprintln(os.Stderr, "-shards must be at least 1")
+		return 2
+	}
+	if *retries < 1 {
+		fmt.Fprintln(os.Stderr, "-retries must be at least 1 (it counts dispatch attempts; 1 means no retry)")
+		return 2
+	}
+
+	o := dist.Options{MaxAttempts: *retries, AttemptTimeout: *timeout, Log: os.Stderr}
+	if n, err := strconv.Atoi(*workers); err == nil && *workers != "" {
+		o.Slots = n
+	} else if *workers != "" {
+		o.Spawner = dist.TemplateSpawner(*workers, os.Stderr)
+		o.Slots = *slots
+	}
+
+	job := dist.Job{
+		Experiment: ti.name,
+		Spec:       ti.spec,
+		Seed:       seedOrDefault(fs, *seed, ti.seed),
+		Scale:      *scaleName,
+		Shards:     *shards,
+	}
+	start := time.Now()
+	rep, err := dist.Run(context.Background(), job, *dir, o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if *out != "" {
+		if err := copyFile(*dir+"/merged.jsonl", *out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	fmt.Fprintf(os.Stderr, "coord: %d cells over %d shards (%d reused, %d dispatched) in %v\n",
+		rep.Cells, job.Shards, len(rep.Reused), len(rep.Ran), time.Since(start).Round(time.Millisecond))
+	if rep.Result != nil {
+		rep.Result.Print(os.Stdout)
+	}
+	return 0
+}
+
+// copyFile copies src to dst (create/truncate).
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	outF, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(outF, in); err != nil {
+		outF.Close()
+		return err
+	}
+	return outF.Close()
 }
 
 // runScenario implements the `run` subcommand. Exit codes: 0 ok, 1
@@ -357,8 +558,10 @@ func legacyFigures() {
 	workers := flag.Int("workers", 0, "experiment worker pool size; 0 = GOMAXPROCS")
 	doList := flag.Bool("list", false, "list figures and registered scenarios, then exit")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: meshopt fig <n|name> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: meshopt fig <n|name|scenario> [flags]")
 		fmt.Fprintln(os.Stderr, "       meshopt merge [-o merged.jsonl] shard.jsonl ...")
+		fmt.Fprintln(os.Stderr, "       meshopt coord <n|name|scenario> -shards k -workers <n|cmd> -dir rundir [flags]")
+		fmt.Fprintln(os.Stderr, "       meshopt work   (stdio worker protocol; spawned by coord)")
 		fmt.Fprintln(os.Stderr, "       meshopt run <scenario.json|name> [flags]")
 		fmt.Fprintln(os.Stderr, "       meshopt list")
 		fmt.Fprintln(os.Stderr, "legacy flags (deprecated aliases over the same registry):")

@@ -1,0 +1,508 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/experiments/exp"
+	"repro/internal/scenario/sink"
+)
+
+// Options tunes a coordinator run.
+type Options struct {
+	// Slots is the number of concurrent workers; 0 means
+	// min(shards, GOMAXPROCS).
+	Slots int
+	// MaxAttempts bounds how often one shard is dispatched before the
+	// run gives up (default 3). Exhausting it fails the run but leaves
+	// every completed shard checkpointed for a resume.
+	MaxAttempts int
+	// Backoff is the base retry delay (default 200ms); attempt n waits
+	// n×Backoff, capped at 5×Backoff.
+	Backoff time.Duration
+	// AttemptTimeout bounds one shard dispatch; 0 means no bound. Set
+	// it for remote pools where a wedged transport would otherwise hold
+	// its slot forever (the hang is then killed and retried like any
+	// other worker failure).
+	AttemptTimeout time.Duration
+	// Spawner launches workers; nil uses SelfSpawner (local `work`
+	// subprocesses of this binary).
+	Spawner Spawner
+	// Log receives human-readable progress; nil discards it.
+	Log io.Writer
+
+	// onShardDone, when set, observes each shard checkpoint as it is
+	// finalized (fault tests use it to cancel mid-run).
+	onShardDone func(shard int)
+}
+
+// Report summarizes a coordinator run.
+type Report struct {
+	Cells    int   // cell-enumeration size
+	Reused   []int // shards restored from valid checkpoints
+	Ran      []int // shards dispatched this run
+	Attempts []int // per-shard dispatch counts this run
+	Result   exp.Result
+}
+
+// fatalError marks a failure no retry can fix (a determinism violation:
+// a retried worker reproduced different bytes than its predecessor).
+type fatalError struct{ error }
+
+func (e fatalError) Unwrap() error { return e.error }
+
+// Run executes (or resumes) a sharded experiment run in dir. It
+// validates the manifest and any checkpointed shards, dispatches the
+// missing residue classes over the worker slots, live-merges every
+// shard stream in cell order into dir/merged.jsonl, and returns the
+// reduction. The merged bytes are byte-identical to an unsharded run of
+// the same job.
+func Run(ctx context.Context, job Job, dir string, o Options) (*Report, error) {
+	if job.Shards < 1 {
+		return nil, fmt.Errorf("dist: need at least 1 shard (got %d)", job.Shards)
+	}
+	e, sc, err := job.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	if o.Log == nil {
+		o.Log = io.Discard
+	}
+	if o.Slots <= 0 {
+		o.Slots = min(job.Shards, runtime.GOMAXPROCS(0))
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 200 * time.Millisecond
+	}
+	if o.Spawner == nil {
+		if o.Spawner, err = SelfSpawner(os.Stderr); err != nil {
+			return nil, err
+		}
+	}
+
+	cells := len(e.Cells(job.Seed, sc))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	created := time.Now().UTC().Format(time.RFC3339)
+	if err := loadOrWriteManifest(filepath.Join(dir, "run.json"), job, cells, created); err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Cells: cells, Attempts: make([]int, job.Shards)}
+	var pending []int
+	for i := 0; i < job.Shards; i++ {
+		if n, ok := validateShardFile(shardPath(dir, i)); ok {
+			fmt.Fprintf(o.Log, "shard %d/%d: reusing checkpoint (%d records)\n", i, job.Shards, n)
+			rep.Reused = append(rep.Reused, i)
+		} else {
+			pending = append(pending, i)
+		}
+	}
+	rep.Ran = append(rep.Ran, pending...)
+
+	mergedPart := filepath.Join(dir, "merged.jsonl.part")
+	mergedF, err := os.Create(mergedPart)
+	if err != nil {
+		return nil, err
+	}
+	defer mergedF.Close()
+
+	r := &run{
+		job:     job,
+		dir:     dir,
+		o:       o,
+		merger:  exp.NewMerger(mergedF, job.Shards, e),
+		states:  make([]*shardState, job.Shards),
+		replays: make(map[int]*replayCursor),
+	}
+	for i := range r.states {
+		r.states[i] = &shardState{h: sha256.New()}
+	}
+	defer r.merger.Abort() // no-op after a successful Finish
+	defer r.closeReplays()
+
+	// Checkpointed shards replay lazily: each file is opened as a
+	// cursor and read only as the merge frontier demands its cells, so
+	// a resume keeps checkpointed data on disk instead of buffering
+	// whole shards in the merger's queues.
+	for _, i := range rep.Reused {
+		f, err := os.Open(shardPath(dir, i))
+		if err != nil {
+			return nil, err
+		}
+		r.replays[i] = &replayCursor{f: f, sc: sink.NewLineScanner(f)}
+	}
+	r.mu.Lock()
+	err = r.pump()
+	r.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("dist: replaying checkpointed shards: %w", err)
+	}
+
+	// Dispatch the missing shards over the worker slots; each shard's
+	// goroutine owns all of that shard's attempts, so a shard's stream
+	// state is never touched concurrently.
+	slots := make(chan int, o.Slots)
+	for s := 0; s < o.Slots; s++ {
+		slots <- s
+	}
+	var (
+		wg       sync.WaitGroup
+		failMu   sync.Mutex
+		failures []error
+	)
+	fail := func(err error) {
+		failMu.Lock()
+		failures = append(failures, err)
+		failMu.Unlock()
+	}
+	for _, shard := range pending {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			var lastErr error
+			for attempt := 1; attempt <= o.MaxAttempts; attempt++ {
+				var slot int
+				select {
+				case slot = <-slots:
+				case <-ctx.Done():
+					fail(fmt.Errorf("shard %d/%d: %w", shard, job.Shards, ctx.Err()))
+					return
+				}
+				rep.Attempts[shard]++
+				err := r.attempt(ctx, shard, slot)
+				slots <- slot
+				if err == nil {
+					return
+				}
+				lastErr = err
+				fmt.Fprintf(o.Log, "shard %d/%d attempt %d failed: %v\n", shard, job.Shards, attempt, err)
+				var fe fatalError
+				if ctx.Err() != nil || errors.As(err, &fe) {
+					break
+				}
+				if attempt < o.MaxAttempts {
+					d := min(time.Duration(attempt)*o.Backoff, 5*o.Backoff)
+					select {
+					case <-time.After(d):
+					case <-ctx.Done():
+					}
+				}
+			}
+			fail(fmt.Errorf("shard %d/%d failed after %d attempt(s): %w", shard, job.Shards, rep.Attempts[shard], lastErr))
+		}(shard)
+	}
+	wg.Wait()
+
+	if len(failures) > 0 {
+		return rep, fmt.Errorf("dist: run incomplete (completed shards stay checkpointed in %s; rerun with the same directory to resume): %w",
+			dir, errors.Join(failures...))
+	}
+
+	res, err := r.finishMerge(cells)
+	if err != nil {
+		return rep, err
+	}
+	if err := mergedF.Sync(); err != nil {
+		return rep, err
+	}
+	if err := os.Rename(mergedPart, filepath.Join(dir, "merged.jsonl")); err != nil {
+		return rep, err
+	}
+	rep.Result = res
+	return rep, nil
+}
+
+// run is the shared state of one coordinator invocation.
+type run struct {
+	job     Job
+	dir     string
+	o       Options
+	mu      sync.Mutex // serializes merger + replay access across shard goroutines
+	merger  *exp.Merger
+	states  []*shardState
+	replays map[int]*replayCursor
+}
+
+// replayCursor reads a checkpointed shard file on demand.
+type replayCursor struct {
+	f  *os.File
+	sc *bufio.Scanner
+}
+
+// push forwards a live worker line, then feeds any checkpointed shards
+// the frontier advanced into.
+func (r *run) push(shard int, line []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.merger.Push(shard, line); err != nil {
+		return err
+	}
+	return r.pump()
+}
+
+// closeShard marks a live shard complete, then pumps the replays.
+func (r *run) closeShard(shard int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.merger.CloseShard(shard); err != nil {
+		return err
+	}
+	return r.pump()
+}
+
+// pump feeds checkpointed shard files into the merger for as long as
+// the frontier cell belongs to one of them: the cursor's next lines are
+// exactly the frontier's records, so the merger queues stay near-empty
+// for replayed shards. Called with r.mu held.
+func (r *run) pump() error {
+	for {
+		j := r.merger.Frontier() % r.job.Shards
+		cur, ok := r.replays[j]
+		if !ok {
+			return nil // frontier owned by a live (or finished) shard
+		}
+		if cur.sc.Scan() {
+			if err := r.merger.Push(j, cur.sc.Bytes()); err != nil {
+				return err
+			}
+			continue
+		}
+		err := cur.sc.Err()
+		cur.f.Close()
+		delete(r.replays, j)
+		if err != nil {
+			return err
+		}
+		if err := r.merger.CloseShard(j); err != nil {
+			return err
+		}
+	}
+}
+
+func (r *run) closeReplays() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, cur := range r.replays {
+		cur.f.Close()
+	}
+	r.replays = nil
+}
+
+// shardState tracks how much of a shard's deterministic stream has been
+// merged, across that shard's attempts: a retry re-produces the same
+// bytes, so its first pushed lines are verified against the running
+// hash and skipped instead of re-merged.
+type shardState struct {
+	pushed int
+	h      hash.Hash // sha256 over the pushed lines ('\n' included)
+}
+
+func shardPath(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard_%d.jsonl", shard))
+}
+
+// attempt runs one worker for one shard: stream its records into the
+// checkpoint file and the live merger, verify the completion marker,
+// and finalize the checkpoint atomically.
+func (r *run) attempt(ctx context.Context, shard, slot int) error {
+	if r.o.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.o.AttemptTimeout)
+		defer cancel()
+	}
+	stdin, stdout, wait, err := r.o.Spawner.Spawn(ctx, slot)
+	if err != nil {
+		return err
+	}
+	req, err := json.Marshal(workRequest{Job: r.job, Shard: exp.Shard{Index: shard, Count: r.job.Shards}})
+	if err != nil {
+		return err
+	}
+	if _, err := stdin.Write(append(req, '\n')); err != nil {
+		stdout.Close()
+		wait()
+		return fmt.Errorf("sending job: %w", err)
+	}
+	stdin.Close()
+
+	part := shardPath(r.dir, shard) + ".part"
+	pf, err := os.Create(part)
+	if err != nil {
+		stdout.Close()
+		wait()
+		return err
+	}
+	defer pf.Close()
+
+	st := r.states[shard]
+	prefix := st.pushed // lines a previous attempt already merged
+	prefixSum := st.h.Sum(nil)
+	vh := sha256.New() // re-hash of the replayed prefix
+	var (
+		seen    int
+		done    bool
+		doneN   int
+		doneSum string
+		workErr error
+	)
+	sc := sink.NewLineScanner(stdout)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if line[0] == '#' {
+			s := string(line)
+			if strings.HasPrefix(s, donePrefix) {
+				n, sum, err := parseDone(s)
+				if err != nil {
+					workErr = err
+					break
+				}
+				done, doneN, doneSum = true, n, sum
+				fmt.Fprintf(pf, "%s\n", s)
+				break
+			}
+			workErr = fmt.Errorf("worker: %s", s)
+			break
+		}
+		if _, err := pf.Write(append(line, '\n')); err != nil {
+			workErr = err
+			break
+		}
+		if seen < prefix {
+			// Replaying the prefix a previous attempt merged: verify the
+			// retry reproduces it bit for bit, don't re-merge it.
+			vh.Write(line)
+			vh.Write([]byte{'\n'})
+			seen++
+			if seen == prefix && !bytes.Equal(vh.Sum(nil), prefixSum) {
+				workErr = fatalError{fmt.Errorf("retried shard %d reproduced different bytes than its merged prefix (%d lines) — determinism violation, not retryable", shard, prefix)}
+				break
+			}
+			continue
+		}
+		if err := r.push(shard, line); err != nil {
+			workErr = err
+			break
+		}
+		st.h.Write(line)
+		st.h.Write([]byte{'\n'})
+		st.pushed++
+		seen++
+	}
+	if workErr == nil {
+		workErr = sc.Err()
+	}
+	if workErr == nil {
+		// The stream is at EOF (or the marker); drain any trailing
+		// bytes so the worker never blocks on a full pipe.
+		io.Copy(io.Discard, stdout)
+	}
+	// On a merge-side error the worker may be healthy and mid-shard:
+	// closing its stdout kills it now instead of draining a whole
+	// residue class before the retry.
+	stdout.Close()
+	waitErr := wait()
+
+	switch {
+	case workErr != nil:
+		return workErr
+	case !done:
+		if waitErr != nil {
+			return fmt.Errorf("worker died without completion marker: %w", waitErr)
+		}
+		return fmt.Errorf("worker stream ended without completion marker")
+	case seen < prefix:
+		return fatalError{fmt.Errorf("retried shard %d streamed %d lines, fewer than the %d already merged — determinism violation, not retryable", shard, seen, prefix)}
+	case doneN != st.pushed || doneSum != hex.EncodeToString(st.h.Sum(nil)):
+		return fmt.Errorf("completion marker mismatch: worker declared %d records (%s), coordinator merged %d (%s)",
+			doneN, doneSum, st.pushed, hex.EncodeToString(st.h.Sum(nil)))
+	}
+
+	if err := pf.Sync(); err != nil {
+		return err
+	}
+	if err := pf.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(part, shardPath(r.dir, shard)); err != nil {
+		return err
+	}
+	if err := r.closeShard(shard); err != nil {
+		return fatalError{err}
+	}
+	fmt.Fprintf(r.o.Log, "shard %d/%d complete (%d records)\n", shard, r.job.Shards, st.pushed)
+	if r.o.onShardDone != nil {
+		r.o.onShardDone(shard)
+	}
+	return nil
+}
+
+func (r *run) finishMerge(cells int) (exp.Result, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.pump(); err != nil { // normally a no-op: every close pumps
+		return nil, err
+	}
+	return r.merger.Finish(cells)
+}
+
+// validateShardFile checks a checkpointed shard: every record line
+// hashed, terminated by a matching '#done' marker. Anything else —
+// truncation, a flipped byte, a missing marker — invalidates the file
+// and the shard is re-dispatched.
+func validateShardFile(path string) (records int, ok bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	h := sha256.New()
+	n := 0
+	sawDone := false
+	sc := sink.NewLineScanner(f)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if sawDone {
+			return 0, false // data after the completion marker
+		}
+		if line[0] == '#' {
+			dn, sum, err := parseDone(string(line))
+			if err != nil || dn != n || sum != hex.EncodeToString(h.Sum(nil)) {
+				return 0, false
+			}
+			sawDone = true
+			continue
+		}
+		h.Write(line)
+		h.Write([]byte{'\n'})
+		n++
+	}
+	if sc.Err() != nil || !sawDone {
+		return 0, false
+	}
+	return n, true
+}

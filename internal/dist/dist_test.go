@@ -1,0 +1,389 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	_ "repro/internal/experiments" // register the figure suites
+	"repro/internal/experiments/exp"
+	"repro/internal/scenario"
+	"repro/internal/scenario/sink"
+)
+
+// toyDist is a fast single-record experiment for coordinator fault
+// tests.
+type toyDist struct{ n int }
+
+func (toyDist) Name() string     { return "disttoy" }
+func (toyDist) Describe() string { return "coordinator test experiment" }
+
+func (t toyDist) Cells(seed int64, sc exp.Scale) []exp.Cell {
+	cells := make([]exp.Cell, t.n)
+	for i := range cells {
+		cells[i] = exp.Cell{Seed: seed, Data: i}
+	}
+	return cells
+}
+
+func (toyDist) RunCell(c exp.Cell) sink.Record {
+	i := c.Data.(int)
+	return sink.Record{Fields: []sink.Field{sink.F("v", float64(c.Seed)*1000+float64(i))}}
+}
+
+type toySum struct {
+	Sum   float64
+	Cells int
+}
+
+func (r toySum) Print(w io.Writer) {}
+
+func (toyDist) Reduce(recs <-chan sink.Record) exp.Result {
+	var res toySum
+	for rec := range recs {
+		res.Sum += rec.Float("v")
+		res.Cells++
+	}
+	return res
+}
+
+func init() { exp.Register(toyDist{n: 10}) }
+
+// fault is one injected worker behavior for a single attempt.
+type fault struct {
+	cutAfter int  // emit this many record lines, then cut the stream (no marker)
+	hang     bool // emit nothing and block until the context is cancelled
+}
+
+// testSpawner serves workers in-process over pipes, consuming one
+// injected fault per attempt per shard (head-first), then behaving.
+type testSpawner struct {
+	mu     sync.Mutex
+	faults map[int][]fault
+}
+
+func (s *testSpawner) takeFault(shard int) *fault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fs := s.faults[shard]
+	if len(fs) == 0 {
+		return nil
+	}
+	f := fs[0]
+	s.faults[shard] = fs[1:]
+	return &f
+}
+
+func (s *testSpawner) Spawn(ctx context.Context, slot int) (io.WriteCloser, io.ReadCloser, func() error, error) {
+	inR, inW := io.Pipe()
+	outR, outW := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		defer outW.Close()
+		br := bufio.NewReader(inR)
+		line, err := br.ReadBytes('\n')
+		if len(line) == 0 && err != nil {
+			done <- err
+			return
+		}
+		var req workRequest
+		if err := json.Unmarshal(line, &req); err != nil {
+			done <- err
+			return
+		}
+		f := s.takeFault(req.Shard.Index)
+		if f != nil && f.hang {
+			<-ctx.Done()
+			done <- ctx.Err()
+			return
+		}
+		if f != nil {
+			// Serve the shard fully, then forward only a prefix: the
+			// stream a killed worker would have left behind.
+			var buf bytes.Buffer
+			if err := serveShard(req, &buf); err != nil {
+				done <- err
+				return
+			}
+			n := 0
+			for _, l := range bytes.SplitAfter(buf.Bytes(), []byte{'\n'}) {
+				if n >= f.cutAfter || len(l) == 0 || l[0] == '#' {
+					break
+				}
+				outW.Write(l)
+				n++
+			}
+			done <- errors.New("injected worker kill")
+			return
+		}
+		done <- serveShard(req, outW)
+	}()
+	wait := func() error { inR.Close(); return <-done }
+	return inW, outR, wait, nil
+}
+
+// unsharded renders the job's byte stream and reduction in-process.
+func unsharded(t *testing.T, job Job) ([]byte, exp.Result) {
+	t.Helper()
+	e, sc, err := job.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	s := sink.NewJSONL(&buf)
+	res, err := exp.Run(e, job.Seed, sc, exp.Options{Sink: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	return buf.Bytes(), res
+}
+
+// checkRun runs the coordinator and asserts the merged bytes and the
+// reduction match the unsharded run.
+func checkRun(t *testing.T, job Job, dir string, o Options) *Report {
+	t.Helper()
+	rep, err := Run(context.Background(), job, dir, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, wantRes := unsharded(t, job)
+	got, err := os.ReadFile(filepath.Join(dir, "merged.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantBytes) {
+		t.Fatalf("merged bytes differ from the unsharded stream:\nmerged:\n%s\nfull:\n%s", got, wantBytes)
+	}
+	if !reflect.DeepEqual(rep.Result, wantRes) {
+		t.Fatalf("reduction differs: %+v vs %+v", rep.Result, wantRes)
+	}
+	return rep
+}
+
+func toyJob(shards int) Job {
+	return Job{Experiment: "disttoy", Seed: 5, Scale: "quick", Shards: shards}
+}
+
+func TestCoordByteIdenticalAcrossSlotCounts(t *testing.T) {
+	for _, slots := range []int{1, 2, 4} {
+		rep := checkRun(t, toyJob(3), t.TempDir(), Options{Slots: slots, Spawner: &testSpawner{}})
+		if len(rep.Ran) != 3 || len(rep.Reused) != 0 {
+			t.Fatalf("slots=%d: ran %v reused %v", slots, rep.Ran, rep.Reused)
+		}
+	}
+}
+
+func TestCoordRetriesFlakyWorker(t *testing.T) {
+	// Shard 1's worker is killed after 2 records on its first two
+	// attempts; the third succeeds. The retried stream's already-merged
+	// prefix is verified and skipped, and the final bytes are identical.
+	sp := &testSpawner{faults: map[int][]fault{1: {{cutAfter: 2}, {cutAfter: 2}}}}
+	rep := checkRun(t, toyJob(2), t.TempDir(), Options{Slots: 2, Spawner: sp, Backoff: 1})
+	if rep.Attempts[1] != 3 {
+		t.Fatalf("shard 1 took %d attempts, want 3", rep.Attempts[1])
+	}
+}
+
+func TestCoordGivesUpAfterMaxAttempts(t *testing.T) {
+	dir := t.TempDir()
+	sp := &testSpawner{faults: map[int][]fault{1: {{cutAfter: 1}, {cutAfter: 1}}}}
+	_, err := Run(context.Background(), toyJob(3), dir, Options{Slots: 3, Spawner: sp, MaxAttempts: 2, Backoff: 1})
+	if err == nil || !strings.Contains(err.Error(), "shard 1/3 failed after 2 attempt(s)") {
+		t.Fatalf("err = %v", err)
+	}
+	// The healthy shards must have checkpointed for the resume.
+	for _, i := range []int{0, 2} {
+		if _, ok := validateShardFile(shardPath(dir, i)); !ok {
+			t.Fatalf("shard %d not checkpointed after the run failed", i)
+		}
+	}
+	if _, ok := validateShardFile(shardPath(dir, 1)); ok {
+		t.Fatal("failed shard 1 validated as complete")
+	}
+	// Resume without faults: only shard 1 is re-dispatched.
+	rep := checkRun(t, toyJob(3), dir, Options{Slots: 2, Spawner: &testSpawner{}})
+	if !reflect.DeepEqual(rep.Reused, []int{0, 2}) || !reflect.DeepEqual(rep.Ran, []int{1}) {
+		t.Fatalf("resume reused %v ran %v", rep.Reused, rep.Ran)
+	}
+}
+
+func TestCoordAttemptTimeoutUnwedgesHungWorker(t *testing.T) {
+	// Shard 1's first worker hangs (stream open, no records). With an
+	// AttemptTimeout the hang is killed like any other failure and the
+	// retry completes the run.
+	sp := &testSpawner{faults: map[int][]fault{1: {{hang: true}}}}
+	rep := checkRun(t, toyJob(2), t.TempDir(), Options{
+		Slots:          2,
+		Spawner:        sp,
+		Backoff:        1,
+		AttemptTimeout: 50 * time.Millisecond,
+	})
+	if rep.Attempts[1] != 2 {
+		t.Fatalf("shard 1 took %d attempts, want 2", rep.Attempts[1])
+	}
+}
+
+func TestCoordKillAndResume(t *testing.T) {
+	// Simulated coordinator death: shards 1 and 2 hang until the
+	// context is cancelled — which happens the moment shard 0's
+	// checkpoint lands — so the run dies with exactly one shard done.
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sp := &testSpawner{faults: map[int][]fault{1: {{hang: true}}, 2: {{hang: true}}}}
+	_, err := Run(ctx, toyJob(3), dir, Options{
+		Slots:   3,
+		Spawner: sp,
+		onShardDone: func(shard int) {
+			if shard == 0 {
+				cancel()
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	// The fresh coordinator re-runs only the missing residue classes.
+	rep := checkRun(t, toyJob(3), dir, Options{Slots: 2, Spawner: &testSpawner{}})
+	if !reflect.DeepEqual(rep.Reused, []int{0}) || !reflect.DeepEqual(rep.Ran, []int{1, 2}) {
+		t.Fatalf("resume reused %v ran %v", rep.Reused, rep.Ran)
+	}
+}
+
+func TestCoordDetectsCorruptedShardFile(t *testing.T) {
+	dir := t.TempDir()
+	checkRun(t, toyJob(3), dir, Options{Slots: 3, Spawner: &testSpawner{}})
+
+	corrupt := func(mutate func([]byte) []byte) {
+		t.Helper()
+		path := shardPath(dir, 1)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, mutate(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rep := checkRun(t, toyJob(3), dir, Options{Slots: 2, Spawner: &testSpawner{}})
+		if !reflect.DeepEqual(rep.Reused, []int{0, 2}) || !reflect.DeepEqual(rep.Ran, []int{1}) {
+			t.Fatalf("after corruption: reused %v ran %v", rep.Reused, rep.Ran)
+		}
+	}
+	// A flipped byte inside a record: the marker's hash no longer
+	// matches.
+	corrupt(func(b []byte) []byte {
+		c := append([]byte(nil), b...)
+		c[bytes.IndexByte(c, ':')+1] ^= 1
+		return c
+	})
+	// The completion marker stripped: an interrupted write.
+	corrupt(func(b []byte) []byte {
+		return b[:bytes.LastIndex(b, []byte("#done"))]
+	})
+}
+
+func TestCoordRejectsForeignRunDirectory(t *testing.T) {
+	dir := t.TempDir()
+	checkRun(t, toyJob(2), dir, Options{Slots: 2, Spawner: &testSpawner{}})
+	other := toyJob(2)
+	other.Seed = 6
+	if _, err := Run(context.Background(), other, dir, Options{Slots: 2, Spawner: &testSpawner{}}); err == nil ||
+		!strings.Contains(err.Error(), "different job") {
+		t.Fatalf("err = %v, want manifest mismatch", err)
+	}
+}
+
+func TestCoordScenarioSweepByName(t *testing.T) {
+	job := Job{Experiment: "fairness", Scale: "quick", Shards: 3}
+	spec, _ := scenario.Lookup("fairness")
+	job.Seed = spec.Seed
+	rep := checkRun(t, job, t.TempDir(), Options{Slots: 2, Spawner: &testSpawner{}})
+	if rep.Cells != 6 {
+		t.Fatalf("fairness sweep has %d cells, want 6", rep.Cells)
+	}
+	if _, ok := rep.Result.(*scenario.SweepResult); !ok {
+		t.Fatalf("result is %T, want *scenario.SweepResult", rep.Result)
+	}
+}
+
+func TestCoordInlineSpecJob(t *testing.T) {
+	spec, _ := scenario.Lookup("fairness")
+	raw, err := scenario.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := Job{Experiment: spec.Name, Spec: raw, Seed: spec.Seed, Scale: "quick", Shards: 2}
+	checkRun(t, job, t.TempDir(), Options{Slots: 2, Spawner: &testSpawner{}})
+}
+
+// The acceptance gate on real figure suites: byte identity under an
+// injected worker failure (fig10) and under a mid-run kill + resume
+// (fig14).
+func TestCoordFig10SurvivesWorkerFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the fig10 suite several times")
+	}
+	job := Job{Experiment: "fig10", Seed: 4, Scale: "quick", Shards: 3}
+	sp := &testSpawner{faults: map[int][]fault{1: {{cutAfter: 2}}}}
+	rep := checkRun(t, job, t.TempDir(), Options{Slots: 2, Spawner: sp, Backoff: 1})
+	if rep.Attempts[1] != 2 {
+		t.Fatalf("shard 1 took %d attempts, want 2", rep.Attempts[1])
+	}
+}
+
+func TestCoordFig14KillAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the fig14 suite several times")
+	}
+	dir := t.TempDir()
+	job := Job{Experiment: "fig14", Seed: 9, Scale: "quick", Shards: 3}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sp := &testSpawner{faults: map[int][]fault{1: {{hang: true}}, 2: {{hang: true}}}}
+	_, err := Run(ctx, job, dir, Options{
+		Slots:   3,
+		Spawner: sp,
+		onShardDone: func(shard int) {
+			if shard == 0 {
+				cancel()
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	rep := checkRun(t, job, dir, Options{Slots: 2, Spawner: &testSpawner{}})
+	if !reflect.DeepEqual(rep.Reused, []int{0}) {
+		t.Fatalf("resume reused %v, want [0]", rep.Reused)
+	}
+}
+
+func TestValidateShardFileRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "shard_0.jsonl")
+	for name, content := range map[string]string{
+		"empty":        "",
+		"no marker":    `{"scenario":"x","series":"cell","cell":0}` + "\n",
+		"bad count":    `{"scenario":"x","series":"cell","cell":0}` + "\n#done records=2 sha256=00\n",
+		"data after":   "#done records=0 sha256=e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855\n" + `{"scenario":"x","series":"cell","cell":0}` + "\n",
+		"marker alone": "#done records=1 sha256=deadbeef\n",
+	} {
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := validateShardFile(path); ok {
+			t.Fatalf("%s: validated", name)
+		}
+	}
+}

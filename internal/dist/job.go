@@ -1,0 +1,128 @@
+// Package dist is the distributed shard coordinator: it takes an
+// experiment (or scenario sweep), a shard count and a pool of worker
+// slots — local `meshopt work` subprocesses by default, or any command
+// template (ssh, kubectl exec, ...) speaking the same stdio protocol —
+// dispatches one residue class per slot, consumes each worker's shard
+// JSONL as a live stream, and merges records in global cell order while
+// late shards are still running (exp.Merger).
+//
+// Completed shards checkpoint to a run directory: a run.json manifest
+// pins the job, and each shard_<i>.jsonl ends in a '#done' completion
+// marker carrying the record count and a SHA-256 of the record bytes.
+// On restart the coordinator validates existing shard files against
+// their markers and re-dispatches only the missing or incomplete
+// residue classes; a failed or killed worker is retried on another slot
+// with bounded backoff. The merged output is byte-identical to an
+// unsharded `meshopt fig` run for any slot count, shard count, failure
+// schedule or resume point — the engine's determinism contract is what
+// makes retry-and-resume sound: a re-run shard reproduces its stream
+// bit for bit, so a retry's already-merged prefix is verified by hash
+// and skipped rather than re-merged.
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments/exp"
+	"repro/internal/scenario"
+)
+
+// Job names one shardable run. Everything a worker needs to reproduce
+// its residue class rides in the Job — names resolve against the
+// registries compiled into the binary, and file-based scenario specs
+// travel inline as Spec so a remote worker never needs the file.
+type Job struct {
+	// Experiment is the registry name (fig3..fig14, netvalid,
+	// exhaustive, an alias) or a registered scenario name.
+	Experiment string `json:"experiment"`
+	// Spec is an inline scenario spec; when set it overrides the name
+	// lookup (the name is then informational).
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Seed is the run seed.
+	Seed int64 `json:"seed"`
+	// Scale is the scale name ("quick" or "paper"); passing scales by
+	// name keeps both sides of a dispatch constructing identical Scale
+	// structs.
+	Scale string `json:"scale"`
+	// Shards is the residue-class count k.
+	Shards int `json:"shards"`
+}
+
+// Resolve maps the job to its experiment and scale. Both the
+// coordinator and every worker resolve the same Job, so the cell
+// enumeration — a pure function of (seed, scale) — is identical on
+// every process.
+func (j Job) Resolve() (exp.Experiment, exp.Scale, error) {
+	sc, ok := exp.NamedScale(j.Scale)
+	if !ok {
+		return nil, exp.Scale{}, fmt.Errorf("dist: unknown scale %q (want quick or paper)", j.Scale)
+	}
+	if len(j.Spec) > 0 {
+		spec, err := scenario.Parse(j.Spec)
+		if err != nil {
+			return nil, exp.Scale{}, err
+		}
+		e, err := scenario.Experiment(spec)
+		if err != nil {
+			return nil, exp.Scale{}, err
+		}
+		return e, sc, nil
+	}
+	if e, ok := exp.Find(j.Experiment); ok {
+		return e, sc, nil
+	}
+	if spec, ok := scenario.Lookup(j.Experiment); ok {
+		e, err := scenario.Experiment(spec)
+		if err != nil {
+			return nil, exp.Scale{}, err
+		}
+		return e, sc, nil
+	}
+	return nil, exp.Scale{}, fmt.Errorf("dist: %q is neither a registered experiment nor a scenario", j.Experiment)
+}
+
+// manifestVersion guards run-directory layout changes.
+const manifestVersion = 1
+
+// manifest is the run.json file pinning a run directory to its job.
+type manifest struct {
+	Version int    `json:"version"`
+	Job     Job    `json:"job"`
+	Cells   int    `json:"cells"`
+	Created string `json:"created,omitempty"`
+}
+
+// loadOrWriteManifest validates the run directory against the job: a
+// fresh directory gets a manifest, a resumed one must match it (a seed
+// or scale mismatch would merge incompatible shard streams).
+func loadOrWriteManifest(path string, job Job, cells int, created string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		m := manifest{Version: manifestVersion, Job: job, Cells: cells, Created: created}
+		out, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, append(out, '\n'), 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	var have manifest
+	if err := json.Unmarshal(data, &have); err != nil {
+		return fmt.Errorf("dist: %s: %w", path, err)
+	}
+	if have.Version != manifestVersion {
+		return fmt.Errorf("dist: %s: manifest version %d, this binary writes %d", path, have.Version, manifestVersion)
+	}
+	want := manifest{Version: manifestVersion, Job: job, Cells: cells}
+	haveKey, _ := json.Marshal(manifest{Version: have.Version, Job: have.Job, Cells: have.Cells})
+	wantKey, _ := json.Marshal(want)
+	if string(haveKey) != string(wantKey) {
+		return fmt.Errorf("dist: %s: run directory belongs to a different job\n  have: %s\n  want: %s",
+			path, haveKey, wantKey)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// A Spawner launches one worker per shard attempt. The returned pipes
+// speak the stdio worker protocol; wait reaps the worker after its
+// stream is consumed (cancelling ctx must kill it). Implementations:
+// ExecSpawner for real processes, and the in-process pipe spawner the
+// fault tests use.
+type Spawner interface {
+	Spawn(ctx context.Context, slot int) (stdin io.WriteCloser, stdout io.ReadCloser, wait func() error, err error)
+}
+
+// ExecSpawner spawns workers as subprocesses. Argv maps a slot index to
+// the command line, so one spawner covers both local pools (every slot
+// runs `<self> work`) and remote templates (slot-specific ssh targets).
+type ExecSpawner struct {
+	Argv   func(slot int) []string
+	Stderr io.Writer // worker stderr passthrough; nil discards
+}
+
+func (s *ExecSpawner) Spawn(ctx context.Context, slot int) (io.WriteCloser, io.ReadCloser, func() error, error) {
+	argv := s.Argv(slot)
+	cmd := exec.CommandContext(ctx, argv[0], argv[1:]...)
+	cmd.Stderr = s.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, nil, nil, err
+	}
+	return stdin, stdout, cmd.Wait, nil
+}
+
+// SelfSpawner returns an ExecSpawner that runs this binary's `work`
+// subcommand — the local worker pool `meshopt coord -workers <n>` uses.
+func SelfSpawner(stderr io.Writer) (*ExecSpawner, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("dist: locating own binary: %w", err)
+	}
+	return &ExecSpawner{
+		Argv:   func(int) []string { return []string{exe, "work"} },
+		Stderr: stderr,
+	}, nil
+}
+
+// TemplateSpawner returns an ExecSpawner running a shell command
+// template per slot — `{slot}` expands to the slot index, so templates
+// like "ssh mesh{slot} meshopt work" fan out across hosts. The command
+// must speak the stdio worker protocol (i.e. end in `meshopt work`).
+func TemplateSpawner(template string, stderr io.Writer) *ExecSpawner {
+	return &ExecSpawner{
+		Argv: func(slot int) []string {
+			cmd := strings.ReplaceAll(template, "{slot}", strconv.Itoa(slot))
+			return []string{"/bin/sh", "-c", cmd}
+		},
+		Stderr: stderr,
+	}
+}

@@ -1,0 +1,159 @@
+package dist
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments/exp"
+	"repro/internal/scenario/sink"
+)
+
+// The stdio worker protocol. The coordinator writes one request line to
+// the worker's stdin; the worker streams its shard's record lines to
+// stdout — plain JSONL, byte-identical to a `meshopt fig -shard i/k`
+// run — terminated by exactly one control line:
+//
+//	#done records=<n> sha256=<hex>     success: n record lines whose
+//	                                   bytes (newlines included) hash
+//	                                   to the given SHA-256
+//	#error <message>                   failure (the stream before it is
+//	                                   a valid, verifiable prefix)
+//
+// Control lines start with '#', which no record line can (records are
+// JSON objects), so the framing never needs escaping. A stream that
+// ends without a control line means the worker died; the coordinator
+// treats it like #error.
+
+// workRequest is the one line the coordinator sends a worker.
+type workRequest struct {
+	Job   Job       `json:"job"`
+	Shard exp.Shard `json:"shard"`
+}
+
+const (
+	donePrefix  = "#done "
+	errorPrefix = "#error "
+)
+
+// doneLine formats the completion marker.
+func doneLine(records int, sum []byte) string {
+	return fmt.Sprintf("%srecords=%d sha256=%x", donePrefix, records, sum)
+}
+
+// parseDone extracts (records, sha256) from a completion marker line.
+func parseDone(line string) (records int, sum string, err error) {
+	rest := strings.TrimPrefix(line, donePrefix)
+	if _, err := fmt.Sscanf(rest, "records=%d sha256=%s", &records, &sum); err != nil {
+		return 0, "", fmt.Errorf("dist: malformed completion marker %q", line)
+	}
+	return records, sum, nil
+}
+
+// faultSpec is the MESHOPT_WORK_FAIL test hook: "<shard>@<records>"
+// makes a worker serving that shard die (stream cut, no marker, exit
+// nonzero) after emitting that many records. It exists so CI and the
+// fault tests can kill a worker mid-stream deterministically; it is not
+// part of the protocol.
+type faultSpec struct {
+	shard, after int
+}
+
+func parseFault(env string) *faultSpec {
+	parts := strings.SplitN(env, "@", 2)
+	if len(parts) != 2 {
+		return nil
+	}
+	shard, err1 := strconv.Atoi(parts[0])
+	after, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		return nil
+	}
+	return &faultSpec{shard: shard, after: after}
+}
+
+// errInjected marks a MESHOPT_WORK_FAIL kill.
+var errInjected = errors.New("dist: injected worker fault (MESHOPT_WORK_FAIL)")
+
+// shardSink streams records as hashed, counted JSONL lines, dying at
+// the injected fault point if one is armed.
+type shardSink struct {
+	jsonl *sink.JSONL
+	n     int
+	fault *faultSpec
+}
+
+func (s *shardSink) Write(rec sink.Record) error {
+	if s.fault != nil && s.n >= s.fault.after {
+		// Flush the prefix so the coordinator sees a cleanly cut stream,
+		// then die like a killed process would: no marker.
+		s.jsonl.Close()
+		return errInjected
+	}
+	if err := s.jsonl.Write(rec); err != nil {
+		return err
+	}
+	s.n++
+	return nil
+}
+
+func (s *shardSink) Close() error { return s.jsonl.Close() }
+
+// ServeWork handles one shard dispatch on (in, out): read the request
+// line, run the residue class, stream its records, emit the completion
+// marker. cmd/meshopt's `work` subcommand is a direct wrapper; the
+// in-process test spawner calls it over pipes.
+func ServeWork(in io.Reader, out io.Writer) error {
+	br := bufio.NewReader(in)
+	line, err := br.ReadBytes('\n')
+	if len(line) == 0 && err != nil {
+		return fmt.Errorf("dist: work: reading request: %w", err)
+	}
+	var req workRequest
+	if err := json.Unmarshal(line, &req); err != nil {
+		return fmt.Errorf("dist: work: bad request: %w", err)
+	}
+	return serveShard(req, out)
+}
+
+func serveShard(req workRequest, out io.Writer) error {
+	bw := bufio.NewWriter(out)
+	fail := func(err error) error {
+		fmt.Fprintf(bw, "%s%v\n", errorPrefix, err)
+		bw.Flush()
+		return err
+	}
+	e, sc, err := req.Job.Resolve()
+	if err != nil {
+		return fail(err)
+	}
+	if req.Shard.Count != req.Job.Shards || !req.Shard.Enabled() {
+		return fail(fmt.Errorf("dist: work: shard %s does not match job shard count %d", req.Shard, req.Job.Shards))
+	}
+
+	h := sha256.New()
+	snk := &shardSink{jsonl: sink.NewJSONL(io.MultiWriter(bw, h))}
+	if f := parseFault(os.Getenv("MESHOPT_WORK_FAIL")); f != nil && f.shard == req.Shard.Index {
+		snk.fault = f
+	}
+	_, runErr := exp.Run(e, req.Job.Seed, sc, exp.Options{Sink: snk, Shard: req.Shard})
+	if runErr == nil {
+		runErr = snk.Close()
+	}
+	if errors.Is(runErr, errInjected) {
+		// A simulated kill: the stream is already cut; no marker at all.
+		bw.Flush()
+		return runErr
+	}
+	if runErr != nil {
+		return fail(runErr)
+	}
+	fmt.Fprintf(bw, "%s\n", doneLine(snk.n, h.Sum(nil)))
+	return bw.Flush()
+}

@@ -73,6 +73,20 @@ func Quick() Scale {
 	}
 }
 
+// NamedScale resolves the scale names the CLI and the distributed worker
+// protocol exchange ("quick", "paper"). Passing scales by name instead of
+// by value keeps the cross-process contract trivial: both sides of a
+// shard dispatch construct the identical Scale struct.
+func NamedScale(name string) (Scale, bool) {
+	switch name {
+	case "quick":
+		return Quick(), true
+	case "paper":
+		return Paper(), true
+	}
+	return Scale{}, false
+}
+
 // Paper approximates the paper's measurement durations (kept shorter than
 // the literal 30 s phases — the simulator's variance, unlike a testbed's,
 // is purely statistical and converges faster).
@@ -121,11 +135,27 @@ type Experiment interface {
 	// RunCell executes one cell and returns its record. The engine
 	// overwrites the record's Scenario and Cell and defaults its Series
 	// to "cell", so implementations only populate Fields (and Series
-	// when they want a non-default one).
+	// when they want a non-default one). Experiments whose cells emit
+	// several records implement RecordStreamer as well; the engine then
+	// prefers RunCellRecords.
 	RunCell(c Cell) sink.Record
 	// Reduce folds the ordered record stream (one record per cell, in
 	// cell order) into the experiment's result.
 	Reduce(recs <-chan sink.Record) Result
+}
+
+// RecordStreamer is an optional Experiment extension for suites whose
+// cells emit a variable number of records — e.g. a scenario sweep cell
+// emits one row per link, flow and probe estimate. When an experiment
+// implements it, the engine calls RunCellRecords instead of RunCell and
+// streams every returned record (in slice order) under the cell's index.
+//
+// Every cell must emit at least one record: the shard/merge machinery
+// validates cell coverage from the record stream alone, so a zero-record
+// cell would be indistinguishable from a truncated shard. The engine
+// panics on an empty return to keep that contract loud.
+type RecordStreamer interface {
+	RunCellRecords(c Cell) []sink.Record
 }
 
 // Shard selects one residue class of a cell enumeration: a run with
@@ -185,14 +215,26 @@ func Run(e Experiment, seed int64, sc Scale, o Options) (Result, error) {
 	if snk == nil {
 		snk = sink.Discard
 	}
-	runCell := func(_ int, c Cell) sink.Record {
-		rec := e.RunCell(c)
-		rec.Scenario = e.Name()
-		rec.Cell = c.Index
-		if rec.Series == "" {
-			rec.Series = "cell"
+	streamer, multi := e.(RecordStreamer)
+	runCell := func(_ int, c Cell) []sink.Record {
+		var recs []sink.Record
+		if multi {
+			recs = streamer.RunCellRecords(c)
+			if len(recs) == 0 {
+				panic(fmt.Sprintf("exp: %s cell %d emitted no records (RecordStreamer cells must emit at least one)",
+					e.Name(), c.Index))
+			}
+		} else {
+			recs = []sink.Record{e.RunCell(c)}
 		}
-		return rec
+		for i := range recs {
+			recs[i].Scenario = e.Name()
+			recs[i].Cell = c.Index
+			if recs[i].Series == "" {
+				recs[i].Series = "cell"
+			}
+		}
+		return recs
 	}
 
 	if o.Shard.Enabled() {
@@ -203,9 +245,11 @@ func Run(e Experiment, seed int64, sc Scale, o Options) (Result, error) {
 			}
 		}
 		var sinkErr error
-		runner.Stream(mine, runCell, func(_ int, rec sink.Record) {
-			if sinkErr == nil {
-				sinkErr = snk.Write(rec)
+		runner.Stream(mine, runCell, func(_ int, recs []sink.Record) {
+			for _, rec := range recs {
+				if sinkErr == nil {
+					sinkErr = snk.Write(rec)
+				}
 			}
 		})
 		return nil, sinkErr
@@ -226,11 +270,13 @@ func Run(e Experiment, seed int64, sc Scale, o Options) (Result, error) {
 	}
 	defer closeCh()
 	var sinkErr error
-	runner.Stream(cells, runCell, func(_ int, rec sink.Record) {
-		if sinkErr == nil {
-			sinkErr = snk.Write(rec)
+	runner.Stream(cells, runCell, func(_ int, recs []sink.Record) {
+		for _, rec := range recs {
+			if sinkErr == nil {
+				sinkErr = snk.Write(rec)
+			}
+			ch <- rec
 		}
-		ch <- rec
 	})
 	closeCh()
 	return <-done, sinkErr

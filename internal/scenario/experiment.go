@@ -1,0 +1,123 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/experiments/exp"
+	"repro/internal/scenario/sink"
+)
+
+// Experiment adapts a declarative Spec to the exp.Experiment interface,
+// which is what lets a swept scenario ride the whole shard machinery:
+// `meshopt fig <scenario> -shard i/k`, `meshopt merge`, and the
+// `meshopt coord` distributed coordinator all accept scenario names
+// because of this adapter. A spec that delegates to a figure
+// (`"figure": N`) resolves straight to the registered figure experiment.
+//
+// The adapter enumerates one cell per sweep point (the same row-major,
+// last-axis-fastest expansion the scenario engine uses) and emits every
+// record a cell produces plus one trailing "summary" record carrying
+// the cell's one-line human summary. The summary record also guarantees
+// the ≥1-record-per-cell contract the shard/merge validation relies on
+// (see exp.RecordStreamer). Note the stream therefore differs from
+// `meshopt run <name>` output exactly by those summary records.
+func Experiment(spec *Spec) (exp.Experiment, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Figure != 0 {
+		e, ok := exp.Find(fmt.Sprintf("fig%d", spec.Figure))
+		if !ok {
+			return nil, fmt.Errorf("scenario %q: figure %d has no registered experiment", spec.Name, spec.Figure)
+		}
+		return e, nil
+	}
+	return specExperiment{spec: spec}, nil
+}
+
+type specExperiment struct{ spec *Spec }
+
+// specCell is the per-cell payload: the sweep point plus the quick flag
+// (derived from the Scale, so every process sharding the same run caps
+// durations identically).
+type specCell struct {
+	pt    sweepPoint
+	quick bool
+}
+
+func (s specExperiment) Name() string     { return s.spec.Name }
+func (s specExperiment) Describe() string { return s.spec.Description }
+
+// Cells enumerates the sweep cross product. The base seed is the
+// engine's seed argument (the CLI defaults it to the spec's own seed);
+// a "seed" sweep axis still overrides it per cell inside runCell.
+func (s specExperiment) Cells(seed int64, sc exp.Scale) []exp.Cell {
+	pts := sweepPoints(s.spec)
+	quick := sc == exp.Quick()
+	cells := make([]exp.Cell, len(pts))
+	for i := range cells {
+		cells[i] = exp.Cell{Seed: seed, Data: specCell{pt: pts[i], quick: quick}}
+	}
+	return cells
+}
+
+// RunCellRecords executes one sweep point and returns its records: the
+// cell's link/plan/flow/probe rows followed by one "summary" record.
+func (s specExperiment) RunCellRecords(c exp.Cell) []sink.Record {
+	d := c.Data.(specCell)
+	res := runCell(s.spec, Options{Quick: d.quick}, c.Seed, c.Index, d.pt)
+	return append(res.records, sink.Record{
+		Series: "summary",
+		Fields: []sink.Field{sink.F("text", res.summary)},
+	})
+}
+
+// RunCell satisfies exp.Experiment; the engine prefers RunCellRecords
+// (RecordStreamer) and never calls this. It returns the cell's summary
+// record.
+func (s specExperiment) RunCell(c exp.Cell) sink.Record {
+	recs := s.RunCellRecords(c)
+	return recs[len(recs)-1]
+}
+
+// SweepResult is the reduction of a scenario sweep: row counts plus the
+// per-cell one-line summaries, rebuilt identically from in-process
+// records or from a merged shard stream.
+type SweepResult struct {
+	Scenario string
+	Cells    int
+	Records  int // result rows, summary records excluded
+	Errors   int
+	Lines    []string
+}
+
+// Print writes the per-cell summaries the scenario engine would log.
+func (r *SweepResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "scenario %s: %d cell(s), %d record(s)", r.Scenario, r.Cells, r.Records)
+	if r.Errors > 0 {
+		fmt.Fprintf(w, ", %d error(s)", r.Errors)
+	}
+	fmt.Fprintln(w)
+	for _, l := range r.Lines {
+		fmt.Fprintf(w, "  %s\n", l)
+	}
+}
+
+// Reduce folds the ordered record stream into a SweepResult.
+func (s specExperiment) Reduce(recs <-chan sink.Record) exp.Result {
+	res := &SweepResult{Scenario: s.spec.Name}
+	for rec := range recs {
+		switch rec.Series {
+		case "summary":
+			res.Cells++
+			res.Lines = append(res.Lines, fmt.Sprintf("cell %d: %s", rec.Cell, rec.Text("text")))
+		case "error":
+			res.Errors++
+			res.Records++
+		default:
+			res.Records++
+		}
+	}
+	return res
+}

@@ -9,6 +9,9 @@
 #
 # The JSON maps benchmark name -> {ns_per_op, bytes_per_op, allocs_per_op},
 # taking the fastest of -count=3 runs (the usual noise-robust choice).
+# A leading "_env" object records the machine (GOMAXPROCS, CPU model, go
+# version) so cross-snapshot noise — e.g. container throttling between
+# PRs — is diagnosable from the snapshots alone.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,6 +26,15 @@ elif [ -e "$OUT" ]; then
 fi
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
+
+GO_VERSION="$(go env GOVERSION)"
+GOOS_ARCH="$(go env GOOS)/$(go env GOARCH)"
+CPU_MODEL="$(awk -F': *' '/model name/{print $2; exit}' /proc/cpuinfo 2>/dev/null || true)"
+if [ -z "$CPU_MODEL" ]; then
+    CPU_MODEL="$(sysctl -n machdep.cpu.brand_string 2>/dev/null || echo unknown)"
+fi
+CPU_MODEL="$(printf '%s' "$CPU_MODEL" | tr -d '"\\')"
+MAXPROCS="${GOMAXPROCS:-$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)}"
 
 go test -run=NONE -bench=. -benchmem -count=3 . | tee "$RAW"
 
@@ -46,8 +58,14 @@ awk '
 END {
     for (name in best)
         printf "%s\t%s\t%s\t%s\n", name, best[name], bbytes[name], ballocs[name]
-}' "$RAW" | sort | awk -F'\t' '
-BEGIN { printf "{\n"; first = 1 }
+}' "$RAW" | sort | awk -F'\t' \
+    -v go_version="$GO_VERSION" -v goos_arch="$GOOS_ARCH" \
+    -v cpu_model="$CPU_MODEL" -v maxprocs="$MAXPROCS" '
+BEGIN {
+    printf "{\n  \"_env\": {\"go_version\": \"%s\", \"goos_goarch\": \"%s\", \"cpu_model\": \"%s\", \"gomaxprocs\": %s}", \
+        go_version, goos_arch, cpu_model, maxprocs
+    first = 0
+}
 {
     if (!first) printf ",\n"
     first = 0

@@ -21,8 +21,8 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (parallel experiment engine)"
-go test -race ./internal/experiments/...
+echo "== go test -race (parallel experiment engine + shard coordinator)"
+go test -race ./internal/experiments/... ./internal/dist/...
 
 echo "== scenario schema gate (round-trip parse/marshal goldens)"
 go test ./internal/scenario -run 'TestGolden|TestBuiltinsMarshalParse' -count=1
@@ -39,5 +39,25 @@ go build -o "$SHARD_TMP/meshopt" ./cmd/meshopt
 "$SHARD_TMP/meshopt" fig 10 -scale quick -seed 4 -shard 1/2 -o "$SHARD_TMP/s1.jsonl" >/dev/null
 "$SHARD_TMP/meshopt" merge -o "$SHARD_TMP/merged.jsonl" "$SHARD_TMP/s0.jsonl" "$SHARD_TMP/s1.jsonl" >/dev/null
 cmp "$SHARD_TMP/full.jsonl" "$SHARD_TMP/merged.jsonl"
+
+echo "== coord smoke (fig10, 3 local workers: mid-run worker kill, bounded retries, resume)"
+# Phase 1: the MESHOPT_WORK_FAIL hook kills shard 1's worker after 2
+# records on every attempt, so the coordinator must exhaust its retries
+# and fail — while still checkpointing the healthy shards 0 and 2.
+if MESHOPT_WORK_FAIL=1@2 "$SHARD_TMP/meshopt" coord 10 -scale quick -seed 4 -shards 3 -workers 3 \
+    -retries 2 -dir "$SHARD_TMP/run" >/dev/null 2>&1; then
+    echo "coord should have failed while shard 1's worker was being killed" >&2
+    exit 1
+fi
+test -f "$SHARD_TMP/run/shard_0.jsonl"
+test -f "$SHARD_TMP/run/shard_2.jsonl"
+test ! -f "$SHARD_TMP/run/shard_1.jsonl"
+# Phase 2: resume re-dispatches only shard 1; the merged output must be
+# byte-identical to the unsharded run.
+"$SHARD_TMP/meshopt" coord 10 -scale quick -seed 4 -shards 3 -workers 3 -dir "$SHARD_TMP/run" \
+    -o "$SHARD_TMP/coord.jsonl" >/dev/null 2>"$SHARD_TMP/coord.log"
+grep -q "shard 0/3: reusing checkpoint" "$SHARD_TMP/coord.log"
+cmp "$SHARD_TMP/full.jsonl" "$SHARD_TMP/coord.jsonl"
+cmp "$SHARD_TMP/full.jsonl" "$SHARD_TMP/run/merged.jsonl"
 
 echo "CI OK"
