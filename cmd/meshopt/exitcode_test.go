@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestExitCodeConventions pins the CLI's exit-code contract across
+// every subcommand: 0 ok, 1 runtime failure, 2 bad usage or an unknown
+// name. The table calls the subcommand entry points directly (the same
+// functions main dispatches to), so the convention cannot drift per
+// subcommand without failing here.
+func TestExitCodeConventions(t *testing.T) {
+	tmp := t.TempDir()
+	write := func(name, content string) string {
+		path := filepath.Join(tmp, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	// Shard streams of an unregistered scenario: merge validates cell
+	// coverage without needing a reduction.
+	s0 := write("s0.jsonl", `{"scenario":"x","series":"cell","cell":0,"v":1}`+"\n")
+	s1 := write("s1.jsonl", `{"scenario":"x","series":"cell","cell":1,"v":2}`+"\n")
+	gap := write("gap.jsonl", `{"scenario":"x","series":"cell","cell":0,"v":1}`+"\n"+
+		`{"scenario":"x","series":"cell","cell":2,"v":3}`+"\n")
+	inTheWay := write("file-not-dir", "plain file\n")
+
+	cases := []struct {
+		name string
+		run  func() int
+		want int
+	}{
+		{"fig ok", func() int { return runFig([]string{"5", "-scale", "quick", "-o", filepath.Join(tmp, "fig5.jsonl")}) }, 0},
+		{"fig no target", func() int { return runFig(nil) }, 2},
+		{"fig unknown figure", func() int { return runFig([]string{"nosuchfig"}) }, 2},
+		{"fig unknown scale", func() int { return runFig([]string{"5", "-scale", "huge"}) }, 2},
+		{"fig bad shard spec", func() int { return runFig([]string{"5", "-shard", "5/2"}) }, 2},
+		{"fig shard needs jsonl", func() int { return runFig([]string{"5", "-shard", "0/2", "-format", "csv"}) }, 2},
+		{"fig bad format", func() int { return runFig([]string{"5", "-format", "xml"}) }, 2},
+
+		{"merge ok", func() int { return runMerge([]string{"-o", filepath.Join(tmp, "merged.jsonl"), s0, s1}) }, 0},
+		{"merge no inputs", func() int { return runMerge(nil) }, 2},
+		{"merge missing input", func() int { return runMerge([]string{filepath.Join(tmp, "absent.jsonl")}) }, 2},
+		{"merge gap", func() int { return runMerge([]string{"-o", filepath.Join(tmp, "g.jsonl"), gap}) }, 2},
+
+		{"coord no dir", func() int { return runCoord([]string{"5", "-shards", "2"}) }, 2},
+		{"coord unknown target", func() int { return runCoord([]string{"nosuch", "-shards", "2", "-dir", tmp + "/r"}) }, 2},
+		{"coord bad shards", func() int { return runCoord([]string{"5", "-shards", "0", "-dir", tmp + "/r"}) }, 2},
+		{"coord bad retries", func() int { return runCoord([]string{"5", "-shards", "2", "-retries", "0", "-dir", tmp + "/r"}) }, 2},
+		{"coord unknown scale", func() int { return runCoord([]string{"5", "-shards", "2", "-scale", "huge", "-dir", tmp + "/r"}) }, 2},
+
+		{"run unknown scenario", func() int { return runScenario([]string{"nosuchscenario"}) }, 2},
+		{"run no target", func() int { return runScenario(nil) }, 2},
+		{"run unknown scale", func() int { return runScenario([]string{"quickstart", "-scale", "huge"}) }, 2},
+		{"run bad format", func() int { return runScenario([]string{"quickstart", "-format", "xml"}) }, 2},
+
+		{"serve no cache", func() int { return runServe(nil) }, 2},
+		{"serve cache is a file", func() int {
+			return runServe([]string{"-cache", filepath.Join(inTheWay, "sub"), "-addr", "127.0.0.1:0"})
+		}, 1},
+
+		{"submit no target", func() int { return runSubmit(nil) }, 2},
+		{"submit unknown target", func() int { return runSubmit([]string{"nosuchtarget"}) }, 2},
+		{"submit unknown scale", func() int { return runSubmit([]string{"5", "-scale", "huge"}) }, 2},
+		{"submit no server", func() int { return runSubmit([]string{"5", "-addr", "http://127.0.0.1:1"}) }, 1},
+
+		{"watch no target", func() int { return runWatch(nil) }, 2},
+		{"watch unknown target", func() int { return runWatch([]string{"nosuchtarget"}) }, 2},
+		{"watch no server", func() int { return runWatch([]string{"5", "-addr", "http://127.0.0.1:1"}) }, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.run(); got != tc.want {
+				t.Fatalf("exit code %d, want %d", got, tc.want)
+			}
+		})
+	}
+}

@@ -9,6 +9,9 @@
 //	meshopt fig 10 -shard 0/2 -o s0.jsonl   # one residue class of the cells
 //	meshopt merge -o full.jsonl s0.jsonl s1.jsonl
 //	meshopt coord 10 -shards 4 -workers 4 -dir run/  # dispatch + live merge + checkpoint
+//	meshopt serve -addr :8080 -cache cache/          # HTTP experiment service
+//	meshopt submit 10 -addr http://host:8080         # run (or fetch) a job remotely
+//	meshopt watch 10 -addr http://host:8080          # live progress off the frontier
 //	meshopt run quickstart              # run a registered scenario
 //	meshopt run spec.json -o out.jsonl -format jsonl
 //	meshopt list                        # figures and scenarios in one table
@@ -41,6 +44,15 @@
 //	meshopt coord 10 -shards 6 -workers 3 -dir run/   # quickstart
 //	meshopt coord 10 -shards 6 -workers 3 -dir run/   # ...resume after a crash
 //	meshopt merge -o full.jsonl run/shard_*.jsonl     # offline re-merge also works
+//
+// Service: `meshopt serve -addr :8080 -cache dir/` is the HTTP control
+// plane over the same engine: submitted jobs (any figure or scenario,
+// optionally sharded over the coordinator) stream NDJSON records as
+// cells complete — byte-identical to the corresponding `meshopt fig`
+// output — into a content-addressed result cache; identical concurrent
+// submissions coalesce onto one execution, and a restarted server
+// resumes checkpointed jobs instead of recomputing. `meshopt submit`
+// and `meshopt watch` are the matching clients.
 //
 // The flag-driven figure mode (`meshopt -fig N`, `-all`) remains as a
 // deprecated alias over the same registry; `-all` now spans the whole
@@ -79,6 +91,12 @@ func main() {
 			os.Exit(runCoord(os.Args[2:]))
 		case "work":
 			os.Exit(runWork())
+		case "serve":
+			os.Exit(runServe(os.Args[2:]))
+		case "submit":
+			os.Exit(runSubmit(os.Args[2:]))
+		case "watch":
+			os.Exit(runWatch(os.Args[2:]))
 		case "run":
 			os.Exit(runScenario(os.Args[2:]))
 		case "list":
@@ -368,6 +386,7 @@ func runCoord(args []string) int {
 	retries := fs.Int("retries", 3, "dispatch attempts per shard before the run gives up (>= 1)")
 	timeout := fs.Duration("timeout", 0, "per-attempt timeout (0 = none); set for remote pools where a wedged transport would hold its slot forever")
 	out := fs.String("o", "", "also copy the merged records to this file")
+	watch := fs.Bool("watch", false, "render a live progress line (cells merged, shards done) on stderr instead of the shard log")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: meshopt coord <n|name|scenario|spec.json> -shards k -workers <n|cmd-template> -dir rundir [flags]")
 		fs.PrintDefaults()
@@ -410,6 +429,21 @@ func runCoord(args []string) int {
 		o.Spawner = dist.TemplateSpawner(*workers, os.Stderr)
 		o.Slots = *slots
 	}
+	if *watch {
+		// The progress line replaces the shard log (both write stderr;
+		// interleaving them would shred the \r rendering). Progress is
+		// called under the merge lock, so rendering is throttled.
+		o.Log = io.Discard
+		var lastRender time.Time
+		o.Progress = func(p dist.Progress) {
+			if time.Since(lastRender) < 100*time.Millisecond && p.MergedCells < p.Cells {
+				return
+			}
+			lastRender = time.Now()
+			fmt.Fprintf(os.Stderr, "\rcoord: merged %d/%d cells, shards %d/%d done ",
+				p.MergedCells, p.Cells, p.ShardsDone, p.Shards)
+		}
+	}
 
 	job := dist.Job{
 		Experiment: ti.name,
@@ -420,6 +454,9 @@ func runCoord(args []string) int {
 	}
 	start := time.Now()
 	rep, err := dist.Run(context.Background(), job, *dir, o)
+	if *watch {
+		fmt.Fprintln(os.Stderr)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -562,6 +599,9 @@ func legacyFigures() {
 		fmt.Fprintln(os.Stderr, "       meshopt merge [-o merged.jsonl] shard.jsonl ...")
 		fmt.Fprintln(os.Stderr, "       meshopt coord <n|name|scenario> -shards k -workers <n|cmd> -dir rundir [flags]")
 		fmt.Fprintln(os.Stderr, "       meshopt work   (stdio worker protocol; spawned by coord)")
+		fmt.Fprintln(os.Stderr, "       meshopt serve -cache dir [-addr :8080]   (HTTP experiment service)")
+		fmt.Fprintln(os.Stderr, "       meshopt submit <n|name|scenario> -addr http://host:port [flags]")
+		fmt.Fprintln(os.Stderr, "       meshopt watch <job-id|target> -addr http://host:port")
 		fmt.Fprintln(os.Stderr, "       meshopt run <scenario.json|name> [flags]")
 		fmt.Fprintln(os.Stderr, "       meshopt list")
 		fmt.Fprintln(os.Stderr, "legacy flags (deprecated aliases over the same registry):")

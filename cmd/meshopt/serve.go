@@ -1,0 +1,358 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"regexp"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/experiments/runner"
+	"repro/internal/serve"
+)
+
+// runServe implements the `serve` subcommand: the HTTP experiment
+// service. Exit codes: 0 clean shutdown, 1 runtime failure, 2 usage.
+func runServe(args []string) int {
+	fs := flag.NewFlagSet("meshopt serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free one)")
+	cacheDir := fs.String("cache", "", "content-addressed result cache directory (required)")
+	jobs := fs.Int("jobs", 2, "max concurrently executing jobs; further submissions queue FIFO")
+	workers := fs.Int("workers", 0, "in-process worker pool size; 0 = GOMAXPROCS")
+	slots := fs.Int("slots", 0, "worker slots for sharded (shards>1) jobs; 0 = coordinator default")
+	imports := fs.String("import", "", "comma-separated coordinator run directories to import as cache entries at startup")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: meshopt serve -cache dir [-addr :8080] [-jobs n] [-workers n]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if *cacheDir == "" {
+		fs.Usage()
+		return 2
+	}
+	runner.SetWorkers(*workers)
+	s, err := serve.New(serve.Options{
+		CacheDir: *cacheDir,
+		MaxJobs:  *jobs,
+		Slots:    *slots,
+		Log:      os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	for _, dir := range strings.Split(*imports, ",") {
+		if dir = strings.TrimSpace(dir); dir == "" {
+			continue
+		}
+		key, err := s.Cache().ImportRunDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "serve: imported %s as %.12s\n", dir, key)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("meshopt serve: listening on http://%s (cache %s)\n", ln.Addr(), *cacheDir)
+	os.Stdout.Sync()
+
+	hs := &http.Server{Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "meshopt serve: shutting down (checkpointing in-flight jobs)")
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "meshopt serve: shutdown: %v\n", err)
+		}
+		hctx, hcancel := context.WithTimeout(context.Background(), time.Second)
+		defer hcancel()
+		hs.Shutdown(hctx)
+		hs.Close()
+		return 0
+	}
+}
+
+// submitBody builds the POST /v1/jobs payload for a resolved target.
+func submitBody(ti *shardTarget, seed int64, scale string, shards int) ([]byte, error) {
+	req := map[string]any{
+		"experiment": ti.name,
+		"seed":       seed,
+		"scale":      scale,
+		"shards":     shards,
+	}
+	if len(ti.spec) > 0 {
+		req["spec"] = json.RawMessage(ti.spec)
+	}
+	return json.Marshal(req)
+}
+
+// decodeResponse reads an API response and decodes its JSON body into
+// out, returning the HTTP status code; a non-200 status becomes an
+// error carrying the server's message.
+func decodeResponse(resp *http.Response, out any) (int, error) {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	return resp.StatusCode, json.Unmarshal(data, out)
+}
+
+// postJSON posts body and decodes the JSON response into out,
+// returning the HTTP status code.
+func postJSON(url string, body []byte, out any) (int, error) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	return decodeResponse(resp, out)
+}
+
+// serverStatus mirrors the serve layer's GET /v1/jobs/{id} body.
+type serverStatus struct {
+	ID           string `json:"id"`
+	State        string `json:"state"`
+	Cells        int    `json:"cells"`
+	CellsDone    int    `json:"cells_done"`
+	Records      int    `json:"records"`
+	CacheHit     bool   `json:"cache_hit"`
+	ResumedCells int    `json:"resumed_cells"`
+	ReusedShards int    `json:"reused_shards"`
+	Error        string `json:"error"`
+	Summary      string `json:"summary"`
+}
+
+// runSubmit implements the `submit` subcommand: post a job to a
+// `meshopt serve` instance and stream its records to stdout (or -o),
+// byte-identical to running the same job locally with `meshopt fig`.
+// Exit codes: 0 ok, 1 runtime/server failure, 2 usage or unknown name.
+func runSubmit(args []string) int {
+	fs := flag.NewFlagSet("meshopt submit", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "server base URL")
+	seed := fs.Int64("seed", 1, "experiment seed")
+	scaleName := fs.String("scale", "quick", "experiment scale: quick or paper")
+	shards := fs.Int("shards", 0, "dispatch over k shards via the server's coordinator (0/1 = in-process)")
+	from := fs.Int("from", 0, "stream records starting at this cell index")
+	out := fs.String("o", "", "write records to this file (default: stdout)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: meshopt submit <n|name|scenario|spec.json> -addr http://host:port [flags]")
+		fs.PrintDefaults()
+	}
+	var target string
+	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		target, args = args[0], args[1:]
+	}
+	fs.Parse(args)
+	if target == "" && fs.NArg() > 0 {
+		target = fs.Arg(0)
+	}
+	if target == "" {
+		fs.Usage()
+		return 2
+	}
+	ti, err := resolveShardable(target)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if _, err := parseScale(*scaleName); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if *from < 0 {
+		fmt.Fprintln(os.Stderr, "-from must be >= 0")
+		return 2
+	}
+
+	body, err := submitBody(ti, seedOrDefault(fs, *seed, ti.seed), *scaleName, *shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	base := strings.TrimRight(*addr, "/")
+	var sub struct {
+		ID      string `json:"id"`
+		State   string `json:"state"`
+		Cells   int    `json:"cells"`
+		Created bool   `json:"created"`
+	}
+	status, err := postJSON(base+"/v1/jobs", body, &sub)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		if status == http.StatusBadRequest {
+			return 2 // the server rejected the job itself: a usage error
+		}
+		return 1
+	}
+	how := "submitted"
+	switch {
+	case !sub.Created && sub.State == "done":
+		how = "cache: hit"
+	case !sub.Created:
+		how = "cache: attached to in-flight job"
+	}
+	fmt.Fprintf(os.Stderr, "job %.12s: %s (%d cells, state %s)\n", sub.ID, how, sub.Cells, sub.State)
+
+	recordW, logW, closeOut, err := openRecords(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	url := base + "/v1/jobs/" + sub.ID + "/records"
+	if *from > 0 {
+		url += fmt.Sprintf("?from=%d", *from)
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if resp.StatusCode != http.StatusOK {
+		// An error body must never reach the records destination: it
+		// would corrupt a piped NDJSON consumer or the -o file.
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		closeOut()
+		fmt.Fprintf(os.Stderr, "records: %s: %s\n", resp.Status, strings.TrimSpace(string(msg)))
+		return 1
+	}
+	_, copyErr := io.Copy(recordW, resp.Body)
+	resp.Body.Close()
+	if cerr := closeOut(); copyErr == nil {
+		copyErr = cerr
+	}
+	if copyErr != nil {
+		fmt.Fprintln(os.Stderr, copyErr)
+		return 1
+	}
+
+	// The stream ends when the job reaches a terminal state; report it.
+	var st serverStatus
+	if _, err := getJSON(base+"/v1/jobs/"+sub.ID, &st); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if st.State != "done" {
+		fmt.Fprintf(os.Stderr, "job %.12s: %s: %s\n", sub.ID, st.State, st.Error)
+		return 1
+	}
+	if st.Summary != "" {
+		fmt.Fprint(logW, st.Summary)
+	}
+	return 0
+}
+
+// getJSON fetches url and decodes the JSON response into out.
+func getJSON(url string, out any) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	return decodeResponse(resp, out)
+}
+
+var jobIDPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// runWatch implements the `watch` subcommand: poll a job's status and
+// render a live progress line off the server's merge frontier. The
+// argument is either a job id (as printed by submit) or the same
+// target submit takes (the id is then derived from the content hash).
+// Exit codes: 0 job done, 1 job failed or server unreachable, 2 usage
+// or unknown name/job.
+func runWatch(args []string) int {
+	fs := flag.NewFlagSet("meshopt watch", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "server base URL")
+	seed := fs.Int64("seed", 1, "experiment seed (when the argument is a target, not a job id)")
+	scaleName := fs.String("scale", "quick", "experiment scale: quick or paper")
+	interval := fs.Duration("interval", 200*time.Millisecond, "poll interval")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: meshopt watch <job-id|n|name|scenario|spec.json> -addr http://host:port [flags]")
+		fs.PrintDefaults()
+	}
+	var target string
+	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		target, args = args[0], args[1:]
+	}
+	fs.Parse(args)
+	if target == "" && fs.NArg() > 0 {
+		target = fs.Arg(0)
+	}
+	if target == "" {
+		fs.Usage()
+		return 2
+	}
+	id := target
+	if !jobIDPattern.MatchString(target) {
+		ti, err := resolveShardable(target)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if _, err := parseScale(*scaleName); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if id, err = serve.JobKey(dist.Job{
+			Experiment: ti.name,
+			Spec:       ti.spec,
+			Seed:       seedOrDefault(fs, *seed, ti.seed),
+			Scale:      *scaleName,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+
+	base := strings.TrimRight(*addr, "/")
+	for {
+		var st serverStatus
+		status, err := getJSON(base+"/v1/jobs/"+id, &st)
+		if status == http.StatusNotFound {
+			fmt.Fprintf(os.Stderr, "\nno such job %.12s on %s (submit it first)\n", id, base)
+			return 2
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "\rwatch %.12s: %-8s cells %d/%d, %d records ",
+			st.ID, st.State, st.CellsDone, st.Cells, st.Records)
+		switch st.State {
+		case "done":
+			fmt.Fprintln(os.Stderr)
+			if st.Summary != "" {
+				fmt.Print(st.Summary)
+			}
+			return 0
+		case "failed":
+			fmt.Fprintf(os.Stderr, "\n%s\n", st.Error)
+			return 1
+		}
+		time.Sleep(*interval)
+	}
+}

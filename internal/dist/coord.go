@@ -44,10 +44,30 @@ type Options struct {
 	Spawner Spawner
 	// Log receives human-readable progress; nil discards it.
 	Log io.Writer
+	// Stream, when set, receives a live copy of the merged record stream
+	// — the same bytes written to dir/merged.jsonl — flushed at cell
+	// granularity so a consumer (the serve layer's record endpoint, a
+	// progress UI) can tail the run while late shards are still working.
+	Stream io.Writer
+	// Progress, when set, observes merge progress after every record
+	// push and shard completion. It is called under the coordinator's
+	// merge lock: keep it fast and non-blocking (throttle on the caller
+	// side if rendering is expensive).
+	Progress func(Progress)
 
 	// onShardDone, when set, observes each shard checkpoint as it is
 	// finalized (fault tests use it to cancel mid-run).
 	onShardDone func(shard int)
+}
+
+// Progress is one merge-progress observation: how far the global cell
+// frontier has advanced (exp.Merger.Frontier) and how many shards have
+// checkpointed, including shards reused from a previous run.
+type Progress struct {
+	MergedCells int // cells fully merged (the frontier)
+	Cells       int // total cells in the enumeration
+	ShardsDone  int // shards checkpointed (reused + completed this run)
+	Shards      int // total shard count
 }
 
 // Report summarizes a coordinator run.
@@ -109,7 +129,7 @@ func Run(ctx context.Context, job Job, dir string, o Options) (*Report, error) {
 	rep := &Report{Cells: cells, Attempts: make([]int, job.Shards)}
 	var pending []int
 	for i := 0; i < job.Shards; i++ {
-		if n, ok := validateShardFile(shardPath(dir, i)); ok {
+		if n, _, ok := ValidateRecordsFile(shardPath(dir, i)); ok {
 			fmt.Fprintf(o.Log, "shard %d/%d: reusing checkpoint (%d records)\n", i, job.Shards, n)
 			rep.Reused = append(rep.Reused, i)
 		} else {
@@ -125,13 +145,23 @@ func Run(ctx context.Context, job Job, dir string, o Options) (*Report, error) {
 	}
 	defer mergedF.Close()
 
+	var mergedOut io.Writer = mergedF
+	if o.Stream != nil {
+		mergedOut = io.MultiWriter(mergedF, o.Stream)
+	}
+	merger := exp.NewMerger(mergedOut, job.Shards, e)
+	if o.Stream != nil {
+		merger.AutoFlush(true)
+	}
 	r := &run{
-		job:     job,
-		dir:     dir,
-		o:       o,
-		merger:  exp.NewMerger(mergedF, job.Shards, e),
-		states:  make([]*shardState, job.Shards),
-		replays: make(map[int]*replayCursor),
+		job:        job,
+		dir:        dir,
+		o:          o,
+		cells:      cells,
+		merger:     merger,
+		states:     make([]*shardState, job.Shards),
+		replays:    make(map[int]*replayCursor),
+		shardsDone: len(rep.Reused),
 	}
 	for i := range r.states {
 		r.states[i] = &shardState{h: sha256.New()}
@@ -152,6 +182,7 @@ func Run(ctx context.Context, job Job, dir string, o Options) (*Report, error) {
 	}
 	r.mu.Lock()
 	err = r.pump()
+	r.report()
 	r.mu.Unlock()
 	if err != nil {
 		return nil, fmt.Errorf("dist: replaying checkpointed shards: %w", err)
@@ -233,13 +264,28 @@ func Run(ctx context.Context, job Job, dir string, o Options) (*Report, error) {
 
 // run is the shared state of one coordinator invocation.
 type run struct {
-	job     Job
-	dir     string
-	o       Options
-	mu      sync.Mutex // serializes merger + replay access across shard goroutines
-	merger  *exp.Merger
-	states  []*shardState
-	replays map[int]*replayCursor
+	job        Job
+	dir        string
+	o          Options
+	cells      int
+	mu         sync.Mutex // serializes merger + replay access across shard goroutines
+	merger     *exp.Merger
+	states     []*shardState
+	replays    map[int]*replayCursor
+	shardsDone int // checkpointed shards (reused + completed this run)
+}
+
+// report publishes a progress observation. Called with r.mu held.
+func (r *run) report() {
+	if r.o.Progress == nil {
+		return
+	}
+	r.o.Progress(Progress{
+		MergedCells: r.merger.Frontier(),
+		Cells:       r.cells,
+		ShardsDone:  r.shardsDone,
+		Shards:      r.job.Shards,
+	})
 }
 
 // replayCursor reads a checkpointed shard file on demand.
@@ -256,17 +302,22 @@ func (r *run) push(shard int, line []byte) error {
 	if err := r.merger.Push(shard, line); err != nil {
 		return err
 	}
-	return r.pump()
+	err := r.pump()
+	r.report()
+	return err
 }
 
 // closeShard marks a live shard complete, then pumps the replays.
 func (r *run) closeShard(shard int) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.shardsDone++
 	if err := r.merger.CloseShard(shard); err != nil {
 		return err
 	}
-	return r.pump()
+	err := r.pump()
+	r.report()
+	return err
 }
 
 // pump feeds checkpointed shard files into the merger for as long as
@@ -372,8 +423,8 @@ func (r *run) attempt(ctx context.Context, shard, slot int) error {
 		}
 		if line[0] == '#' {
 			s := string(line)
-			if strings.HasPrefix(s, donePrefix) {
-				n, sum, err := parseDone(s)
+			if strings.HasPrefix(s, DonePrefix) {
+				n, sum, err := ParseDoneMarker(s)
 				if err != nil {
 					workErr = err
 					break
@@ -464,45 +515,57 @@ func (r *run) finishMerge(cells int) (exp.Result, error) {
 	if err := r.pump(); err != nil { // normally a no-op: every close pumps
 		return nil, err
 	}
-	return r.merger.Finish(cells)
+	res, err := r.merger.Finish(cells)
+	if err == nil {
+		r.report()
+	}
+	return res, err
 }
 
-// validateShardFile checks a checkpointed shard: every record line
-// hashed, terminated by a matching '#done' marker. Anything else —
-// truncation, a flipped byte, a missing marker — invalidates the file
-// and the shard is re-dispatched.
-func validateShardFile(path string) (records int, ok bool) {
+// ValidateRecordsFile checks a '#done'-terminated records file — a
+// coordinator shard checkpoint, a serve cache entry, or any other
+// artifact using the self-validating marker format: every record line
+// hashed (newlines included), terminated by a matching completion
+// marker. dataBytes is the byte offset where the marker line starts,
+// i.e. the length of the record region a consumer may stream verbatim.
+// Anything else — truncation, a flipped byte, a missing marker —
+// invalidates the file (ok false) and the artifact must be recomputed.
+func ValidateRecordsFile(path string) (records int, dataBytes int64, ok bool) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, false
+		return 0, 0, false
 	}
 	defer f.Close()
 	h := sha256.New()
 	n := 0
+	var off int64
 	sawDone := false
 	sc := sink.NewLineScanner(f)
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
+			off++ // a bare newline
 			continue
 		}
 		if sawDone {
-			return 0, false // data after the completion marker
+			return 0, 0, false // data after the completion marker
 		}
 		if line[0] == '#' {
-			dn, sum, err := parseDone(string(line))
+			dn, sum, err := ParseDoneMarker(string(line))
 			if err != nil || dn != n || sum != hex.EncodeToString(h.Sum(nil)) {
-				return 0, false
+				return 0, 0, false
 			}
+			dataBytes = off
 			sawDone = true
 			continue
 		}
 		h.Write(line)
 		h.Write([]byte{'\n'})
 		n++
+		off += int64(len(line)) + 1
 	}
 	if sc.Err() != nil || !sawDone {
-		return 0, false
+		return 0, 0, false
 	}
-	return n, true
+	return n, dataBytes, true
 }

@@ -204,11 +204,11 @@ func TestCoordGivesUpAfterMaxAttempts(t *testing.T) {
 	}
 	// The healthy shards must have checkpointed for the resume.
 	for _, i := range []int{0, 2} {
-		if _, ok := validateShardFile(shardPath(dir, i)); !ok {
+		if _, _, ok := ValidateRecordsFile(shardPath(dir, i)); !ok {
 			t.Fatalf("shard %d not checkpointed after the run failed", i)
 		}
 	}
-	if _, ok := validateShardFile(shardPath(dir, 1)); ok {
+	if _, _, ok := ValidateRecordsFile(shardPath(dir, 1)); ok {
 		t.Fatal("failed shard 1 validated as complete")
 	}
 	// Resume without faults: only shard 1 is re-dispatched.
@@ -382,7 +382,7 @@ func TestValidateShardFileRejectsGarbage(t *testing.T) {
 		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, ok := validateShardFile(path); ok {
+		if _, _, ok := ValidateRecordsFile(path); ok {
 			t.Fatalf("%s: validated", name)
 		}
 	}

@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/experiments/exp"
 	"repro/internal/scenario"
@@ -92,6 +93,27 @@ type manifest struct {
 	Job     Job    `json:"job"`
 	Cells   int    `json:"cells"`
 	Created string `json:"created,omitempty"`
+}
+
+// ReadRunManifest reads a run directory's run.json and returns the job
+// it pins and its cell-enumeration size. It is how other subsystems
+// identify a coordinator run directory's contents — e.g. the serve
+// cache imports a finished rundir's merged.jsonl as a cache entry keyed
+// by this job.
+func ReadRunManifest(dir string) (Job, int, error) {
+	path := filepath.Join(dir, "run.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Job{}, 0, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Job{}, 0, fmt.Errorf("dist: %s: %w", path, err)
+	}
+	if m.Version != manifestVersion {
+		return Job{}, 0, fmt.Errorf("dist: %s: manifest version %d, this binary reads %d", path, m.Version, manifestVersion)
+	}
+	return m.Job, m.Cells, nil
 }
 
 // loadOrWriteManifest validates the run directory against the job: a

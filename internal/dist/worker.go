@@ -37,19 +37,25 @@ type workRequest struct {
 	Shard exp.Shard `json:"shard"`
 }
 
-const (
-	donePrefix  = "#done "
-	errorPrefix = "#error "
-)
+// DonePrefix starts the '#done records=N sha256=H' completion marker
+// terminating every checkpointed record stream. The marker makes the
+// artifact self-validating, so the format is shared beyond the worker
+// protocol: coordinator shard checkpoints, serve cache entries, and any
+// other subsystem that wants crash-safe record files all reuse it.
+const DonePrefix = "#done "
 
-// doneLine formats the completion marker.
-func doneLine(records int, sum []byte) string {
-	return fmt.Sprintf("%srecords=%d sha256=%x", donePrefix, records, sum)
+const errorPrefix = "#error "
+
+// DoneMarker formats the completion marker for a stream of `records`
+// record lines whose bytes (newlines included) hash to sum.
+func DoneMarker(records int, sum []byte) string {
+	return fmt.Sprintf("%srecords=%d sha256=%x", DonePrefix, records, sum)
 }
 
-// parseDone extracts (records, sha256) from a completion marker line.
-func parseDone(line string) (records int, sum string, err error) {
-	rest := strings.TrimPrefix(line, donePrefix)
+// ParseDoneMarker extracts (records, sha256) from a completion marker
+// line.
+func ParseDoneMarker(line string) (records int, sum string, err error) {
+	rest := strings.TrimPrefix(line, DonePrefix)
 	if _, err := fmt.Sscanf(rest, "records=%d sha256=%s", &records, &sum); err != nil {
 		return 0, "", fmt.Errorf("dist: malformed completion marker %q", line)
 	}
@@ -154,6 +160,6 @@ func serveShard(req workRequest, out io.Writer) error {
 	if runErr != nil {
 		return fail(runErr)
 	}
-	fmt.Fprintf(bw, "%s\n", doneLine(snk.n, h.Sum(nil)))
+	fmt.Fprintf(bw, "%s\n", DoneMarker(snk.n, h.Sum(nil)))
 	return bw.Flush()
 }

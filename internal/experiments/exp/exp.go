@@ -195,6 +195,17 @@ type Options struct {
 	// run streams records but skips the reduction (Run returns a nil
 	// Result); Merge recombines shard streams and reduces.
 	Shard Shard
+	// FromCell skips cells with Index < FromCell — the resume path of a
+	// serving layer whose checkpoint already holds the stream's prefix.
+	// Like sharded runs, a resumed run streams records but skips the
+	// reduction (the prefix records are not in this run's stream, so a
+	// partial reduction would be wrong).
+	FromCell int
+	// Progress, when set, observes streaming progress: done counts the
+	// cells this run has completed (their records already handed to the
+	// sink) and total the cells this run will execute. It is called on
+	// the streaming goroutine, serialized, in cell order.
+	Progress func(done, total int)
 }
 
 // Run executes an experiment: enumerate cells, fan them over the worker
@@ -237,20 +248,32 @@ func Run(e Experiment, seed int64, sc Scale, o Options) (Result, error) {
 		return recs
 	}
 
-	if o.Shard.Enabled() {
+	progress := o.Progress
+	if progress == nil {
+		progress = func(int, int) {}
+	}
+
+	if o.Shard.Enabled() || o.FromCell > 0 {
 		var mine []Cell
 		for _, c := range cells {
-			if c.Index%o.Shard.Count == o.Shard.Index {
-				mine = append(mine, c)
+			if o.Shard.Enabled() && c.Index%o.Shard.Count != o.Shard.Index {
+				continue
 			}
+			if c.Index < o.FromCell {
+				continue
+			}
+			mine = append(mine, c)
 		}
 		var sinkErr error
+		done := 0
 		runner.Stream(mine, runCell, func(_ int, recs []sink.Record) {
 			for _, rec := range recs {
 				if sinkErr == nil {
 					sinkErr = snk.Write(rec)
 				}
 			}
+			done++
+			progress(done, len(mine))
 		})
 		return nil, sinkErr
 	}
@@ -270,6 +293,7 @@ func Run(e Experiment, seed int64, sc Scale, o Options) (Result, error) {
 	}
 	defer closeCh()
 	var sinkErr error
+	cellsDone := 0
 	runner.Stream(cells, runCell, func(_ int, recs []sink.Record) {
 		for _, rec := range recs {
 			if sinkErr == nil {
@@ -277,6 +301,8 @@ func Run(e Experiment, seed int64, sc Scale, o Options) (Result, error) {
 			}
 			ch <- rec
 		}
+		cellsDone++
+		progress(cellsDone, len(cells))
 	})
 	closeCh()
 	return <-done, sinkErr

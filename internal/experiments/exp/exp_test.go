@@ -91,6 +91,62 @@ func TestRunShardSelectsResidueClass(t *testing.T) {
 	}
 }
 
+func TestRunFromCellResumesStreamSuffix(t *testing.T) {
+	render := func(o Options) []byte {
+		var buf bytes.Buffer
+		s := sink.NewJSONL(&buf)
+		o.Sink = s
+		res, err := Run(toyExp{n: 7}, 3, Quick(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.FromCell > 0 && res != nil {
+			t.Fatalf("resumed run returned a result: %+v", res)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	full := render(Options{})
+	for _, from := range []int{1, 3, 6, 7} {
+		suffix := render(Options{FromCell: from})
+		lines := bytes.SplitAfter(full, []byte("\n"))
+		want := bytes.Join(lines[from:], nil)
+		if !bytes.Equal(suffix, want) {
+			t.Fatalf("FromCell=%d streamed:\n%swant:\n%s", from, suffix, want)
+		}
+	}
+}
+
+func TestRunProgressCountsCellsInOrder(t *testing.T) {
+	for _, o := range []Options{{}, {FromCell: 2}, {Shard: Shard{Index: 0, Count: 2}}} {
+		var dones []int
+		total := -1
+		o.Progress = func(done, tot int) {
+			dones = append(dones, done)
+			total = tot
+		}
+		if _, err := Run(toyExp{n: 7}, 3, Quick(), o); err != nil {
+			t.Fatal(err)
+		}
+		want := 7
+		if o.FromCell > 0 {
+			want = 5
+		} else if o.Shard.Enabled() {
+			want = 4 // cells 0, 2, 4, 6
+		}
+		if len(dones) != want || total != want {
+			t.Fatalf("%+v: progress calls %v (total %d), want %d increments", o.Shard, dones, total, want)
+		}
+		for i, d := range dones {
+			if d != i+1 {
+				t.Fatalf("progress out of order: %v", dones)
+			}
+		}
+	}
+}
+
 func TestParseShard(t *testing.T) {
 	if s, err := ParseShard("2/5"); err != nil || s != (Shard{Index: 2, Count: 5}) {
 		t.Fatalf("ParseShard(2/5) = %v, %v", s, err)

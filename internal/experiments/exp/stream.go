@@ -32,18 +32,19 @@ import (
 // Merger is not safe for concurrent use; the coordinator serializes
 // Push/CloseShard/Finish under one mutex.
 type Merger struct {
-	out      *bufio.Writer
-	k        int
-	e        Experiment
-	multi    bool // e's cells may emit several records
-	queues   [][]mergeLine
-	last     []int // last cell pushed per shard, -1 before the first
-	closed   []bool
-	next     int // frontier: first cell not yet fully emitted
-	nEmitted int // records emitted for the frontier cell
-	reduceCh chan sink.Record
-	done     chan Result
-	finished bool
+	out       *bufio.Writer
+	k         int
+	e         Experiment
+	multi     bool // e's cells may emit several records
+	queues    [][]mergeLine
+	last      []int // last cell pushed per shard, -1 before the first
+	closed    []bool
+	next      int // frontier: first cell not yet fully emitted
+	nEmitted  int // records emitted for the frontier cell
+	autoFlush bool
+	reduceCh  chan sink.Record
+	done      chan Result
+	finished  bool
 }
 
 type mergeLine struct {
@@ -79,6 +80,13 @@ func NewMerger(out io.Writer, shards int, e Experiment) *Merger {
 	}
 	return m
 }
+
+// AutoFlush makes the merger flush its output after every drain that
+// emitted records, so a consumer tailing the merged stream live (e.g. a
+// serving layer's record endpoint) sees cells promptly instead of
+// waiting for the final flush. Off by default: batch runs want the
+// plain buffered write path.
+func (m *Merger) AutoFlush(on bool) { m.autoFlush = on }
 
 // Push hands the merger shard's next record line. The line is decoded,
 // validated against the shard's residue class and stream order, and
@@ -130,11 +138,25 @@ func (m *Merger) CloseShard(shard int) error {
 	return m.drain()
 }
 
-// drain emits records while the frontier cell's records are available.
-// The frontier advances past a cell once its owning shard produces a
-// later cell or closes its stream — which is also why every cell must
-// emit at least one record: a silent cell would stall here as a gap.
+// drain emits records while the frontier cell's records are available,
+// then honours AutoFlush (an empty-buffer Flush is a no-op, so flushing
+// per drain costs nothing when no records moved).
 func (m *Merger) drain() error {
+	err := m.drainQueues()
+	if m.autoFlush {
+		if ferr := m.out.Flush(); err == nil {
+			err = ferr
+		}
+	}
+	return err
+}
+
+// drainQueues emits records while the frontier cell's records are
+// available. The frontier advances past a cell once its owning shard
+// produces a later cell or closes its stream — which is also why every
+// cell must emit at least one record: a silent cell would stall here as
+// a gap.
+func (m *Merger) drainQueues() error {
 	for {
 		j := m.next % m.k
 		q := m.queues[j]

@@ -162,7 +162,17 @@ type Fig10Result struct {
 	Errors    []float64 // |est - truth| per link at full window
 	RMSEByS   map[int]float64
 	WindowSet []int
+	// ErrCDF and ErrQuantiles render the |err| distribution as
+	// streamable record series (series "err_cdf" with x/p points,
+	// series "err_quantile" with q/v pairs) — the richer reduction
+	// series the record pipeline carries alongside the scalar summary.
+	ErrCDF       []sink.Record
+	ErrQuantiles []sink.Record
 }
+
+// fig10Quantiles is the quantile set Fig. 10's error distribution is
+// reduced to.
+var fig10Quantiles = []float64{0.25, 0.5, 0.75, 0.9, 0.95, 0.99}
 
 // fig10Sample is one probed link's loss trace plus its analytic truth.
 type fig10Sample struct {
@@ -330,6 +340,9 @@ func (fig10Exp) Reduce(recs <-chan sink.Record) exp.Result {
 		for wi, s := range res.WindowSet {
 			res.RMSEByS[s] = math.Sqrt(se[wi] / float64(samples))
 		}
+		cdf := stats.NewCDF(res.Errors)
+		res.ErrCDF = cdf.Series("fig10", "err_cdf", 16)
+		res.ErrQuantiles = cdf.QuantileSeries("fig10", "err_quantile", fig10Quantiles)
 	}
 	return res
 }
@@ -341,12 +354,16 @@ func RunFig10(seed int64, sc Scale) Fig10Result {
 	return res.(Fig10Result)
 }
 
-// Print emits the error CDF and the RMSE-vs-S series.
+// Print emits the error CDF, its quantile series and the RMSE-vs-S
+// series.
 func (r Fig10Result) Print(w io.Writer) {
 	fmt.Fprintf(w, "Figure 10: channel-loss estimation accuracy (%d links)\n", len(r.Errors))
 	cdf := stats.NewCDF(r.Errors)
 	fmt.Fprintf(w, "(a) error CDF: median=%.3f p90=%.3f\n", cdf.Quantile(0.5), cdf.Quantile(0.9))
 	fmt.Fprint(w, cdf.Format(12))
+	for _, q := range r.ErrQuantiles {
+		fmt.Fprintf(w, "   q%02.0f |err|=%.4f\n", q.Float("q")*100, q.Float("v"))
+	}
 	fmt.Fprintln(w, "(b) RMSE vs probing window S:")
 	for _, s := range r.WindowSet {
 		fmt.Fprintf(w, "   S=%4d  RMSE=%.4f\n", s, r.RMSEByS[s])

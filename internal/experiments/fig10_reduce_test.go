@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/scenario/sink"
+)
+
+// TestFig10ReduceGolden pins fig10's reduction — including the
+// quantile record series it emits — against a canned record stream, so
+// the CDF/quantile wiring cannot drift silently.
+func TestFig10ReduceGolden(t *testing.T) {
+	windows := []float64{100, 200}
+	rec := func(link string, errs []float64) sink.Record {
+		fields := []sink.Field{
+			sink.F("link", link),
+			sink.F("skipped", errs == nil),
+			sink.F("windows", windows),
+		}
+		if errs != nil {
+			fields = append(fields, sink.F("truth", 0.1), sink.F("errs", errs))
+		}
+		return sink.Record{Scenario: "fig10", Series: "cell", Fields: fields}
+	}
+	recs := []sink.Record{
+		rec("0->1", []float64{0.01, -0.02}),
+		rec("1->2", []float64{0.03, 0.04}),
+		rec("2->3", nil), // skipped link: no trace
+		rec("3->4", []float64{-0.05, 0.10}),
+	}
+	for i := range recs {
+		recs[i].Cell = i
+	}
+	ch := make(chan sink.Record, len(recs))
+	for _, r := range recs {
+		ch <- r
+	}
+	close(ch)
+	res := fig10Exp{}.Reduce(ch).(Fig10Result)
+
+	wantCDF := []struct{ x, p float64 }{
+		{0.02, 1.0 / 3}, {0.04, 2.0 / 3}, {0.10, 1},
+	}
+	if len(res.ErrCDF) != len(wantCDF) {
+		t.Fatalf("got %d CDF records, want %d", len(res.ErrCDF), len(wantCDF))
+	}
+	for i, w := range wantCDF {
+		r := res.ErrCDF[i]
+		if r.Scenario != "fig10" || r.Series != "err_cdf" || r.Cell != i {
+			t.Fatalf("CDF record %d not normalized: %+v", i, r)
+		}
+		if r.Float("x") != w.x || r.Float("p") != w.p {
+			t.Fatalf("CDF point %d = (%v, %v), want (%v, %v)", i, r.Float("x"), r.Float("p"), w.x, w.p)
+		}
+	}
+
+	wantQ := []struct{ q, v float64 }{
+		{0.25, 0.02}, {0.5, 0.04}, {0.75, 0.10}, {0.9, 0.10}, {0.95, 0.10}, {0.99, 0.10},
+	}
+	if len(res.ErrQuantiles) != len(wantQ) {
+		t.Fatalf("got %d quantile records, want %d", len(res.ErrQuantiles), len(wantQ))
+	}
+	for i, w := range wantQ {
+		r := res.ErrQuantiles[i]
+		if r.Scenario != "fig10" || r.Series != "err_quantile" || r.Cell != i {
+			t.Fatalf("quantile record %d not normalized: %+v", i, r)
+		}
+		if r.Float("q") != w.q || r.Float("v") != w.v {
+			t.Fatalf("quantile %d = (q=%v, v=%v), want (q=%v, v=%v)",
+				i, r.Float("q"), r.Float("v"), w.q, w.v)
+		}
+	}
+
+	var b strings.Builder
+	res.Print(&b)
+	golden := `Figure 10: channel-loss estimation accuracy (3 links)
+(a) error CDF: median=0.040 p90=0.100
+      0.0200  0.333
+      0.0400  0.667
+      0.1000  1.000
+   q25 |err|=0.0200
+   q50 |err|=0.0400
+   q75 |err|=0.1000
+   q90 |err|=0.1000
+   q95 |err|=0.1000
+   q99 |err|=0.1000
+(b) RMSE vs probing window S:
+   S= 100  RMSE=0.0342
+   S= 200  RMSE=0.0632
+`
+	if b.String() != golden {
+		t.Fatalf("Print output drifted:\n--- got ---\n%s--- want ---\n%s", b.String(), golden)
+	}
+}

@@ -84,6 +84,12 @@ func (j *JSONL) Write(rec Record) error {
 // Close flushes the buffered output.
 func (j *JSONL) Close() error { return j.w.Flush() }
 
+// Flush forces buffered lines to the underlying writer without closing
+// the sink. Live consumers (a serving layer tailing the stream, a
+// checkpoint that must survive a crash) flush per record so the bytes
+// on disk always end at a record boundary.
+func (j *JSONL) Flush() error { return j.w.Flush() }
+
 // appendJSONValue marshals v onto b. Non-finite floats, which
 // encoding/json rejects, are written as null so a degenerate cell cannot
 // abort a whole stream.

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dist"
+	"repro/internal/experiments/exp"
+	"repro/internal/scenario"
+	"repro/internal/scenario/sink"
+)
+
+// keyVersion guards the canonical-form layout: bumping it invalidates
+// every cached entry (old keys simply never match again).
+const keyVersion = 1
+
+// canonicalJob is the hashed canonical form of a job. Only fields that
+// determine the output bytes participate: the experiment identity, the
+// seed and the scale. Execution details (shard count, worker pool) are
+// deliberately excluded — the determinism contract makes the record
+// stream a pure function of this struct, which is exactly what lets one
+// cache entry serve every execution plan.
+type canonicalJob struct {
+	Version int             `json:"v"`
+	Kind    string          `json:"kind"` // "experiment" or "scenario"
+	Name    string          `json:"name,omitempty"`
+	Spec    json.RawMessage `json:"spec,omitempty"`
+	Seed    int64           `json:"seed"`
+	Scale   string          `json:"scale"`
+}
+
+// JobKey derives the content-address of a job's result: the SHA-256 of
+// its canonical form. Spellings that produce identical bytes map to one
+// key — an alias and its canonical experiment name, a registered
+// scenario name and the identical inline spec — so the cache, the
+// single-flight table and the job API all coalesce them.
+func JobKey(job dist.Job) (string, error) {
+	if _, ok := exp.NamedScale(job.Scale); !ok {
+		return "", fmt.Errorf("serve: unknown scale %q (want quick or paper)", job.Scale)
+	}
+	canon := canonicalJob{Version: keyVersion, Seed: job.Seed, Scale: job.Scale}
+	switch {
+	case len(job.Spec) > 0:
+		spec, err := scenario.Parse(job.Spec)
+		if err != nil {
+			return "", err
+		}
+		canon.Kind, canon.Spec = "scenario", mustCompactSpec(spec)
+	default:
+		if e, ok := exp.Find(job.Experiment); ok {
+			canon.Kind, canon.Name = "experiment", e.Name()
+			break
+		}
+		if spec, ok := scenario.Lookup(job.Experiment); ok {
+			canon.Kind, canon.Spec = "scenario", mustCompactSpec(spec)
+			break
+		}
+		return "", fmt.Errorf("serve: %q is neither a registered experiment nor a scenario", job.Experiment)
+	}
+	raw, err := json.Marshal(canon)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// mustCompactSpec renders a parsed spec in its canonical (compact,
+// field-ordered) byte form. Specs marshal by construction, so a failure
+// here is a programming error.
+func mustCompactSpec(spec *scenario.Spec) json.RawMessage {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		panic(fmt.Sprintf("serve: canonicalizing spec: %v", err))
+	}
+	return b
+}
+
+// Cache is the content-addressed on-disk result store: one
+// `<key>.jsonl` per finished job, holding the job's record stream
+// terminated by the same self-validating `#done records=N sha256=H`
+// marker the distributed coordinator stamps on shard checkpoints. An
+// in-flight job accumulates in `<key>.jsonl.part` (flushed at record
+// granularity) and is renamed into place only once the marker is
+// written, so a crash at any point leaves either a valid entry or a
+// resumable prefix — never a corrupt entry that Lookup would serve.
+type Cache struct {
+	dir string
+}
+
+// NewCache opens (creating if needed) the cache directory.
+func NewCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "runs"), 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+// EntryPath is the finished entry for a key.
+func (c *Cache) EntryPath(key string) string {
+	return filepath.Join(c.dir, key+".jsonl")
+}
+
+// PartPath is the in-flight checkpoint for a key.
+func (c *Cache) PartPath(key string) string {
+	return c.EntryPath(key) + ".part"
+}
+
+// RunDir is the coordinator run directory a sharded execution of key
+// uses for its shard checkpoints.
+func (c *Cache) RunDir(key string) string {
+	return filepath.Join(c.dir, "runs", key)
+}
+
+// Lookup validates the entry for key against its completion marker and
+// returns its path, record count and record-region byte length. A
+// missing, truncated, bit-flipped or marker-less entry reports ok false
+// — it is never served, the job is recomputed.
+func (c *Cache) Lookup(key string) (path string, records int, dataBytes int64, ok bool) {
+	path = c.EntryPath(key)
+	records, dataBytes, ok = dist.ValidateRecordsFile(path)
+	if !ok {
+		return "", 0, 0, false
+	}
+	return path, records, dataBytes, true
+}
+
+// ImportRunDir converts a finished coordinator run directory into a
+// cache entry: the manifest names the job (and therefore the key), and
+// merged.jsonl — byte-identical to the unsharded stream by the
+// coordinator's contract — becomes the entry's record region, with the
+// completion marker recomputed during the copy. Importing an
+// already-cached job is a no-op.
+func (c *Cache) ImportRunDir(dir string) (key string, err error) {
+	job, _, err := dist.ReadRunManifest(dir)
+	if err != nil {
+		return "", err
+	}
+	key, err = JobKey(job)
+	if err != nil {
+		return "", err
+	}
+	if _, _, _, ok := c.Lookup(key); ok {
+		return key, nil
+	}
+	merged, err := os.Open(filepath.Join(dir, "merged.jsonl"))
+	if err != nil {
+		return "", fmt.Errorf("serve: import %s: no merged stream (is the run complete?): %w", dir, err)
+	}
+	defer merged.Close()
+
+	part := c.PartPath(key)
+	f, err := os.Create(part)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	n := 0
+	sc := sink.NewLineScanner(merged)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		if _, err := f.Write(append(line, '\n')); err != nil {
+			return "", err
+		}
+		h.Write(line)
+		h.Write([]byte{'\n'})
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	if _, err := fmt.Fprintf(f, "%s\n", dist.DoneMarker(n, h.Sum(nil))); err != nil {
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return key, os.Rename(part, c.EntryPath(key))
+}

@@ -1,0 +1,536 @@
+// Package serve is the experiment service: an HTTP control plane over
+// the experiment engine with a content-addressed result cache, live
+// NDJSON record streaming, and single-flight request coalescing.
+//
+// The engine's determinism contract — a job's record stream is a pure
+// function of (experiment, seed, scale), bit-identical for any worker
+// count, shard split or resume point — is what makes a serving layer
+// sound. A job's output is addressed by the SHA-256 of its canonical
+// form, so caching is not best-effort memoization but exact: a cache
+// hit streams the same bytes a fresh run would produce, coalesced
+// submissions can all attach to one execution because every client
+// would receive identical bytes anyway, and a restart resumes from a
+// checkpointed prefix because the recomputed suffix is guaranteed to
+// continue it bit-for-bit.
+//
+// API surface (all JSON unless noted):
+//
+//	POST /v1/jobs                submit {experiment|spec, seed, scale, shards};
+//	                             coalesces onto a running/cached job by content hash
+//	GET  /v1/jobs/{id}           status: state, cells done (frontier), records, cache/resume info
+//	GET  /v1/jobs/{id}/records   NDJSON record stream, live as cells complete;
+//	                             ?from=N resumes at cell N
+//	GET  /v1/experiments         the experiment + scenario registry
+//
+// Jobs with shards > 1 are handed to the internal/dist coordinator
+// (shard-checkpointed in the cache's runs/ directory); everything else
+// runs on the in-process engine. Admission is a bounded set of
+// concurrently executing jobs with a FIFO queue behind it.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dist"
+	"repro/internal/experiments/exp"
+	"repro/internal/scenario"
+	"repro/internal/scenario/sink"
+)
+
+// Options configures a Server.
+type Options struct {
+	// CacheDir is the content-addressed result store (required).
+	CacheDir string
+	// MaxJobs bounds concurrently executing jobs; further submissions
+	// queue FIFO. Default 2.
+	MaxJobs int
+	// Slots is the worker-slot count for sharded (shards > 1) jobs; 0
+	// uses the coordinator default.
+	Slots int
+	// Spawner launches workers for sharded jobs; nil spawns local
+	// `meshopt work` subprocesses of this binary.
+	Spawner dist.Spawner
+	// Log receives human-readable progress; nil discards it.
+	Log io.Writer
+}
+
+// Server is the experiment service. Create with New, mount Handler on
+// any http.Server, stop with Shutdown.
+type Server struct {
+	o      Options
+	cache  *Cache
+	mux    *http.ServeMux
+	ctx    context.Context // canceled at Shutdown; bounds coordinator runs
+	cancel context.CancelFunc
+	closed atomic.Bool
+
+	mu      sync.Mutex // guards jobs/queue/running; never taken inside a job's lock
+	jobs    map[string]*job
+	queue   []*job
+	running int
+	wg      sync.WaitGroup // running executions
+}
+
+// New creates a server over the given cache directory.
+func New(o Options) (*Server, error) {
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 2
+	}
+	if o.Log == nil {
+		o.Log = io.Discard
+	}
+	cache, err := NewCache(o.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		o:      o,
+		cache:  cache,
+		mux:    http.NewServeMux(),
+		ctx:    ctx,
+		cancel: cancel,
+		jobs:   map[string]*job{},
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/records", s.handleRecords)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	return s, nil
+}
+
+// Handler returns the HTTP handler serving the v1 API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the underlying content-addressed store (startup imports
+// of coordinator run directories go through it).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Shutdown stops the server gracefully: no new submissions or
+// executions, queued jobs failed, streaming clients woken, in-flight
+// executions checkpointed (their sinks refuse further writes, leaving
+// each part file a valid resumable prefix). It waits for executions to
+// settle until ctx expires; a later restart over the same cache
+// directory resumes from the checkpoints instead of recomputing.
+//
+// The in-process engine has no mid-run cancellation, so an in-flight
+// job keeps computing (with every record write refused) until its
+// cells finish; a long job can therefore outlive ctx. That is safe —
+// the checkpoint stopped advancing when Shutdown was called, and the
+// process exit that follows kills the computation — but it means ctx
+// expiry, not settlement, bounds Shutdown for long jobs. Coordinator
+// jobs do cancel promptly (dist.Run honours the server context).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closed.Store(true)
+	s.cancel()
+	s.mu.Lock()
+	queued := s.queue
+	s.queue = nil
+	s.mu.Unlock()
+	for _, j := range queued {
+		j.publish(func(j *job) {
+			j.state = stateFailed
+			j.errMsg = errShutdown.Error()
+		})
+	}
+	settled := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(settled)
+	}()
+	select {
+	case <-settled:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// admit starts queued jobs while execution slots are free. Caller holds
+// s.mu.
+func (s *Server) admit() {
+	for s.running < s.o.MaxJobs && len(s.queue) > 0 && !s.closed.Load() {
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		s.running++
+		s.wg.Add(1)
+		go s.execute(j)
+	}
+}
+
+// execute runs one job to a terminal state and frees its slot.
+func (s *Server) execute(j *job) {
+	defer func() {
+		s.mu.Lock()
+		s.running--
+		s.admit()
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	j.publish(func(j *job) { j.state = stateRunning })
+	fmt.Fprintf(s.o.Log, "serve: job %.12s: running %s (seed %d, scale %s, shards %d)\n",
+		j.key, j.req.Experiment, j.req.Seed, j.req.Scale, j.req.Shards)
+	var err error
+	if j.req.Shards > 1 {
+		err = s.runDist(j)
+	} else {
+		err = s.runLocal(j)
+	}
+	if err != nil {
+		fmt.Fprintf(s.o.Log, "serve: job %.12s: failed: %v\n", j.key, err)
+		j.publish(func(j *job) {
+			j.state = stateFailed
+			j.errMsg = err.Error()
+		})
+		return
+	}
+	fmt.Fprintf(s.o.Log, "serve: job %.12s: done\n", j.key)
+}
+
+// submitRequest is the POST /v1/jobs body. Exactly one of Experiment
+// (a registered figure/scenario name or alias) or Spec (an inline
+// scenario spec) names the work.
+type submitRequest struct {
+	Experiment string          `json:"experiment,omitempty"`
+	Spec       json.RawMessage `json:"spec,omitempty"`
+	Seed       int64           `json:"seed"`
+	Scale      string          `json:"scale,omitempty"` // default "quick"
+	Shards     int             `json:"shards,omitempty"`
+}
+
+// submitResponse answers a submission: Created reports whether this
+// submission started (or queued) a new execution — false means the
+// client attached to a cache entry or an already-in-flight identical
+// job.
+type submitResponse struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Cells   int    `json:"cells"`
+	Created bool   `json:"created"`
+}
+
+// submit coalesces a request onto its job, creating and enqueueing one
+// only when no valid cache entry or live identical job exists. The
+// entry validation — a full rehash of the file — runs before the
+// server lock is taken, so warm submissions of large entries do not
+// convoy the whole API behind disk I/O; the map check under the lock
+// then decides what the validation outcome means.
+func (s *Server) submit(req dist.Job) (*job, bool, error) {
+	key, err := JobKey(req)
+	if err != nil {
+		return nil, false, err
+	}
+	e, sc, err := req.Resolve()
+	if err != nil {
+		return nil, false, err
+	}
+	path, records, dataBytes, entryOK := s.cache.Lookup(key)
+	// Built speculatively before the lock: the cell enumeration of a
+	// large sweep is not free, and holding s.mu through it would convoy
+	// the whole API the same way the entry rehash above would.
+	fresh := newJob(key, req, e, sc)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return nil, false, errShutdown
+	}
+	if j := s.jobs[key]; j != nil {
+		st := j.snapshot().state
+		switch {
+		case !terminal(st):
+			return j, false, nil // single-flight: attach to the in-flight job
+		case st == stateDone:
+			// The entry re-validated on this attach: a corrupted or
+			// evicted file must trigger recomputation, never be served.
+			if entryOK {
+				return j, false, nil
+			}
+			// The job may have finished — renaming its entry into
+			// place — after the pre-lock validation ran; re-check
+			// before declaring the entry corrupt (rare path, so the
+			// rehash under the lock is acceptable here).
+			if _, _, _, ok := s.cache.Lookup(key); ok {
+				return j, false, nil
+			}
+		}
+		// Failed, or done with an invalid entry: fall through and replace.
+	}
+	j := fresh
+	if entryOK {
+		j.state = stateDone
+		j.cacheHit = true
+		j.cellsDone = j.cells
+		j.records = records
+		j.bytes = dataBytes
+		j.path = path
+		s.jobs[key] = j // fully initialized before it becomes reachable
+		return j, false, nil
+	}
+	s.jobs[key] = j
+	s.queue = append(s.queue, j)
+	s.admit()
+	return j, true, nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Scale == "" {
+		req.Scale = "quick"
+	}
+	if req.Shards < 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("shards must be >= 0"))
+		return
+	}
+	shards := req.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	j, created, err := s.submit(dist.Job{
+		Experiment: req.Experiment,
+		Spec:       req.Spec,
+		Seed:       req.Seed,
+		Scale:      req.Scale,
+		Shards:     shards,
+	})
+	if err != nil {
+		status := http.StatusBadRequest
+		if err == errShutdown {
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, err)
+		return
+	}
+	writeJSON(w, submitResponse{ID: j.key, State: j.snapshot().state, Cells: j.cells, Created: created})
+}
+
+// jobStatus is the GET /v1/jobs/{id} body.
+type jobStatus struct {
+	ID           string `json:"id"`
+	Experiment   string `json:"experiment"`
+	Seed         int64  `json:"seed"`
+	Scale        string `json:"scale"`
+	Shards       int    `json:"shards"`
+	State        string `json:"state"`
+	Cells        int    `json:"cells"`
+	CellsDone    int    `json:"cells_done"`
+	Records      int    `json:"records"`
+	Bytes        int64  `json:"bytes"`
+	CacheHit     bool   `json:"cache_hit"`
+	ResumedCells int    `json:"resumed_cells,omitempty"`
+	ReusedShards int    `json:"reused_shards,omitempty"`
+	Error        string `json:"error,omitempty"`
+	Summary      string `json:"summary,omitempty"`
+}
+
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	v := j.snapshot()
+	writeJSON(w, jobStatus{
+		ID:           j.key,
+		Experiment:   j.e.Name(),
+		Seed:         j.req.Seed,
+		Scale:        j.req.Scale,
+		Shards:       j.req.Shards,
+		State:        v.state,
+		Cells:        j.cells,
+		CellsDone:    v.cellsDone,
+		Records:      v.records,
+		Bytes:        v.bytes,
+		CacheHit:     v.cacheHit,
+		ResumedCells: v.resumedCells,
+		ReusedShards: v.reusedShards,
+		Error:        v.errMsg,
+		Summary:      v.summary,
+	})
+}
+
+// handleRecords streams a job's records as NDJSON, live: published
+// bytes are copied as they appear and the handler waits on the job's
+// update channel between chunks, so clients receive cells as the
+// engine (or the coordinator's merge frontier) completes them. The
+// bytes are exactly what `meshopt fig`/`meshopt run` would write to
+// stdout for the same job — the completion marker lives beyond the
+// published byte range and is never sent. ?from=N skips records of
+// cells below N (a client-side resume offset).
+func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad from=%q (want a non-negative cell index)", q))
+			return
+		}
+		from = n
+	}
+	v := j.snapshot()
+	if v.state == stateFailed {
+		// A failed job's stream is incomplete by definition; refuse it
+		// up front rather than serving a prefix that looks whole.
+		httpError(w, http.StatusConflict, fmt.Errorf("job failed: %s", v.errMsg))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	cacheState := "miss"
+	if v.cacheHit {
+		cacheState = "hit"
+	}
+	w.Header().Set("X-Meshopt-Cache", cacheState)
+	flusher, _ := w.(http.Flusher)
+
+	var f *os.File
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
+	var off int64
+	skipping := from > 0
+	for {
+		v := j.snapshot()
+		if f == nil && v.path != "" {
+			var err error
+			// Held open across the part→entry rename: the fd follows
+			// the inode, and published offsets are stable across it.
+			if f, err = os.Open(v.path); err != nil {
+				return
+			}
+		}
+		if f != nil && off < v.bytes {
+			n, err := copyRecords(w, f, off, v.bytes, from, &skipping)
+			if err != nil {
+				return // client gone
+			}
+			off = n
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if v.state == stateFailed {
+			// The job failed mid-stream: abort the connection instead
+			// of ending the chunked response cleanly, so a plain HTTP
+			// client sees an unexpected EOF rather than a truncated
+			// stream that looks complete.
+			panic(http.ErrAbortHandler)
+		}
+		if v.state == stateDone {
+			return
+		}
+		select {
+		case <-v.update:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// copyRecords copies the published byte range [off, size) — always
+// whole record lines — to w. While skipping, lines are decoded until
+// one reaches cell `from`; everything from that line on is copied
+// verbatim, so the suffix is byte-identical to the corresponding tail
+// of the full stream.
+func copyRecords(w io.Writer, f *os.File, off, size int64, from int, skipping *bool) (int64, error) {
+	if !*skipping {
+		_, err := io.Copy(w, io.NewSectionReader(f, off, size-off))
+		return size, err
+	}
+	buf := make([]byte, size-off)
+	if _, err := io.ReadFull(io.NewSectionReader(f, off, size-off), buf); err != nil {
+		return off, err
+	}
+	rest := buf
+	for len(rest) > 0 {
+		i := bytes.IndexByte(rest, '\n')
+		if i < 0 {
+			return off, fmt.Errorf("serve: published byte range ends mid-line")
+		}
+		rec, err := sink.DecodeJSONL(rest[:i])
+		if err != nil {
+			return off, err
+		}
+		if rec.Cell >= from {
+			*skipping = false
+			_, err := w.Write(rest)
+			return size, err
+		}
+		rest = rest[i+1:]
+	}
+	return size, nil
+}
+
+// experimentInfo is one row of GET /v1/experiments.
+type experimentInfo struct {
+	Name        string `json:"name"`
+	Kind        string `json:"kind"` // "figure", "scenario" or "alias"
+	Description string `json:"description"`
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
+	var out []experimentInfo
+	for _, name := range exp.Names() {
+		e, _ := exp.Find(name)
+		out = append(out, experimentInfo{Name: name, Kind: "figure", Description: e.Describe()})
+	}
+	names := scenario.Names()
+	sort.Strings(names)
+	for _, n := range names {
+		if spec, ok := scenario.Lookup(n); ok && spec.Figure != 0 {
+			continue // figure delegates already listed
+		}
+		out = append(out, experimentInfo{Name: n, Kind: "scenario", Description: scenario.Describe(n)})
+	}
+	aliases := exp.Aliases()
+	var as []string
+	for a := range aliases {
+		as = append(as, a)
+	}
+	sort.Strings(as)
+	for _, a := range as {
+		out = append(out, experimentInfo{Name: a, Kind: "alias", Description: "alias of " + aliases[a]})
+	}
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

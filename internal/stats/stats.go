@@ -1,7 +1,8 @@
 // Package stats provides the small statistical toolkit used by the
-// experiment harness: empirical CDFs, RMSE, Jain's fairness index, and
+// experiment harness: empirical CDFs, RMSE, Jain's fairness index,
 // summary aggregates matching the metrics reported in the paper's
-// evaluation figures.
+// evaluation figures, and streamable record series (CDF points,
+// quantiles) that reductions can emit alongside their scalar results.
 package stats
 
 import (
@@ -9,6 +10,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"repro/internal/scenario/sink"
 )
 
 // CDF is an empirical cumulative distribution over observed samples.
@@ -76,6 +79,42 @@ func (c *CDF) Format(n int) string {
 		fmt.Fprintf(&b, "%12.4f %6.3f\n", p[0], p[1])
 	}
 	return b.String()
+}
+
+// Series renders the CDF as up to n streamable records — one (x, p)
+// point per record, cell-indexed in ascending x — under the given
+// scenario and series names. Reductions emit these so a distribution
+// rides the same record pipeline (JSONL/CSV sinks, the serve layer's
+// streams) as per-cell results instead of living only in printed
+// summaries.
+func (c *CDF) Series(scenario, series string, n int) []sink.Record {
+	pts := c.Points(n)
+	recs := make([]sink.Record, 0, len(pts))
+	for i, p := range pts {
+		recs = append(recs, sink.Record{
+			Scenario: scenario,
+			Series:   series,
+			Cell:     i,
+			Fields:   []sink.Field{sink.F("x", p[0]), sink.F("p", p[1])},
+		})
+	}
+	return recs
+}
+
+// QuantileSeries renders the named quantiles of the CDF as streamable
+// records: one record per q with fields q and v = Quantile(q), in the
+// order given.
+func (c *CDF) QuantileSeries(scenario, series string, qs []float64) []sink.Record {
+	recs := make([]sink.Record, 0, len(qs))
+	for i, q := range qs {
+		recs = append(recs, sink.Record{
+			Scenario: scenario,
+			Series:   series,
+			Cell:     i,
+			Fields:   []sink.Field{sink.F("q", q), sink.F("v", c.Quantile(q))},
+		})
+	}
+	return recs
 }
 
 func max(a, b int) int {

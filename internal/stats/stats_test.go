@@ -121,3 +121,38 @@ func TestMeanStdDev(t *testing.T) {
 		t.Fatalf("stddev = %v", got)
 	}
 }
+
+func TestCDFSeriesRecords(t *testing.T) {
+	c := NewCDF([]float64{4, 1, 3, 2})
+	recs := c.Series("exp", "err_cdf", 4)
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	wantX := []float64{1, 2, 3, 4}
+	wantP := []float64{0.25, 0.5, 0.75, 1}
+	for i, r := range recs {
+		if r.Scenario != "exp" || r.Series != "err_cdf" || r.Cell != i {
+			t.Fatalf("record %d not normalized: %+v", i, r)
+		}
+		if r.Float("x") != wantX[i] || r.Float("p") != wantP[i] {
+			t.Fatalf("record %d = (%v, %v), want (%v, %v)", i, r.Float("x"), r.Float("p"), wantX[i], wantP[i])
+		}
+	}
+	if got := NewCDF(nil).Series("exp", "s", 4); len(got) != 0 {
+		t.Fatalf("empty CDF emitted %d records", len(got))
+	}
+}
+
+func TestQuantileSeriesRecords(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40})
+	recs := c.QuantileSeries("exp", "err_q", []float64{0.5, 0.9})
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].Float("q") != 0.5 || recs[0].Float("v") != c.Quantile(0.5) {
+		t.Fatalf("q50 record: %+v", recs[0])
+	}
+	if recs[1].Float("q") != 0.9 || recs[1].Float("v") != c.Quantile(0.9) || recs[1].Cell != 1 {
+		t.Fatalf("q90 record: %+v", recs[1])
+	}
+}

@@ -21,8 +21,8 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (parallel experiment engine + shard coordinator)"
-go test -race ./internal/experiments/... ./internal/dist/...
+echo "== go test -race (parallel experiment engine + shard coordinator + serve layer)"
+go test -race ./internal/experiments/... ./internal/dist/... ./internal/serve
 
 echo "== scenario schema gate (round-trip parse/marshal goldens)"
 go test ./internal/scenario -run 'TestGolden|TestBuiltinsMarshalParse' -count=1
@@ -32,7 +32,8 @@ go run ./cmd/meshopt run quickstart -scale quick -o /dev/null
 
 echo "== shard smoke (fig10 as 2 shards + merge == unsharded, byte-for-byte)"
 SHARD_TMP="$(mktemp -d)"
-trap 'rm -rf "$SHARD_TMP"' EXIT
+SERVE_PID=""
+trap 'test -n "$SERVE_PID" && kill "$SERVE_PID" 2>/dev/null; rm -rf "$SHARD_TMP"' EXIT
 go build -o "$SHARD_TMP/meshopt" ./cmd/meshopt
 "$SHARD_TMP/meshopt" fig 10 -scale quick -seed 4 -o "$SHARD_TMP/full.jsonl" >/dev/null
 "$SHARD_TMP/meshopt" fig 10 -scale quick -seed 4 -shard 0/2 -workers 1 -o "$SHARD_TMP/s0.jsonl" >/dev/null
@@ -59,5 +60,26 @@ test ! -f "$SHARD_TMP/run/shard_1.jsonl"
 grep -q "shard 0/3: reusing checkpoint" "$SHARD_TMP/coord.log"
 cmp "$SHARD_TMP/full.jsonl" "$SHARD_TMP/coord.jsonl"
 cmp "$SHARD_TMP/full.jsonl" "$SHARD_TMP/run/merged.jsonl"
+
+echo "== serve smoke (submit fig10 twice: cold compute, then cache hit; both byte == meshopt fig)"
+"$SHARD_TMP/meshopt" serve -addr 127.0.0.1:0 -cache "$SHARD_TMP/cache" \
+    >"$SHARD_TMP/serve.out" 2>"$SHARD_TMP/serve.log" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 100); do
+    ADDR="$(sed -n 's/.*listening on \(http:[^ ]*\).*/\1/p' "$SHARD_TMP/serve.out")"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+test -n "$ADDR" || { cat "$SHARD_TMP/serve.log" >&2; exit 1; }
+"$SHARD_TMP/meshopt" submit 10 -addr "$ADDR" -scale quick -seed 4 \
+    -o "$SHARD_TMP/sub1.jsonl" >/dev/null 2>"$SHARD_TMP/sub1.log"
+"$SHARD_TMP/meshopt" submit 10 -addr "$ADDR" -scale quick -seed 4 \
+    -o "$SHARD_TMP/sub2.jsonl" >/dev/null 2>"$SHARD_TMP/sub2.log"
+grep -q "cache: hit" "$SHARD_TMP/sub2.log"
+cmp "$SHARD_TMP/full.jsonl" "$SHARD_TMP/sub1.jsonl"
+cmp "$SHARD_TMP/full.jsonl" "$SHARD_TMP/sub2.jsonl"
+kill "$SERVE_PID" && wait "$SERVE_PID" 2>/dev/null
+SERVE_PID=""
 
 echo "CI OK"
