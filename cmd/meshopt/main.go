@@ -35,11 +35,16 @@
 // `-workers 4` spawns four local `meshopt work` subprocesses, while
 // `-workers 'ssh mesh{slot} meshopt work'` (with `-slots n`) fans out
 // over any transport whose command speaks the `meshopt work` stdio
-// protocol. Shard streams are merged live in cell order; completed
-// shards checkpoint into the run directory, failed workers are retried
-// with bounded backoff, and re-running the same command resumes the run,
-// re-dispatching only missing or invalid shards. run/merged.jsonl (and
-// -o) is byte-identical to the unsharded `meshopt fig` stream.
+// protocol. Workers are long-lived — one process serves many shard
+// requests, amortizing startup and warm caches across dispatches. Shard
+// streams are merged live in cell order; completed shards checkpoint
+// into the run directory, failed workers are retried with bounded,
+// jittered backoff (`-backoff`, `-backoff-cap`, `-jitter`), a stalled
+// shard can be stolen to a free slot (`-steal-after`), Ctrl-C stops the
+// run at the next cell boundary, and re-running the same command
+// resumes the run, re-dispatching only missing or invalid shards.
+// run/merged.jsonl (and -o) is byte-identical to the unsharded
+// `meshopt fig` stream.
 //
 //	meshopt coord 10 -shards 6 -workers 3 -dir run/   # quickstart
 //	meshopt coord 10 -shards 6 -workers 3 -dir run/   # ...resume after a crash
@@ -68,8 +73,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
+	"syscall"
 	"time"
 
 	"repro/internal/dist"
@@ -361,9 +368,9 @@ func runMerge(args []string) int {
 	return 0
 }
 
-// runWork implements the `work` subcommand: serve one shard dispatch on
-// stdin/stdout for a `meshopt coord` coordinator (local subprocess, ssh,
-// k8s exec, ...).
+// runWork implements the `work` subcommand: a long-lived worker serving
+// shard dispatches on stdin/stdout for a `meshopt coord` coordinator
+// (local subprocess, ssh, k8s exec, ...) until stdin closes.
 func runWork() int {
 	if err := dist.ServeWork(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -385,6 +392,10 @@ func runCoord(args []string) int {
 	dir := fs.String("dir", "", "run directory for checkpoints and the merged output (required)")
 	retries := fs.Int("retries", 3, "dispatch attempts per shard before the run gives up (>= 1)")
 	timeout := fs.Duration("timeout", 0, "per-attempt timeout (0 = none); set for remote pools where a wedged transport would hold its slot forever")
+	backoff := fs.Duration("backoff", 200*time.Millisecond, "base retry delay; attempt n waits n×backoff")
+	backoffCap := fs.Duration("backoff-cap", 0, "maximum retry delay (0 = 5×backoff)")
+	jitter := fs.Float64("jitter", 0, "randomize each retry delay downward by up to this fraction (0..1, deterministic per job seed)")
+	stealAfter := fs.Duration("steal-after", 0, "work stealing: kill and re-dispatch the shard gating the merge frontier after it stalls this long with a free slot available (0 = off)")
 	out := fs.String("o", "", "also copy the merged records to this file")
 	watch := fs.Bool("watch", false, "render a live progress line (cells merged, shards done) on stderr instead of the shard log")
 	fs.Usage = func() {
@@ -422,7 +433,15 @@ func runCoord(args []string) int {
 		return 2
 	}
 
-	o := dist.Options{MaxAttempts: *retries, AttemptTimeout: *timeout, Log: os.Stderr}
+	o := dist.Options{
+		MaxAttempts:    *retries,
+		AttemptTimeout: *timeout,
+		Backoff:        *backoff,
+		BackoffCap:     *backoffCap,
+		Jitter:         *jitter,
+		StealAfter:     *stealAfter,
+		Log:            os.Stderr,
+	}
 	if n, err := strconv.Atoi(*workers); err == nil && *workers != "" {
 		o.Slots = n
 	} else if *workers != "" {
@@ -452,8 +471,13 @@ func runCoord(args []string) int {
 		Scale:      *scaleName,
 		Shards:     *shards,
 	}
+	// SIGINT/SIGTERM cancels the run: in-flight workers are killed at
+	// the next cell boundary and completed shards stay checkpointed, so
+	// rerunning the same command resumes. A second signal kills hard.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	start := time.Now()
-	rep, err := dist.Run(context.Background(), job, *dir, o)
+	rep, err := dist.Run(ctx, job, *dir, o)
 	if *watch {
 		fmt.Fprintln(os.Stderr)
 	}

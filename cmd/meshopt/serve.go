@@ -30,6 +30,7 @@ func runServe(args []string) int {
 	jobs := fs.Int("jobs", 2, "max concurrently executing jobs; further submissions queue FIFO")
 	workers := fs.Int("workers", 0, "in-process worker pool size; 0 = GOMAXPROCS")
 	slots := fs.Int("slots", 0, "worker slots for sharded (shards>1) jobs; 0 = coordinator default")
+	jobTTL := fs.Duration("job-ttl", 0, "evict terminal jobs from the in-memory table after this long (their cache entries keep serving resubmissions); 0 = never")
 	imports := fs.String("import", "", "comma-separated coordinator run directories to import as cache entries at startup")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: meshopt serve -cache dir [-addr :8080] [-jobs n] [-workers n]")
@@ -45,6 +46,7 @@ func runServe(args []string) int {
 		CacheDir: *cacheDir,
 		MaxJobs:  *jobs,
 		Slots:    *slots,
+		JobTTL:   *jobTTL,
 		Log:      os.Stderr,
 	})
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/dist/fault"
 	"repro/internal/experiments/exp"
 	"repro/internal/scenario/sink"
 )
@@ -29,18 +30,38 @@ type Options struct {
 	Slots int
 	// MaxAttempts bounds how often one shard is dispatched before the
 	// run gives up (default 3). Exhausting it fails the run but leaves
-	// every completed shard checkpointed for a resume.
+	// every completed shard checkpointed for a resume. Steal
+	// re-dispatches do not count against it (they are bounded
+	// separately, by the same number).
 	MaxAttempts int
 	// Backoff is the base retry delay (default 200ms); attempt n waits
-	// n×Backoff, capped at 5×Backoff.
+	// n×Backoff, capped at BackoffCap.
 	Backoff time.Duration
+	// BackoffCap caps the retry delay; 0 means 5×Backoff.
+	BackoffCap time.Duration
+	// Jitter randomizes each retry delay downward by up to this
+	// fraction (0..1), so a pool of shards that failed together does
+	// not retry in lockstep. The jitter is a deterministic hash of
+	// (job seed, shard, attempt): reproducible for a given job, spread
+	// across shards.
+	Jitter float64
 	// AttemptTimeout bounds one shard dispatch; 0 means no bound. Set
 	// it for remote pools where a wedged transport would otherwise hold
 	// its slot forever (the hang is then killed and retried like any
 	// other worker failure).
 	AttemptTimeout time.Duration
+	// StealAfter enables work stealing: when the merge frontier has not
+	// advanced for this long and a worker slot is free, the attempt
+	// serving the frontier's shard is killed and the whole residue
+	// class re-dispatched. The thief re-streams the class from cell 0;
+	// the prefix the victim already merged is verified against the
+	// running hash and skipped, so a steal can never change the merged
+	// bytes. 0 disables stealing.
+	StealAfter time.Duration
 	// Spawner launches workers; nil uses SelfSpawner (local `work`
-	// subprocesses of this binary).
+	// subprocesses of this binary). Workers are long-lived: each slot's
+	// worker is kept across dispatches and only respawned after a
+	// failure, kill, or steal.
 	Spawner Spawner
 	// Log receives human-readable progress; nil discards it.
 	Log io.Writer
@@ -75,7 +96,9 @@ type Report struct {
 	Cells    int   // cell-enumeration size
 	Reused   []int // shards restored from valid checkpoints
 	Ran      []int // shards dispatched this run
-	Attempts []int // per-shard dispatch counts this run
+	Attempts []int // per-shard dispatch counts this run (steals included)
+	Steals   []int // per-shard steal re-dispatches this run
+	Spawns   int   // worker processes spawned (long-lived: usually ≤ slots)
 	Result   exp.Result
 }
 
@@ -85,12 +108,44 @@ type fatalError struct{ error }
 
 func (e fatalError) Unwrap() error { return e.error }
 
+// errStolen is the cancellation cause the steal monitor injects into a
+// stalled attempt; the dispatch loop re-dispatches immediately (no
+// backoff) instead of counting it as a failed attempt.
+var errStolen = errors.New("dist: attempt stolen (merge frontier stalled)")
+
+// retryDelay is the bounded, jittered retry schedule: attempt n waits
+// n×base capped at cap, shortened by up to jitter×delay using a
+// deterministic hash of (seed, shard, attempt) — reproducible, but
+// decorrelated across shards.
+func retryDelay(base, cap time.Duration, jitter float64, seed int64, shard, attempt int) time.Duration {
+	if cap <= 0 {
+		cap = 5 * base
+	}
+	d := time.Duration(attempt) * base
+	if d > cap {
+		d = cap
+	}
+	if jitter > 0 {
+		if jitter > 1 {
+			jitter = 1
+		}
+		u := float64(fault.Mix64(uint64(seed), uint64(shard), uint64(attempt))>>11) / (1 << 53)
+		d = time.Duration(float64(d) * (1 - jitter*u))
+	}
+	return d
+}
+
 // Run executes (or resumes) a sharded experiment run in dir. It
 // validates the manifest and any checkpointed shards, dispatches the
-// missing residue classes over the worker slots, live-merges every
-// shard stream in cell order into dir/merged.jsonl, and returns the
-// reduction. The merged bytes are byte-identical to an unsharded run of
-// the same job.
+// missing residue classes over a pool of long-lived worker slots,
+// live-merges every shard stream in cell order into dir/merged.jsonl,
+// and returns the reduction. The merged bytes are byte-identical to an
+// unsharded run of the same job — for any slot count, failure schedule,
+// steal schedule, or resume point.
+//
+// Cancelling ctx stops the run promptly: in-flight workers are killed,
+// no new attempts start, and every shard completed so far stays
+// checkpointed, so rerunning with the same directory resumes.
 func Run(ctx context.Context, job Job, dir string, o Options) (*Report, error) {
 	if job.Shards < 1 {
 		return nil, fmt.Errorf("dist: need at least 1 shard (got %d)", job.Shards)
@@ -126,7 +181,7 @@ func Run(ctx context.Context, job Job, dir string, o Options) (*Report, error) {
 		return nil, err
 	}
 
-	rep := &Report{Cells: cells, Attempts: make([]int, job.Shards)}
+	rep := &Report{Cells: cells, Attempts: make([]int, job.Shards), Steals: make([]int, job.Shards)}
 	var pending []int
 	for i := 0; i < job.Shards; i++ {
 		if n, _, ok := ValidateRecordsFile(shardPath(dir, i)); ok {
@@ -161,13 +216,21 @@ func Run(ctx context.Context, job Job, dir string, o Options) (*Report, error) {
 		merger:     merger,
 		states:     make([]*shardState, job.Shards),
 		replays:    make(map[int]*replayCursor),
+		cancels:    make([]context.CancelCauseFunc, job.Shards),
 		shardsDone: len(rep.Reused),
+		pool: &workerPool{
+			ctx:     ctx,
+			spawner: o.Spawner,
+			log:     o.Log,
+			slots:   make([]*poolWorker, o.Slots),
+		},
 	}
 	for i := range r.states {
 		r.states[i] = &shardState{h: sha256.New()}
 	}
 	defer r.merger.Abort() // no-op after a successful Finish
 	defer r.closeReplays()
+	defer r.pool.close()
 
 	// Checkpointed shards replay lazily: each file is opened as a
 	// cursor and read only as the merge frontier demands its cells, so
@@ -195,6 +258,11 @@ func Run(ctx context.Context, job Job, dir string, o Options) (*Report, error) {
 	for s := 0; s < o.Slots; s++ {
 		slots <- s
 	}
+	if o.StealAfter > 0 && len(pending) > 0 {
+		stopSteal := make(chan struct{})
+		defer close(stopSteal)
+		go r.stealLoop(stopSteal, slots)
+	}
 	var (
 		wg       sync.WaitGroup
 		failMu   sync.Mutex
@@ -210,7 +278,8 @@ func Run(ctx context.Context, job Job, dir string, o Options) (*Report, error) {
 		go func(shard int) {
 			defer wg.Done()
 			var lastErr error
-			for attempt := 1; attempt <= o.MaxAttempts; attempt++ {
+			attempt, steals := 1, 0
+			for attempt <= o.MaxAttempts {
 				var slot int
 				select {
 				case slot = <-slots:
@@ -219,19 +288,31 @@ func Run(ctx context.Context, job Job, dir string, o Options) (*Report, error) {
 					return
 				}
 				rep.Attempts[shard]++
-				err := r.attempt(ctx, shard, slot)
+				err := r.attempt(ctx, shard, slot, rep.Attempts[shard])
 				slots <- slot
 				if err == nil {
 					return
 				}
 				lastErr = err
+				if errors.Is(err, errStolen) && steals < o.MaxAttempts {
+					// A steal is not a worker failure: re-dispatch the
+					// residue class immediately (its merged prefix will
+					// be verified and skipped), without burning an
+					// attempt or backing off. Bounded so a shard that
+					// keeps stalling cannot steal forever.
+					steals++
+					rep.Steals[shard]++
+					fmt.Fprintf(o.Log, "shard %d/%d: stalled attempt killed, re-dispatching (steal %d)\n", shard, job.Shards, steals)
+					continue
+				}
 				fmt.Fprintf(o.Log, "shard %d/%d attempt %d failed: %v\n", shard, job.Shards, attempt, err)
 				var fe fatalError
 				if ctx.Err() != nil || errors.As(err, &fe) {
 					break
 				}
-				if attempt < o.MaxAttempts {
-					d := min(time.Duration(attempt)*o.Backoff, 5*o.Backoff)
+				attempt++
+				if attempt <= o.MaxAttempts {
+					d := retryDelay(o.Backoff, o.BackoffCap, o.Jitter, job.Seed, shard, attempt-1)
 					select {
 					case <-time.After(d):
 					case <-ctx.Done():
@@ -242,6 +323,7 @@ func Run(ctx context.Context, job Job, dir string, o Options) (*Report, error) {
 		}(shard)
 	}
 	wg.Wait()
+	rep.Spawns = r.pool.spawnCount()
 
 	if len(failures) > 0 {
 		return rep, fmt.Errorf("dist: run incomplete (completed shards stay checkpointed in %s; rerun with the same directory to resume): %w",
@@ -273,6 +355,166 @@ type run struct {
 	states     []*shardState
 	replays    map[int]*replayCursor
 	shardsDone int // checkpointed shards (reused + completed this run)
+	pool       *workerPool
+
+	cancelMu sync.Mutex
+	cancels  []context.CancelCauseFunc // live attempt cancel per shard (steal hook)
+}
+
+// poolWorker is one live worker bound to a slot, with its persistent
+// line scanner (the scanner owns read buffering, so it must survive
+// across the requests the worker serves).
+type poolWorker struct {
+	w  *Worker
+	sc *bufio.Scanner
+}
+
+// workerPool keeps one long-lived worker per slot, spawned lazily and
+// kept across dispatches. Any failure retires the slot's worker (kill +
+// reap); the next dispatch on that slot spawns a fresh one.
+type workerPool struct {
+	ctx     context.Context
+	spawner Spawner
+	log     io.Writer
+	mu      sync.Mutex
+	slots   []*poolWorker
+	spawns  int
+}
+
+// acquire returns the slot's live worker, spawning one if the slot is
+// empty. A freshly spawned worker's first output line is its #ready
+// heartbeat; a pooled worker's stream is positioned just before the
+// #ready it wrote after its previous request — either way the next line
+// the caller reads is #ready.
+func (p *workerPool) acquire(slot int) (*poolWorker, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if pw := p.slots[slot]; pw != nil {
+		return pw, nil
+	}
+	w, err := p.spawner.Spawn(p.ctx, slot)
+	if err != nil {
+		return nil, err
+	}
+	p.spawns++
+	fmt.Fprintf(p.log, "slot %d: spawned worker (%d total)\n", slot, p.spawns)
+	pw := &poolWorker{w: w, sc: sink.NewLineScanner(w.Out)}
+	p.slots[slot] = pw
+	return pw, nil
+}
+
+// retire kills and reaps the slot's worker if it is still pw (idempotent
+// per worker generation: watchdogs and error paths may race). It returns
+// the reaped worker's exit error, or nil if pw was already retired.
+func (p *workerPool) retire(slot int, pw *poolWorker) error {
+	p.mu.Lock()
+	if p.slots[slot] != pw {
+		p.mu.Unlock()
+		return nil
+	}
+	p.slots[slot] = nil
+	p.mu.Unlock()
+	pw.w.Kill()
+	pw.w.In.Close()
+	pw.w.Out.Close()
+	return pw.w.Wait()
+}
+
+// close shuts the pool down: close every live worker's stdin (the clean
+// shutdown signal), kill as a backstop, and reap.
+func (p *workerPool) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for slot, pw := range p.slots {
+		if pw == nil {
+			continue
+		}
+		p.slots[slot] = nil
+		pw.w.In.Close()
+		pw.w.Kill()
+		pw.w.Out.Close()
+		pw.w.Wait()
+	}
+}
+
+func (p *workerPool) spawnCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.spawns
+}
+
+// setCancel publishes (or clears) the live attempt's cancel for a shard
+// so the steal monitor can kill it.
+func (r *run) setCancel(shard int, c context.CancelCauseFunc) {
+	r.cancelMu.Lock()
+	r.cancels[shard] = c
+	r.cancelMu.Unlock()
+}
+
+func (r *run) getCancel(shard int) context.CancelCauseFunc {
+	r.cancelMu.Lock()
+	defer r.cancelMu.Unlock()
+	return r.cancels[shard]
+}
+
+// liveAttempts counts attempts currently in flight.
+func (r *run) liveAttempts() int {
+	r.cancelMu.Lock()
+	defer r.cancelMu.Unlock()
+	n := 0
+	for _, c := range r.cancels {
+		if c != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// stealLoop watches the merge frontier; when it has not advanced for
+// StealAfter and a worker slot is free, the attempt serving the
+// frontier's shard is cancelled with errStolen, which kills its worker
+// and triggers an immediate re-dispatch of the residue class.
+func (r *run) stealLoop(stop <-chan struct{}, slots chan int) {
+	period := r.o.StealAfter / 4
+	if period < 5*time.Millisecond {
+		period = 5 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	last, lastAdvance := -1, time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		r.mu.Lock()
+		f := r.merger.Frontier()
+		r.mu.Unlock()
+		if f != last {
+			last, lastAdvance = f, time.Now()
+			continue
+		}
+		if f >= r.cells || time.Since(lastAdvance) < r.o.StealAfter {
+			continue
+		}
+		if len(slots) == 0 && r.liveAttempts() > 1 {
+			// No free slot and other shards are using them: a steal
+			// would just queue behind healthy work. When the stalled
+			// attempt is the only one left, its own slot frees the
+			// moment it is killed, so stealing is always productive.
+			continue
+		}
+		shard := f % r.job.Shards
+		cancel := r.getCancel(shard)
+		if cancel == nil {
+			continue // frontier shard not dispatched right now
+		}
+		fmt.Fprintf(r.o.Log, "shard %d/%d: frontier stalled at cell %d for %s, stealing\n",
+			shard, r.job.Shards, f, r.o.StealAfter)
+		cancel(errStolen)
+		lastAdvance = time.Now() // give the thief a full stall window
+	}
 }
 
 // report publishes a progress observation. Called with r.mu held.
@@ -359,9 +601,9 @@ func (r *run) closeReplays() {
 }
 
 // shardState tracks how much of a shard's deterministic stream has been
-// merged, across that shard's attempts: a retry re-produces the same
-// bytes, so its first pushed lines are verified against the running
-// hash and skipped instead of re-merged.
+// merged, across that shard's attempts: a retry (or a steal's thief)
+// re-produces the same bytes, so its first pushed lines are verified
+// against the running hash and skipped instead of re-merged.
 type shardState struct {
 	pushed int
 	h      hash.Hash // sha256 over the pushed lines ('\n' included)
@@ -371,35 +613,49 @@ func shardPath(dir string, shard int) string {
 	return filepath.Join(dir, fmt.Sprintf("shard_%d.jsonl", shard))
 }
 
-// attempt runs one worker for one shard: stream its records into the
-// checkpoint file and the live merger, verify the completion marker,
-// and finalize the checkpoint atomically.
-func (r *run) attempt(ctx context.Context, shard, slot int) error {
+// attempt runs one dispatch for one shard on the slot's long-lived
+// worker: consume the worker's #ready heartbeat, send the request,
+// stream the shard's records into the checkpoint file and the live
+// merger, verify the completion marker, and finalize the checkpoint
+// atomically. On success the worker stays pooled for the next dispatch;
+// on any failure — including a deadline kill or a steal — it is retired
+// and the slot respawns lazily.
+func (r *run) attempt(ctx context.Context, shard, slot, dispatch int) error {
+	actx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
 	if r.o.AttemptTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, r.o.AttemptTimeout)
-		defer cancel()
+		var tcancel context.CancelFunc
+		actx, tcancel = context.WithTimeout(actx, r.o.AttemptTimeout)
+		defer tcancel()
 	}
-	stdin, stdout, wait, err := r.o.Spawner.Spawn(ctx, slot)
+
+	pw, err := r.pool.acquire(slot)
 	if err != nil {
 		return err
 	}
-	req, err := json.Marshal(workRequest{Job: r.job, Shard: exp.Shard{Index: shard, Count: r.job.Shards}})
+	// The watchdog turns any cancellation — per-attempt deadline, a
+	// steal, run cancellation — into a worker kill, which unblocks the
+	// read loop below with EOF. Stopped on the success path before the
+	// cancel is cleared, so a racing steal cannot kill a worker whose
+	// shard already completed.
+	stopWatch := context.AfterFunc(actx, func() { r.pool.retire(slot, pw) })
+	defer stopWatch()
+	r.setCancel(shard, cancel)
+	defer r.setCancel(shard, nil)
+
+	req, err := json.Marshal(workRequest{
+		Job:     r.job,
+		Shard:   exp.Shard{Index: shard, Count: r.job.Shards},
+		Attempt: dispatch,
+	})
 	if err != nil {
 		return err
 	}
-	if _, err := stdin.Write(append(req, '\n')); err != nil {
-		stdout.Close()
-		wait()
-		return fmt.Errorf("sending job: %w", err)
-	}
-	stdin.Close()
 
 	part := shardPath(r.dir, shard) + ".part"
 	pf, err := os.Create(part)
 	if err != nil {
-		stdout.Close()
-		wait()
+		r.pool.retire(slot, pw)
 		return err
 	}
 	defer pf.Close()
@@ -409,17 +665,35 @@ func (r *run) attempt(ctx context.Context, shard, slot int) error {
 	prefixSum := st.h.Sum(nil)
 	vh := sha256.New() // re-hash of the replayed prefix
 	var (
-		seen    int
-		done    bool
-		doneN   int
-		doneSum string
-		workErr error
+		seen        int
+		expectReady = true
+		done        bool
+		doneN       int
+		doneSum     string
+		workErr     error
 	)
-	sc := sink.NewLineScanner(stdout)
-	for sc.Scan() {
-		line := sc.Bytes()
+	for pw.sc.Scan() {
+		line := pw.sc.Bytes()
 		if len(line) == 0 {
 			continue
+		}
+		if expectReady {
+			// The idle heartbeat: present both on a fresh spawn and on
+			// a pooled worker (written after its previous request). The
+			// request is dispatched only once the heartbeat arrives —
+			// the worker is then guaranteed to be blocked reading its
+			// stdin, so the write cannot deadlock even over synchronous
+			// in-process pipes.
+			if string(line) == ReadyMarker {
+				expectReady = false
+				if _, err := pw.w.In.Write(append(req, '\n')); err != nil {
+					workErr = fmt.Errorf("sending job: %w", err)
+					break
+				}
+				continue
+			}
+			workErr = fmt.Errorf("worker: expected %s heartbeat, got %q", ReadyMarker, line)
+			break
 		}
 		if line[0] == '#' {
 			s := string(line)
@@ -462,33 +736,48 @@ func (r *run) attempt(ctx context.Context, shard, slot int) error {
 		seen++
 	}
 	if workErr == nil {
-		workErr = sc.Err()
+		workErr = pw.sc.Err()
 	}
-	if workErr == nil {
-		// The stream is at EOF (or the marker); drain any trailing
-		// bytes so the worker never blocks on a full pipe.
-		io.Copy(io.Discard, stdout)
-	}
-	// On a merge-side error the worker may be healthy and mid-shard:
-	// closing its stdout kills it now instead of draining a whole
-	// residue class before the retry.
-	stdout.Close()
-	waitErr := wait()
 
+	var attemptErr error
 	switch {
 	case workErr != nil:
-		return workErr
+		attemptErr = workErr
 	case !done:
-		if waitErr != nil {
-			return fmt.Errorf("worker died without completion marker: %w", waitErr)
-		}
-		return fmt.Errorf("worker stream ended without completion marker")
+		attemptErr = fmt.Errorf("worker stream ended without completion marker")
 	case seen < prefix:
-		return fatalError{fmt.Errorf("retried shard %d streamed %d lines, fewer than the %d already merged — determinism violation, not retryable", shard, seen, prefix)}
+		attemptErr = fatalError{fmt.Errorf("retried shard %d streamed %d lines, fewer than the %d already merged — determinism violation, not retryable", shard, seen, prefix)}
 	case doneN != st.pushed || doneSum != hex.EncodeToString(st.h.Sum(nil)):
-		return fmt.Errorf("completion marker mismatch: worker declared %d records (%s), coordinator merged %d (%s)",
+		attemptErr = fmt.Errorf("completion marker mismatch: worker declared %d records (%s), coordinator merged %d (%s)",
 			doneN, doneSum, st.pushed, hex.EncodeToString(st.h.Sum(nil)))
 	}
+	if attemptErr != nil {
+		// The worker may be dead (crash, kill) or healthy-but-unusable
+		// (merge error mid-stream): either way its residual stream state
+		// is unknown, so retire it and let the slot respawn.
+		waitErr := r.pool.retire(slot, pw)
+		var fe fatalError
+		if errors.As(attemptErr, &fe) {
+			return attemptErr
+		}
+		if cause := context.Cause(actx); cause != nil {
+			switch {
+			case errors.Is(cause, errStolen):
+				return fmt.Errorf("shard %d dispatch %d: %w", shard, dispatch, errStolen)
+			case errors.Is(cause, context.DeadlineExceeded):
+				return fmt.Errorf("attempt deadline (%s) exceeded, worker killed: %w", r.o.AttemptTimeout, cause)
+			}
+		}
+		if !done && waitErr != nil {
+			return fmt.Errorf("worker died without completion marker: %w (stream: %v)", waitErr, attemptErr)
+		}
+		return attemptErr
+	}
+
+	// Success: stop the watchdog and clear the steal hook before
+	// touching shared completion state; the worker stays pooled.
+	stopWatch()
+	cancel(nil)
 
 	if err := pf.Sync(); err != nil {
 		return err

@@ -1,11 +1,8 @@
 package dist
 
 import (
-	"bufio"
 	"bytes"
 	"context"
-	"encoding/json"
-	"errors"
 	"io"
 	"os"
 	"path/filepath"
@@ -15,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/dist/fault"
 	_ "repro/internal/experiments" // register the figure suites
 	"repro/internal/experiments/exp"
 	"repro/internal/scenario"
@@ -59,77 +57,61 @@ func (toyDist) Reduce(recs <-chan sink.Record) exp.Result {
 
 func init() { exp.Register(toyDist{n: 10}) }
 
-// fault is one injected worker behavior for a single attempt.
-type fault struct {
-	cutAfter int  // emit this many record lines, then cut the stream (no marker)
-	hang     bool // emit nothing and block until the context is cancelled
-}
-
-// testSpawner serves workers in-process over pipes, consuming one
-// injected fault per attempt per shard (head-first), then behaving.
+// testSpawner serves long-lived workers in-process over pipes, driving
+// ServeWorkOn under an explicit fault schedule — the same injector the
+// subprocess path reads from MESHOPT_FAULT.
 type testSpawner struct {
+	sched  *fault.Schedule
 	mu     sync.Mutex
-	faults map[int][]fault
+	spawns int
 }
 
-func (s *testSpawner) takeFault(shard int) *fault {
+// mustSchedule parses a fault spec or dies.
+func mustSchedule(t *testing.T, spec string) *fault.Schedule {
+	t.Helper()
+	s, err := fault.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func (s *testSpawner) spawnCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	fs := s.faults[shard]
-	if len(fs) == 0 {
-		return nil
-	}
-	f := fs[0]
-	s.faults[shard] = fs[1:]
-	return &f
+	return s.spawns
 }
 
-func (s *testSpawner) Spawn(ctx context.Context, slot int) (io.WriteCloser, io.ReadCloser, func() error, error) {
+func (s *testSpawner) Spawn(ctx context.Context, slot int) (*Worker, error) {
+	s.mu.Lock()
+	s.spawns++
+	s.mu.Unlock()
 	inR, inW := io.Pipe()
 	outR, outW := io.Pipe()
+	release := make(chan struct{})
+	var once sync.Once
+	kill := func() {
+		once.Do(func() {
+			// An in-process "SIGKILL": release any hanging injected
+			// fault and poison both pipes so worker-side reads and
+			// writes fail, which aborts its exp.Run at the next cell
+			// boundary via the sink-error cancellation path.
+			close(release)
+			inR.CloseWithError(io.ErrClosedPipe)
+			outW.CloseWithError(io.ErrClosedPipe)
+		})
+	}
 	done := make(chan error, 1)
 	go func() {
-		defer outW.Close()
-		br := bufio.NewReader(inR)
-		line, err := br.ReadBytes('\n')
-		if len(line) == 0 && err != nil {
-			done <- err
-			return
+		err := ServeWorkOn(inR, outW, s.sched, release)
+		if err != nil {
+			outW.CloseWithError(err)
+		} else {
+			outW.Close()
 		}
-		var req workRequest
-		if err := json.Unmarshal(line, &req); err != nil {
-			done <- err
-			return
-		}
-		f := s.takeFault(req.Shard.Index)
-		if f != nil && f.hang {
-			<-ctx.Done()
-			done <- ctx.Err()
-			return
-		}
-		if f != nil {
-			// Serve the shard fully, then forward only a prefix: the
-			// stream a killed worker would have left behind.
-			var buf bytes.Buffer
-			if err := serveShard(req, &buf); err != nil {
-				done <- err
-				return
-			}
-			n := 0
-			for _, l := range bytes.SplitAfter(buf.Bytes(), []byte{'\n'}) {
-				if n >= f.cutAfter || len(l) == 0 || l[0] == '#' {
-					break
-				}
-				outW.Write(l)
-				n++
-			}
-			done <- errors.New("injected worker kill")
-			return
-		}
-		done <- serveShard(req, outW)
+		done <- err
 	}()
-	wait := func() error { inR.Close(); return <-done }
-	return inW, outR, wait, nil
+	return &Worker{In: inW, Out: outR, Kill: kill, Wait: func() error { return <-done }}, nil
 }
 
 // unsharded renders the job's byte stream and reduction in-process.
@@ -184,20 +166,39 @@ func TestCoordByteIdenticalAcrossSlotCounts(t *testing.T) {
 	}
 }
 
+func TestCoordLongLivedWorkerServesManyShards(t *testing.T) {
+	// One slot, three shards: the long-lived protocol must serve all
+	// three requests over a single spawned worker (the point of the
+	// refactor: per-process startup — and warm in-process caches like
+	// fig10's probe phase — paid once per worker, not per shard).
+	sp := &testSpawner{}
+	rep := checkRun(t, toyJob(3), t.TempDir(), Options{Slots: 1, Spawner: sp})
+	if sp.spawnCount() != 1 {
+		t.Fatalf("3 shards over 1 slot spawned %d workers, want 1", sp.spawnCount())
+	}
+	if rep.Spawns != 1 {
+		t.Fatalf("report says %d spawns, want 1", rep.Spawns)
+	}
+}
+
 func TestCoordRetriesFlakyWorker(t *testing.T) {
 	// Shard 1's worker is killed after 2 records on its first two
 	// attempts; the third succeeds. The retried stream's already-merged
 	// prefix is verified and skipped, and the final bytes are identical.
-	sp := &testSpawner{faults: map[int][]fault{1: {{cutAfter: 2}, {cutAfter: 2}}}}
+	sp := &testSpawner{sched: mustSchedule(t, "1/kill@2x2")}
 	rep := checkRun(t, toyJob(2), t.TempDir(), Options{Slots: 2, Spawner: sp, Backoff: 1})
 	if rep.Attempts[1] != 3 {
 		t.Fatalf("shard 1 took %d attempts, want 3", rep.Attempts[1])
+	}
+	// Every kill retires the slot's worker, so the pool respawned.
+	if sp.spawnCount() < 3 {
+		t.Fatalf("expected at least 3 spawns (2 killed + respawn), got %d", sp.spawnCount())
 	}
 }
 
 func TestCoordGivesUpAfterMaxAttempts(t *testing.T) {
 	dir := t.TempDir()
-	sp := &testSpawner{faults: map[int][]fault{1: {{cutAfter: 1}, {cutAfter: 1}}}}
+	sp := &testSpawner{sched: mustSchedule(t, "1/kill@1x2")}
 	_, err := Run(context.Background(), toyJob(3), dir, Options{Slots: 3, Spawner: sp, MaxAttempts: 2, Backoff: 1})
 	if err == nil || !strings.Contains(err.Error(), "shard 1/3 failed after 2 attempt(s)") {
 		t.Fatalf("err = %v", err)
@@ -222,7 +223,7 @@ func TestCoordAttemptTimeoutUnwedgesHungWorker(t *testing.T) {
 	// Shard 1's first worker hangs (stream open, no records). With an
 	// AttemptTimeout the hang is killed like any other failure and the
 	// retry completes the run.
-	sp := &testSpawner{faults: map[int][]fault{1: {{hang: true}}}}
+	sp := &testSpawner{sched: mustSchedule(t, "1/hang@0x1")}
 	rep := checkRun(t, toyJob(2), t.TempDir(), Options{
 		Slots:          2,
 		Spawner:        sp,
@@ -234,6 +235,73 @@ func TestCoordAttemptTimeoutUnwedgesHungWorker(t *testing.T) {
 	}
 }
 
+func TestCoordStealUnwedgesHungWorkerMidShard(t *testing.T) {
+	// Shard 1's first worker emits 2 of its 4 records (cells 1, 4 of 10
+	// over 3 shards... cells 1,4,7 for shard 1 of toyDist n=10), then
+	// wedges — with NO attempt timeout. The frontier stalls at the
+	// wedged shard's next cell; after StealAfter the steal monitor
+	// kills the attempt and re-dispatches the residue class. The
+	// thief's stream replays the 2 already-merged records, which are
+	// verified against the running SHA-256 and skipped, and the merged
+	// bytes stay identical to the unsharded run.
+	sp := &testSpawner{sched: mustSchedule(t, "1/hang@2x1")}
+	rep := checkRun(t, toyJob(3), t.TempDir(), Options{
+		Slots:      3,
+		Spawner:    sp,
+		Backoff:    1,
+		StealAfter: 50 * time.Millisecond,
+	})
+	if rep.Steals[1] == 0 {
+		t.Fatalf("shard 1 was never stolen (attempts %v, steals %v)", rep.Attempts, rep.Steals)
+	}
+	if rep.Attempts[1] < 2 {
+		t.Fatalf("shard 1 took %d dispatches, want >= 2", rep.Attempts[1])
+	}
+}
+
+func TestCoordCorruptStreamIsRetriedNotMerged(t *testing.T) {
+	// Shard 1's first attempt has record line 1 corrupted in transit
+	// (first byte flipped, after hashing). The line fails to decode, so
+	// it is never merged or checkpointed; the attempt fails and the
+	// clean retry produces identical bytes.
+	sp := &testSpawner{sched: mustSchedule(t, "1/corrupt@1x1")}
+	rep := checkRun(t, toyJob(2), t.TempDir(), Options{Slots: 2, Spawner: sp, Backoff: 1})
+	if rep.Attempts[1] != 2 {
+		t.Fatalf("shard 1 took %d attempts, want 2 (corrupt line must fail the attempt)", rep.Attempts[1])
+	}
+}
+
+func TestCoordStallThenRecoverNeedsNoRetry(t *testing.T) {
+	// A stall shorter than any deadline is just latency: the worker
+	// recovers and the run completes on first attempts.
+	sp := &testSpawner{sched: mustSchedule(t, "1/stall@1=30ms")}
+	rep := checkRun(t, toyJob(2), t.TempDir(), Options{Slots: 2, Spawner: sp})
+	if rep.Attempts[1] != 1 {
+		t.Fatalf("shard 1 took %d attempts, want 1", rep.Attempts[1])
+	}
+}
+
+func TestCoordCancelReturnsPromptly(t *testing.T) {
+	// Every shard hangs; cancelling the run context must kill the
+	// in-flight workers and return well within the ~2s budget instead
+	// of waiting out the fan-out.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sp := &testSpawner{sched: mustSchedule(t, "0/hang@0,1/hang@0,2/hang@0")}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := Run(ctx, toyJob(3), t.TempDir(), Options{Slots: 3, Spawner: sp})
+	if err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancelled run took %v to return, want < 2s", d)
+	}
+}
+
 func TestCoordKillAndResume(t *testing.T) {
 	// Simulated coordinator death: shards 1 and 2 hang until the
 	// context is cancelled — which happens the moment shard 0's
@@ -241,7 +309,7 @@ func TestCoordKillAndResume(t *testing.T) {
 	dir := t.TempDir()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	sp := &testSpawner{faults: map[int][]fault{1: {{hang: true}}, 2: {{hang: true}}}}
+	sp := &testSpawner{sched: mustSchedule(t, "1/hang@0,2/hang@0")}
 	_, err := Run(ctx, toyJob(3), dir, Options{
 		Slots:   3,
 		Spawner: sp,
@@ -327,6 +395,42 @@ func TestCoordInlineSpecJob(t *testing.T) {
 	checkRun(t, job, t.TempDir(), Options{Slots: 2, Spawner: &testSpawner{}})
 }
 
+func TestRetryDelaySchedule(t *testing.T) {
+	base := 100 * time.Millisecond
+	// Without jitter the schedule is exactly n×base capped at 5×base.
+	for n, want := range map[int]time.Duration{
+		1: 100 * time.Millisecond,
+		3: 300 * time.Millisecond,
+		5: 500 * time.Millisecond,
+		9: 500 * time.Millisecond,
+	} {
+		if got := retryDelay(base, 0, 0, 5, 1, n); got != want {
+			t.Errorf("attempt %d: delay %v, want %v", n, got, want)
+		}
+	}
+	// An explicit cap overrides the 5×base default.
+	if got := retryDelay(base, 250*time.Millisecond, 0, 5, 1, 9); got != 250*time.Millisecond {
+		t.Errorf("capped delay = %v, want 250ms", got)
+	}
+	// Jitter shortens deterministically: same inputs, same delay; the
+	// result stays within [d×(1-jitter), d] and differs across shards.
+	d1 := retryDelay(base, 0, 0.5, 5, 1, 2)
+	d2 := retryDelay(base, 0, 0.5, 5, 1, 2)
+	if d1 != d2 {
+		t.Fatalf("jittered delay not deterministic: %v vs %v", d1, d2)
+	}
+	if d1 < 100*time.Millisecond || d1 > 200*time.Millisecond {
+		t.Fatalf("jittered delay %v outside [100ms, 200ms]", d1)
+	}
+	distinct := map[time.Duration]bool{}
+	for shard := 0; shard < 8; shard++ {
+		distinct[retryDelay(base, 0, 0.5, 5, shard, 2)] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatal("jitter does not decorrelate shards")
+	}
+}
+
 // The acceptance gate on real figure suites: byte identity under an
 // injected worker failure (fig10) and under a mid-run kill + resume
 // (fig14).
@@ -335,7 +439,7 @@ func TestCoordFig10SurvivesWorkerFailure(t *testing.T) {
 		t.Skip("runs the fig10 suite several times")
 	}
 	job := Job{Experiment: "fig10", Seed: 4, Scale: "quick", Shards: 3}
-	sp := &testSpawner{faults: map[int][]fault{1: {{cutAfter: 2}}}}
+	sp := &testSpawner{sched: mustSchedule(t, "1/kill@2x1")}
 	rep := checkRun(t, job, t.TempDir(), Options{Slots: 2, Spawner: sp, Backoff: 1})
 	if rep.Attempts[1] != 2 {
 		t.Fatalf("shard 1 took %d attempts, want 2", rep.Attempts[1])
@@ -350,7 +454,7 @@ func TestCoordFig14KillAndResume(t *testing.T) {
 	job := Job{Experiment: "fig14", Seed: 9, Scale: "quick", Shards: 3}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	sp := &testSpawner{faults: map[int][]fault{1: {{hang: true}}, 2: {{hang: true}}}}
+	sp := &testSpawner{sched: mustSchedule(t, "1/hang@0,2/hang@0")}
 	_, err := Run(ctx, job, dir, Options{
 		Slots:   3,
 		Spawner: sp,

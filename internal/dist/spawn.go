@@ -10,13 +10,30 @@ import (
 	"strings"
 )
 
-// A Spawner launches one worker per shard attempt. The returned pipes
-// speak the stdio worker protocol; wait reaps the worker after its
-// stream is consumed (cancelling ctx must kill it). Implementations:
-// ExecSpawner for real processes, and the in-process pipe spawner the
-// fault tests use.
+// A Worker is one live worker process (or in-process equivalent)
+// attached to a slot, speaking the long-lived stdio protocol: requests
+// go down In, record/control lines come back on Out.
+type Worker struct {
+	In  io.WriteCloser
+	Out io.ReadCloser
+	// Kill hard-kills the worker: Out reaches EOF (or an error)
+	// promptly, unblocking any pending read. It must be idempotent and
+	// safe to call concurrently with reads and with Wait — the
+	// coordinator uses it for per-attempt deadlines, work stealing, and
+	// run cancellation.
+	Kill func()
+	// Wait reaps the worker after Kill or after In is closed; call it
+	// exactly once.
+	Wait func() error
+}
+
+// A Spawner launches long-lived workers, one per pool slot. Workers
+// serve many shard requests over their lifetime; the coordinator spawns
+// lazily, keeps healthy workers across requests, and respawns after a
+// kill or failure. Implementations: ExecSpawner for real processes, and
+// the in-process pipe spawners the fault tests and the serve layer use.
 type Spawner interface {
-	Spawn(ctx context.Context, slot int) (stdin io.WriteCloser, stdout io.ReadCloser, wait func() error, err error)
+	Spawn(ctx context.Context, slot int) (*Worker, error)
 }
 
 // ExecSpawner spawns workers as subprocesses. Argv maps a slot index to
@@ -27,22 +44,29 @@ type ExecSpawner struct {
 	Stderr io.Writer // worker stderr passthrough; nil discards
 }
 
-func (s *ExecSpawner) Spawn(ctx context.Context, slot int) (io.WriteCloser, io.ReadCloser, func() error, error) {
+func (s *ExecSpawner) Spawn(ctx context.Context, slot int) (*Worker, error) {
 	argv := s.Argv(slot)
 	cmd := exec.CommandContext(ctx, argv[0], argv[1:]...)
 	cmd.Stderr = s.Stderr
 	stdin, err := cmd.StdinPipe()
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	if err := cmd.Start(); err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
-	return stdin, stdout, cmd.Wait, nil
+	return &Worker{
+		In:  stdin,
+		Out: stdout,
+		// Process.Kill is idempotent enough for our purposes: after the
+		// process is reaped it returns ErrProcessDone, which we drop.
+		Kill: func() { _ = cmd.Process.Kill() },
+		Wait: cmd.Wait,
+	}, nil
 }
 
 // SelfSpawner returns an ExecSpawner that runs this binary's `work`

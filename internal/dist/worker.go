@@ -2,23 +2,34 @@ package dist
 
 import (
 	"bufio"
+	"bytes"
 	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
-	"os"
-	"strconv"
 	"strings"
 
+	"repro/internal/dist/fault"
 	"repro/internal/experiments/exp"
 	"repro/internal/scenario/sink"
 )
 
-// The stdio worker protocol. The coordinator writes one request line to
-// the worker's stdin; the worker streams its shard's record lines to
-// stdout — plain JSONL, byte-identical to a `meshopt fig -shard i/k`
-// run — terminated by exactly one control line:
+// The stdio worker protocol. A worker is long-lived: one `meshopt work`
+// process serves any number of shard requests over its lifetime, which
+// amortizes per-process startup and lets package-level caches (topology
+// construction, fig10's shared probe phase) warm once per worker instead
+// of once per attempt.
+//
+// On startup — and again after completing each request — the worker
+// writes the idle heartbeat line
+//
+//	#ready
+//
+// to stdout, telling the coordinator it may dispatch. The coordinator
+// then writes one request line to stdin; the worker streams that shard's
+// record lines to stdout — plain JSONL, byte-identical to a
+// `meshopt fig -shard i/k` run — terminated by exactly one control line:
 //
 //	#done records=<n> sha256=<hex>     success: n record lines whose
 //	                                   bytes (newlines included) hash
@@ -26,16 +37,31 @@ import (
 //	#error <message>                   failure (the stream before it is
 //	                                   a valid, verifiable prefix)
 //
+// After #done the worker writes #ready and waits for the next request;
+// EOF on stdin is the clean shutdown signal. Record lines are flushed
+// per record, so the coordinator's merge frontier (and its stall
+// detector, which drives work stealing) observes progress live.
+//
 // Control lines start with '#', which no record line can (records are
 // JSON objects), so the framing never needs escaping. A stream that
 // ends without a control line means the worker died; the coordinator
-// treats it like #error.
+// treats it like #error. Per-attempt deadlines are enforced on the
+// coordinator side by killing the worker process — a wedged worker is
+// indistinguishable from a dead one, and both are retried the same way.
 
-// workRequest is the one line the coordinator sends a worker.
+// workRequest is the one line the coordinator sends per dispatch.
 type workRequest struct {
 	Job   Job       `json:"job"`
 	Shard exp.Shard `json:"shard"`
+	// Attempt is the 1-based dispatch ordinal for this shard, carried so
+	// fault schedules (x<attempts> limits, seed-derived cut points) see
+	// the same attempt numbering the coordinator does.
+	Attempt int `json:"attempt,omitempty"`
 }
+
+// ReadyMarker is the idle heartbeat a worker emits on startup and after
+// every completed request: the coordinator's dispatch handshake.
+const ReadyMarker = "#ready"
 
 // DonePrefix starts the '#done records=N sha256=H' completion marker
 // terminating every checkpointed record stream. The marker makes the
@@ -62,77 +88,120 @@ func ParseDoneMarker(line string) (records int, sum string, err error) {
 	return records, sum, nil
 }
 
-// faultSpec is the MESHOPT_WORK_FAIL test hook: "<shard>@<records>"
-// makes a worker serving that shard die (stream cut, no marker, exit
-// nonzero) after emitting that many records. It exists so CI and the
-// fault tests can kill a worker mid-stream deterministically; it is not
-// part of the protocol.
-type faultSpec struct {
-	shard, after int
-}
-
-func parseFault(env string) *faultSpec {
-	parts := strings.SplitN(env, "@", 2)
-	if len(parts) != 2 {
-		return nil
-	}
-	shard, err1 := strconv.Atoi(parts[0])
-	after, err2 := strconv.Atoi(parts[1])
-	if err1 != nil || err2 != nil {
-		return nil
-	}
-	return &faultSpec{shard: shard, after: after}
-}
-
-// errInjected marks a MESHOPT_WORK_FAIL kill.
-var errInjected = errors.New("dist: injected worker fault (MESHOPT_WORK_FAIL)")
-
-// shardSink streams records as hashed, counted JSONL lines, dying at
-// the injected fault point if one is armed.
+// shardSink streams records as hashed, counted JSONL lines, flushed per
+// record so the coordinator observes progress live, applying any armed
+// fault injector at each record boundary.
 type shardSink struct {
 	jsonl *sink.JSONL
 	n     int
-	fault *faultSpec
+	inj   *fault.Injector
 }
 
 func (s *shardSink) Write(rec sink.Record) error {
-	if s.fault != nil && s.n >= s.fault.after {
+	if err := s.inj.BeforeRecord(s.n); err != nil {
 		// Flush the prefix so the coordinator sees a cleanly cut stream,
 		// then die like a killed process would: no marker.
 		s.jsonl.Close()
-		return errInjected
+		return err
 	}
 	if err := s.jsonl.Write(rec); err != nil {
 		return err
 	}
 	s.n++
-	return nil
+	return s.jsonl.Flush()
 }
 
 func (s *shardSink) Close() error { return s.jsonl.Close() }
 
-// ServeWork handles one shard dispatch on (in, out): read the request
-// line, run the residue class, stream its records, emit the completion
-// marker. cmd/meshopt's `work` subcommand is a direct wrapper; the
-// in-process test spawner calls it over pipes.
-func ServeWork(in io.Reader, out io.Writer) error {
-	br := bufio.NewReader(in)
-	line, err := br.ReadBytes('\n')
-	if len(line) == 0 && err != nil {
-		return fmt.Errorf("dist: work: reading request: %w", err)
-	}
-	var req workRequest
-	if err := json.Unmarshal(line, &req); err != nil {
-		return fmt.Errorf("dist: work: bad request: %w", err)
-	}
-	return serveShard(req, out)
+// corruptWriter flips the first byte of scheduled record lines on their
+// way out — after hashing, so the stream's declared hash stays clean and
+// the receiver must catch the damage (a flipped first byte breaks JSON
+// decoding, which the coordinator treats as a failed attempt; the
+// corrupted line is never merged or checkpointed).
+type corruptWriter struct {
+	w    io.Writer
+	inj  *fault.Injector
+	line int
+	bol  bool // next byte starts a line
 }
 
-func serveShard(req workRequest, out io.Writer) error {
-	bw := bufio.NewWriter(out)
+func (c *corruptWriter) Write(p []byte) (int, error) {
+	buf := p
+	copied := false
+	for i := range p {
+		if c.bol {
+			if c.inj.Corrupts(c.line) {
+				if !copied {
+					buf = append([]byte(nil), p...)
+					copied = true
+				}
+				buf[i] ^= 0x01
+			}
+			c.bol = false
+		}
+		if p[i] == '\n' {
+			c.line++
+			c.bol = true
+		}
+	}
+	if _, err := c.w.Write(buf); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// ServeWork runs the worker side of the stdio protocol on (in, out),
+// serving shard requests until in reaches EOF. The fault schedule is
+// read from the environment (MESHOPT_FAULT, or the legacy
+// MESHOPT_WORK_FAIL kill hook). cmd/meshopt's `work` subcommand is a
+// direct wrapper.
+func ServeWork(in io.Reader, out io.Writer) error {
+	sched, err := fault.FromEnv()
+	if err != nil {
+		return fmt.Errorf("dist: work: %w", err)
+	}
+	return ServeWorkOn(in, out, sched, nil)
+}
+
+// ServeWorkOn is ServeWork with an explicit fault schedule and hang
+// release channel — the entry point for in-process workers (tests, the
+// serve layer's pipe spawner). Closing release unblocks any hanging
+// injected fault, standing in for the process kill a subprocess worker
+// would receive.
+func ServeWorkOn(in io.Reader, out io.Writer, sched *fault.Schedule, release <-chan struct{}) error {
+	br := bufio.NewReader(in)
+	if _, err := fmt.Fprintln(out, ReadyMarker); err != nil {
+		return fmt.Errorf("dist: work: writing ready: %w", err)
+	}
+	for {
+		line, err := br.ReadBytes('\n')
+		if len(bytes.TrimSpace(line)) == 0 {
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					return nil // clean shutdown: coordinator closed stdin
+				}
+				return fmt.Errorf("dist: work: reading request: %w", err)
+			}
+			continue
+		}
+		var req workRequest
+		if err := json.Unmarshal(line, &req); err != nil {
+			return fmt.Errorf("dist: work: bad request: %w", err)
+		}
+		if err := serveShard(req, out, sched, release); err != nil {
+			// Injected kills and I/O failures end the worker like a
+			// crash would: the coordinator respawns a fresh process.
+			return err
+		}
+		if _, err := fmt.Fprintln(out, ReadyMarker); err != nil {
+			return fmt.Errorf("dist: work: writing ready: %w", err)
+		}
+	}
+}
+
+func serveShard(req workRequest, out io.Writer, sched *fault.Schedule, release <-chan struct{}) error {
 	fail := func(err error) error {
-		fmt.Fprintf(bw, "%s%v\n", errorPrefix, err)
-		bw.Flush()
+		fmt.Fprintf(out, "%s%v\n", errorPrefix, err)
 		return err
 	}
 	e, sc, err := req.Job.Resolve()
@@ -142,24 +211,31 @@ func serveShard(req workRequest, out io.Writer) error {
 	if req.Shard.Count != req.Job.Shards || !req.Shard.Enabled() {
 		return fail(fmt.Errorf("dist: work: shard %s does not match job shard count %d", req.Shard, req.Job.Shards))
 	}
+	attempt := req.Attempt
+	if attempt < 1 {
+		attempt = 1
+	}
+	inj := sched.For(req.Shard.Index, attempt, release)
 
 	h := sha256.New()
-	snk := &shardSink{jsonl: sink.NewJSONL(io.MultiWriter(bw, h))}
-	if f := parseFault(os.Getenv("MESHOPT_WORK_FAIL")); f != nil && f.shard == req.Shard.Index {
-		snk.fault = f
+	var lineW io.Writer = out
+	if inj != nil {
+		lineW = &corruptWriter{w: out, inj: inj, bol: true}
 	}
+	// The hash writer comes first so it always sees the clean bytes;
+	// corruption (if scheduled) happens on the transport copy only.
+	snk := &shardSink{jsonl: sink.NewJSONL(io.MultiWriter(h, lineW)), inj: inj}
 	_, runErr := exp.Run(e, req.Job.Seed, sc, exp.Options{Sink: snk, Shard: req.Shard})
 	if runErr == nil {
 		runErr = snk.Close()
 	}
-	if errors.Is(runErr, errInjected) {
+	if errors.Is(runErr, fault.ErrInjected) {
 		// A simulated kill: the stream is already cut; no marker at all.
-		bw.Flush()
 		return runErr
 	}
 	if runErr != nil {
 		return fail(runErr)
 	}
-	fmt.Fprintf(bw, "%s\n", DoneMarker(snk.n, h.Sum(nil)))
-	return bw.Flush()
+	_, err = fmt.Fprintf(out, "%s\n", DoneMarker(snk.n, h.Sum(nil)))
+	return err
 }

@@ -28,6 +28,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -206,22 +207,43 @@ type Options struct {
 	// sink) and total the cells this run will execute. It is called on
 	// the streaming goroutine, serialized, in cell order.
 	Progress func(done, total int)
+	// Context, when set, makes the run cancellable: cancelling it stops
+	// the fan-out at the next cell boundary instead of waiting out the
+	// whole sweep. The records streamed before the cut are a gapless
+	// cell-order prefix of the full run's stream — a valid, resumable
+	// checkpoint — and Run returns an error wrapping ctx's cause. Nil
+	// means the run cannot be cancelled.
+	Context context.Context
 }
 
 // Run executes an experiment: enumerate cells, fan them over the worker
 // pool, stream one normalized record per cell to the sink in cell order,
 // and reduce the same stream. The returned Result is nil for sharded
 // runs (a partial reduction would be meaningless); the error is the
-// first sink write failure, if any.
+// first sink write failure or the cancellation cause, if any.
+//
+// A sink write failure aborts the fan-out at the next cell boundary —
+// there is no point computing cells whose records can no longer land
+// anywhere — which is also what stops an in-process distributed worker
+// promptly when its output pipe is closed from the coordinator side.
 //
 // Determinism: the record stream — and therefore the reduction — is
 // bit-identical for any worker count, and the concatenation (by Merge)
-// of all k shard streams is bit-identical to the unsharded stream.
+// of all k shard streams is bit-identical to the unsharded stream. A
+// cancelled run's stream is a bit-identical prefix of the full stream.
 func Run(e Experiment, seed int64, sc Scale, o Options) (Result, error) {
 	cells := e.Cells(seed, sc)
 	for i := range cells {
 		cells[i].Index = i
 	}
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// A private cancel lets the sink-error path abort the fan-out
+	// without requiring the caller to have provided a context.
+	runCtx, stop := context.WithCancel(ctx)
+	defer stop()
 	snk := o.Sink
 	if snk == nil {
 		snk = sink.Discard
@@ -266,16 +288,24 @@ func Run(e Experiment, seed int64, sc Scale, o Options) (Result, error) {
 		}
 		var sinkErr error
 		done := 0
-		runner.Stream(mine, runCell, func(_ int, recs []sink.Record) {
+		runErr := runner.StreamCtx(runCtx, runner.Workers(), mine, runCell, func(_ int, recs []sink.Record) {
 			for _, rec := range recs {
 				if sinkErr == nil {
-					sinkErr = snk.Write(rec)
+					if sinkErr = snk.Write(rec); sinkErr != nil {
+						stop()
+					}
 				}
 			}
 			done++
 			progress(done, len(mine))
 		})
-		return nil, sinkErr
+		if sinkErr != nil {
+			return nil, sinkErr
+		}
+		if runErr != nil {
+			return nil, fmt.Errorf("exp: %s cancelled after %d/%d cells: %w", e.Name(), done, len(mine), context.Cause(runCtx))
+		}
+		return nil, nil
 	}
 
 	// The reduction consumes the stream concurrently with the sink; both
@@ -294,10 +324,12 @@ func Run(e Experiment, seed int64, sc Scale, o Options) (Result, error) {
 	defer closeCh()
 	var sinkErr error
 	cellsDone := 0
-	runner.Stream(cells, runCell, func(_ int, recs []sink.Record) {
+	runErr := runner.StreamCtx(runCtx, runner.Workers(), cells, runCell, func(_ int, recs []sink.Record) {
 		for _, rec := range recs {
 			if sinkErr == nil {
-				sinkErr = snk.Write(rec)
+				if sinkErr = snk.Write(rec); sinkErr != nil {
+					stop()
+				}
 			}
 			ch <- rec
 		}
@@ -305,5 +337,14 @@ func Run(e Experiment, seed int64, sc Scale, o Options) (Result, error) {
 		progress(cellsDone, len(cells))
 	})
 	closeCh()
-	return <-done, sinkErr
+	res := <-done
+	if sinkErr != nil {
+		return nil, sinkErr
+	}
+	if runErr != nil {
+		// A partial reduction would be wrong; only the streamed prefix
+		// (a valid resume checkpoint) survives a cancelled run.
+		return nil, fmt.Errorf("exp: %s cancelled after %d/%d cells: %w", e.Name(), cellsDone, len(cells), context.Cause(runCtx))
+	}
+	return res, nil
 }

@@ -2,12 +2,16 @@ package exp
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 
+	"repro/internal/experiments/runner"
 	"repro/internal/scenario/sink"
 )
 
@@ -253,5 +257,102 @@ func TestRegistryFindAliasesAndNames(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("Names missing toy")
+	}
+}
+
+// TestRunContextCancelStreamsPrefix: cancelling Options.Context stops
+// the fan-out at a cell boundary and leaves the sink holding a
+// byte-identical gapless prefix of the full run's stream — a valid
+// resume checkpoint — with the error wrapping the cancellation cause.
+func TestRunContextCancelStreamsPrefix(t *testing.T) {
+	old := runner.SetWorkers(2)
+	defer runner.SetWorkers(old)
+	e := toyExp{n: 100}
+
+	render := func(o Options) ([]byte, error) {
+		var buf bytes.Buffer
+		s := sink.NewJSONL(&buf)
+		o.Sink = s
+		_, err := Run(e, 3, Quick(), o)
+		if cerr := s.Close(); cerr != nil {
+			t.Fatal(cerr)
+		}
+		return buf.Bytes(), err
+	}
+	full, err := render(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	part, err := render(Options{
+		Context: ctx,
+		Progress: func(done, total int) {
+			if done == 5 {
+				cancel()
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "cancelled after") {
+		t.Fatalf("error %v lacks progress accounting", err)
+	}
+	if !bytes.HasPrefix(full, part) {
+		t.Fatalf("partial stream is not a byte-prefix of the full stream:\npartial:\n%s", part)
+	}
+	if n := bytes.Count(part, []byte("\n")); n < 5 || n >= 100 {
+		t.Fatalf("partial stream has %d records, want [5, 100)", n)
+	}
+}
+
+// failSink errors on the Nth write.
+type failSink struct {
+	n, failAt int
+}
+
+var errSinkFull = errors.New("sink full")
+
+func (s *failSink) Write(sink.Record) error {
+	s.n++
+	if s.n >= s.failAt {
+		return errSinkFull
+	}
+	return nil
+}
+
+func (s *failSink) Close() error { return nil }
+
+// countingExp instruments RunCell so the test can observe how many
+// cells actually executed.
+type countingExp struct {
+	toyExp
+	ran *atomic.Int64
+}
+
+func (e countingExp) RunCell(c Cell) sink.Record {
+	e.ran.Add(1)
+	return e.toyExp.RunCell(c)
+}
+
+// TestRunSinkErrorAbortsFanout: once a sink write fails, the engine
+// stops claiming cells — it must not compute hundreds of cells whose
+// records have nowhere to land — and reports the sink error.
+func TestRunSinkErrorAbortsFanout(t *testing.T) {
+	old := runner.SetWorkers(2)
+	defer runner.SetWorkers(old)
+	var ran atomic.Int64
+	e := countingExp{toyExp: toyExp{n: 400}, ran: &ran}
+	_, err := Run(e, 3, Quick(), Options{Sink: &failSink{failAt: 5}})
+	if !errors.Is(err, errSinkFull) {
+		t.Fatalf("err = %v, want the sink error", err)
+	}
+	if n := ran.Load(); n >= 400 {
+		t.Fatalf("all %d cells ran despite the sink failing at record 5", n)
 	}
 }

@@ -22,6 +22,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -54,14 +55,29 @@ func Map[T, R any](cells []T, fn func(i int, cell T) R) []R {
 }
 
 // MapN is Map with an explicit worker count (n <= 0 means GOMAXPROCS).
-// Cells are claimed from a shared counter so stragglers do not idle the
-// pool, and each result lands in out[i] for cell i: the gathered slice
-// is identical for any worker count. A panic in any cell is re-raised on
-// the calling goroutine after the pool drains.
+// It is MapCtx with a background context: the run cannot be cancelled
+// and the error is statically nil.
 func MapN[T, R any](workers int, cells []T, fn func(i int, cell T) R) []R {
+	out, _ := MapCtx(context.Background(), workers, cells, fn)
+	return out
+}
+
+// MapCtx is the cancellable core of the gathering fan-out. Cells are
+// claimed from a shared counter so stragglers do not idle the pool, and
+// each result lands in out[i] for cell i: the gathered slice is
+// identical for any worker count. A panic in any cell is re-raised on
+// the calling goroutine after the pool drains.
+//
+// Cancelling ctx stops the run at the next cell boundary: no new cells
+// are claimed and cells already executing finish. Because cells are
+// claimed from a sequential counter and every claimed cell completes,
+// the filled entries of out always form a gapless prefix out[0:k]; the
+// remaining entries are zero values. The return error is nil when every
+// cell ran and ctx.Err() when the sweep was cut short.
+func MapCtx[T, R any](ctx context.Context, workers int, cells []T, fn func(i int, cell T) R) ([]R, error) {
 	out := make([]R, len(cells))
 	if len(cells) == 0 {
-		return out
+		return out, nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -69,23 +85,36 @@ func MapN[T, R any](workers int, cells []T, fn func(i int, cell T) R) []R {
 	if workers > len(cells) {
 		workers = len(cells)
 	}
+	done := ctx.Done() // nil for background contexts: the case never fires
 	if workers == 1 {
 		for i, c := range cells {
+			select {
+			case <-done:
+				return out, ctx.Err()
+			default:
+			}
 			out[i] = fn(i, c)
 		}
-		return out
+		return out, nil
 	}
 
 	var (
-		next     atomic.Int64
-		wg       sync.WaitGroup
-		panicked atomic.Value // first cell panic, re-raised by the caller
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		panicked  atomic.Value // first cell panic, re-raised by the caller
+		cancelled atomic.Bool
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				select {
+				case <-done:
+					cancelled.Store(true)
+					return
+				default:
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(cells) {
 					return
@@ -108,5 +137,9 @@ func MapN[T, R any](workers int, cells []T, fn func(i int, cell T) R) []R {
 	if p := panicked.Load(); p != nil {
 		panic(p)
 	}
-	return out
+	if cancelled.Load() && int(next.Load()) < len(cells) {
+		// Cells [next, len) were never claimed; out[0:next] is filled.
+		return out, ctx.Err()
+	}
+	return out, nil
 }

@@ -1,9 +1,11 @@
 package runner
 
 import (
+	"context"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestMapGathersByIndex(t *testing.T) {
@@ -71,4 +73,43 @@ func TestMapPanicPropagates(t *testing.T) {
 		}
 		return i
 	})
+}
+
+// TestMapCtxCancelFillsGaplessPrefix: a cancelled gathering run leaves
+// out[0:k] filled and the rest zero — never a gap — because cells are
+// claimed sequentially and every claimed cell completes.
+func TestMapCtxCancelFillsGaplessPrefix(t *testing.T) {
+	const n = 300
+	cells := make([]int, n)
+	for i := range cells {
+		cells[i] = i + 1 // distinguishable from the zero value
+	}
+	for _, workers := range []int{1, 4, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		out, err := MapCtx(ctx, workers, cells, func(i, c int) int {
+			if ran.Add(1) == 20 {
+				cancel()
+			}
+			time.Sleep(10 * time.Microsecond)
+			return c
+		})
+		cancel()
+		k := 0
+		for k < n && out[k] != 0 {
+			k++
+		}
+		for i := k; i < n; i++ {
+			if out[i] != 0 {
+				t.Fatalf("workers=%d: out has a gap: out[%d]=0 but out[%d]=%d", workers, k, i, out[i])
+			}
+		}
+		if k == n {
+			if err != nil {
+				t.Fatalf("workers=%d: complete run returned %v", workers, err)
+			}
+		} else if err != context.Canceled {
+			t.Fatalf("workers=%d: cut-short run (%d/%d cells) returned %v", workers, k, n, err)
+		}
+	}
 }

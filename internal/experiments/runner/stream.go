@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -15,13 +16,31 @@ func Stream[T, R any](cells []T, fn func(i int, cell T) R, emit func(i int, r R)
 }
 
 // StreamN is Stream with an explicit worker count (n <= 0 means
-// GOMAXPROCS). Cells execute on the pool exactly as in MapN, but each
-// result is handed to emit on the calling goroutine, serialized, in cell
-// index order, as soon as its index becomes the emission frontier. A
-// result computed out of order is buffered only until every earlier cell
-// has been emitted, so the reduction downstream of emit sees the same
-// order a sequential run would produce: streamed output is bit-identical
-// for any worker count.
+// GOMAXPROCS). It is StreamCtx with a background context: the run cannot
+// be cancelled and the error is statically nil.
+func StreamN[T, R any](workers int, cells []T, fn func(i int, cell T) R, emit func(i int, r R)) {
+	// The background context never cancels, so the error is always nil.
+	_ = StreamCtx(context.Background(), workers, cells, fn, emit)
+}
+
+// StreamCtx is the cancellable core of the streaming fan-out. Cells
+// execute on the pool exactly as in MapN, but each result is handed to
+// emit on the calling goroutine, serialized, in cell index order, as
+// soon as its index becomes the emission frontier. A result computed out
+// of order is buffered only until every earlier cell has been emitted,
+// so the reduction downstream of emit sees the same order a sequential
+// run would produce: streamed output is bit-identical for any worker
+// count.
+//
+// Cancelling ctx stops the run at the next cell boundary: no new cells
+// are claimed, cells already executing finish, and emission drains to
+// the longest gapless prefix reachable from completed cells. The emitted
+// output is therefore always a byte-prefix of the full run's output —
+// for any worker count and any cancellation point — which is what makes
+// a cancelled run's partial stream checkpointable and resumable. The
+// return value is nil when every cell was emitted (even if ctx was
+// cancelled after the last claim) and ctx.Err() when the sweep was cut
+// short.
 //
 // Memory is genuinely bounded by the reorder window, not the sweep: a
 // worker must hold one of 4×workers tokens to claim a cell, and a
@@ -34,10 +53,10 @@ func Stream[T, R any](cells []T, fn func(i int, cell T) R, emit func(i int, r R)
 // emission from that cell onward (earlier cells still emit), and is
 // re-raised on the calling goroutine after the pool drains. A panic in
 // emit itself also propagates to the caller after the workers drain.
-func StreamN[T, R any](workers int, cells []T, fn func(i int, cell T) R, emit func(i int, r R)) {
+func StreamCtx[T, R any](ctx context.Context, workers int, cells []T, fn func(i int, cell T) R, emit func(i int, r R)) error {
 	n := len(cells)
 	if n == 0 {
-		return
+		return nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -45,11 +64,17 @@ func StreamN[T, R any](workers int, cells []T, fn func(i int, cell T) R, emit fu
 	if workers > n {
 		workers = n
 	}
+	done := ctx.Done() // nil for background contexts: the case never fires
 	if workers == 1 {
 		for i, c := range cells {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
 			emit(i, fn(i, c))
 		}
-		return
+		return nil
 	}
 
 	type item struct {
@@ -76,10 +101,13 @@ func StreamN[T, R any](workers int, cells []T, fn func(i int, cell T) R, emit fu
 			defer wg.Done()
 			for {
 				// A token caps how far completed work may run ahead of
-				// the emission frontier; abort unblocks a stalled pool.
+				// the emission frontier; abort unblocks a stalled pool
+				// and cancellation stops claims at the cell boundary.
 				select {
 				case <-tokens:
 				case <-abort:
+					return
+				case <-done:
 					return
 				}
 				i := int(next.Add(1)) - 1
@@ -147,4 +175,9 @@ func StreamN[T, R any](workers int, cells []T, fn func(i int, cell T) R, emit fu
 	if p := panicked.Load(); p != nil {
 		panic(p)
 	}
+	if frontier < n {
+		// Cancelled mid-sweep: the emitted prefix is [0, frontier).
+		return ctx.Err()
+	}
+	return nil
 }

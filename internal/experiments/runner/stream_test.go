@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -134,5 +135,78 @@ func TestStreamEmptyAndSingle(t *testing.T) {
 	})
 	if n != 1 {
 		t.Fatalf("emit count %d", n)
+	}
+}
+
+// TestStreamCtxCancelEmitsGaplessPrefix: whatever the worker count and
+// whenever the cancel lands, the emitted cells must be exactly
+// [0, k) for some k — a byte-prefix of the full run's stream — with
+// ctx.Err() returned iff the sweep was actually cut short.
+func TestStreamCtxCancelEmitsGaplessPrefix(t *testing.T) {
+	const n = 400
+	cells := make([]int, n)
+	for _, workers := range []int{1, 2, 7, 16} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var got []int
+		err := StreamCtx(ctx, workers, cells, func(i int, _ int) int {
+			time.Sleep(20 * time.Microsecond)
+			return i
+		}, func(i int, r int) {
+			if i == 10 {
+				cancel()
+			}
+			got = append(got, i)
+		})
+		cancel()
+		for i, g := range got {
+			if g != i {
+				t.Fatalf("workers=%d: emission %v is not a gapless prefix", workers, got)
+			}
+		}
+		if len(got) <= 10 {
+			t.Fatalf("workers=%d: cancelled before the triggering cell emitted (%d cells)", workers, len(got))
+		}
+		if len(got) == n {
+			if err != nil {
+				t.Fatalf("workers=%d: complete run returned %v", workers, err)
+			}
+		} else if err != context.Canceled {
+			t.Fatalf("workers=%d: cut-short run (%d/%d cells) returned %v", workers, len(got), n, err)
+		}
+	}
+}
+
+// TestStreamCtxCancelRaced drives cancellation from a separate goroutine
+// at pseudo-random points: the gapless-prefix property must hold for
+// every interleaving (the race detector guards the rest).
+func TestStreamCtxCancelRaced(t *testing.T) {
+	cells := make([]int, 120)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		delay := time.Duration(rng.Intn(400)) * time.Microsecond
+		go func() {
+			time.Sleep(delay)
+			cancel()
+		}()
+		var got []int
+		err := StreamCtx(ctx, 4, cells, func(i int, _ int) int {
+			time.Sleep(10 * time.Microsecond)
+			return i * 3
+		}, func(i int, r int) {
+			if r != i*3 {
+				t.Errorf("trial %d: emit(%d) = %d", trial, i, r)
+			}
+			got = append(got, i)
+		})
+		cancel()
+		for i, g := range got {
+			if g != i {
+				t.Fatalf("trial %d: emission %v is not a gapless prefix", trial, got)
+			}
+		}
+		if (err == nil) != (len(got) == len(cells)) {
+			t.Fatalf("trial %d: %d/%d cells emitted but err = %v", trial, len(got), len(cells), err)
+		}
 	}
 }

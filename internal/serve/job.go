@@ -10,6 +10,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/dist"
 	"repro/internal/experiments/exp"
@@ -53,6 +54,7 @@ type job struct {
 	path         string // part file while running, entry once done
 	errMsg       string
 	summary      string
+	finished     time.Time // when the job reached a terminal state
 	update       chan struct{}
 }
 
@@ -70,10 +72,15 @@ func newJob(key string, req dist.Job, e exp.Experiment, sc exp.Scale) *job {
 	}
 }
 
-// publish applies f under the job lock and wakes every waiter.
+// publish applies f under the job lock and wakes every waiter. The
+// terminal timestamp is stamped here so every path into done/failed —
+// execution, cache hit, shutdown — feeds the TTL sweep consistently.
 func (j *job) publish(f func(*job)) {
 	j.mu.Lock()
 	f(j)
+	if terminal(j.state) && j.finished.IsZero() {
+		j.finished = time.Now()
+	}
 	close(j.update)
 	j.update = make(chan struct{})
 	j.mu.Unlock()
@@ -91,6 +98,7 @@ type view struct {
 	path         string
 	errMsg       string
 	summary      string
+	finished     time.Time
 	update       chan struct{}
 }
 
@@ -108,6 +116,7 @@ func (j *job) snapshot() view {
 		path:         j.path,
 		errMsg:       j.errMsg,
 		summary:      j.summary,
+		finished:     j.finished,
 		update:       j.update,
 	}
 }
@@ -279,9 +288,13 @@ func (s *Server) runLocal(j *job) error {
 		j.path = part
 	})
 
+	// The server context makes Shutdown a real cancellation: the engine
+	// stops claiming cells at the next boundary instead of computing the
+	// rest of the sweep into a sink that refuses every write.
 	res, err := exp.Run(j.e, j.req.Seed, j.sc, exp.Options{
 		Sink:     ws,
 		FromCell: pre.cells,
+		Context:  s.ctx,
 		Progress: func(done, _ int) {
 			j.publish(func(j *job) { j.cellsDone = pre.cells + done })
 		},

@@ -521,8 +521,8 @@ func TestShutdownCheckpointsAndRestartResumes(t *testing.T) {
 // the coordinator's retries.
 type failSpawner struct{}
 
-func (failSpawner) Spawn(context.Context, int) (io.WriteCloser, io.ReadCloser, func() error, error) {
-	return nil, nil, nil, fmt.Errorf("no workers available")
+func (failSpawner) Spawn(context.Context, int) (*dist.Worker, error) {
+	return nil, fmt.Errorf("no workers available")
 }
 
 func TestFailedJobRecordsAreRefused(t *testing.T) {
@@ -553,19 +553,31 @@ func TestFailedJobRecordsAreRefused(t *testing.T) {
 	}
 }
 
-// pipeSpawner serves dist workers in-process over pipes, so sharded
-// jobs run without spawning the test binary.
+// pipeSpawner serves long-lived dist workers in-process over pipes, so
+// sharded jobs run without spawning the test binary.
 type pipeSpawner struct{}
 
-func (pipeSpawner) Spawn(ctx context.Context, slot int) (io.WriteCloser, io.ReadCloser, func() error, error) {
+func (pipeSpawner) Spawn(ctx context.Context, slot int) (*dist.Worker, error) {
 	inR, inW := io.Pipe()
 	outR, outW := io.Pipe()
 	done := make(chan error, 1)
 	go func() {
-		defer outW.Close()
-		done <- dist.ServeWork(inR, outW)
+		err := dist.ServeWork(inR, outW)
+		if err != nil {
+			outW.CloseWithError(err)
+		} else {
+			outW.Close()
+		}
+		done <- err
 	}()
-	return inW, outR, func() error { return <-done }, nil
+	var once sync.Once
+	kill := func() {
+		once.Do(func() {
+			inR.CloseWithError(io.ErrClosedPipe)
+			outW.CloseWithError(io.ErrClosedPipe)
+		})
+	}
+	return &dist.Worker{In: inW, Out: outR, Kill: kill, Wait: func() error { return <-done }}, nil
 }
 
 func TestShardedJobRunsThroughCoordinator(t *testing.T) {
@@ -745,5 +757,107 @@ func TestRecordsStreamLiveWhileRunning(t *testing.T) {
 	}
 	if got := 1 + bytes.Count(rest, []byte("\n")); got != toyN {
 		t.Fatalf("streamed %d records, want %d", got, toyN)
+	}
+}
+
+// TestShutdownStopsComputation: Shutdown must actually cancel the
+// in-process engine — not just refuse sink writes while the sweep burns
+// CPU to completion. After Shutdown returns, the cell counter must stay
+// flat.
+func TestShutdownStopsComputation(t *testing.T) {
+	dir := t.TempDir()
+	atomic.StoreInt64(&toyDelay, 20)
+	defer atomic.StoreInt64(&toyDelay, 0)
+	var log bytes.Buffer
+	s, err := New(Options{CacheDir: dir, Log: &log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	sr := postJob(t, ts, `{"experiment":"servetoy","seed":37}`)
+	deadline := time.Now().Add(10 * time.Second)
+	for getStatus(t, ts, sr.ID).CellsDone < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("job made no progress")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown did not settle within its deadline: %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("shutdown took %v", d)
+	}
+	after := atomic.LoadInt64(&toyCells)
+	time.Sleep(100 * time.Millisecond)
+	if later := atomic.LoadInt64(&toyCells); later != after {
+		t.Fatalf("cells kept executing after Shutdown returned: %d -> %d", after, later)
+	}
+	if !strings.Contains(log.String(), "cells completed (checkpointed)") {
+		t.Fatalf("shutdown log lacks the cell accounting:\n%s", log.String())
+	}
+}
+
+// TestJobTTLEvictsTerminalJobs: a done job expires out of the job table
+// once its TTL passes — but only when its cache entry revalidates — and
+// a resubmission of the evicted ID is a pure cache hit.
+func TestJobTTLEvictsTerminalJobs(t *testing.T) {
+	s, ts := newTestServer(t, t.TempDir(), Options{JobTTL: time.Hour})
+	sr := postJob(t, ts, `{"experiment":"servetoy","seed":41}`)
+	want, _ := getRecords(t, ts, sr.ID, "")
+
+	// Not yet expired: nothing to evict.
+	if n := s.sweepJobs(time.Now()); n != 0 {
+		t.Fatalf("sweep before TTL evicted %d jobs", n)
+	}
+	// Expired with a valid entry: evicted; the ID 404s.
+	if n := s.sweepJobs(time.Now().Add(2 * time.Hour)); n != 1 {
+		t.Fatalf("sweep after TTL evicted %d jobs, want 1", n)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + sr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted job status: %s, want 404", resp.Status)
+	}
+	// Resubmission: cache hit, no recompute, same bytes.
+	before := atomic.LoadInt64(&toyCells)
+	sr2 := postJob(t, ts, `{"experiment":"servetoy","seed":41}`)
+	if sr2.Created || sr2.State != stateDone || sr2.ID != sr.ID {
+		t.Fatalf("resubmit after eviction: %+v", sr2)
+	}
+	got, _ := getRecords(t, ts, sr2.ID, "")
+	if !bytes.Equal(got, want) {
+		t.Fatal("post-eviction stream differs")
+	}
+	if ran := atomic.LoadInt64(&toyCells) - before; ran != 0 {
+		t.Fatalf("post-eviction resubmit executed %d cells", ran)
+	}
+
+	// A done job whose entry is corrupt must NOT be evicted.
+	data, err := os.ReadFile(s.Cache().EntryPath(sr.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x20
+	if err := os.WriteFile(s.Cache().EntryPath(sr.ID), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.sweepJobs(time.Now().Add(4 * time.Hour)); n != 0 {
+		t.Fatalf("sweep evicted a done job with a corrupt entry (%d)", n)
+	}
+	if resp, err := http.Get(ts.URL + "/v1/jobs/" + sr.ID); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("job with corrupt entry gone from the table: %s", resp.Status)
+		}
 	}
 }

@@ -40,6 +40,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/dist"
 	"repro/internal/experiments/exp"
@@ -60,6 +61,14 @@ type Options struct {
 	// Spawner launches workers for sharded jobs; nil spawns local
 	// `meshopt work` subprocesses of this binary.
 	Spawner dist.Spawner
+	// JobTTL bounds how long a terminal job stays in the in-memory job
+	// table after it settles. A done job is evicted only once its cache
+	// entry revalidates — eviction must never cost a recomputation; a
+	// resubmission of an evicted job is a pure cache hit under the same
+	// ID. Failed jobs are evicted unconditionally (they hold no result
+	// state; resubmitting one re-executes either way). 0 disables GC:
+	// the table grows with the number of distinct jobs ever submitted.
+	JobTTL time.Duration
 	// Log receives human-readable progress; nil discards it.
 	Log io.Writer
 }
@@ -106,7 +115,70 @@ func New(o Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/records", s.handleRecords)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	if o.JobTTL > 0 {
+		go s.janitor(o.JobTTL)
+	}
 	return s, nil
+}
+
+// janitor periodically sweeps expired terminal jobs out of the job
+// table until the server shuts down.
+func (s *Server) janitor(ttl time.Duration) {
+	period := ttl / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case now := <-t.C:
+			s.sweepJobs(now)
+		}
+	}
+}
+
+// sweepJobs evicts jobs that have been terminal for at least JobTTL,
+// returning how many were removed. Done jobs are evicted only when
+// their cache entry revalidates — the entry is what makes eviction
+// free (a resubmission hits the cache); an entry that has gone missing
+// or corrupt keeps the job resident rather than silently turning a
+// warm ID into a 404-plus-recompute. The revalidation (a full rehash)
+// runs with the server lock released.
+func (s *Server) sweepJobs(now time.Time) int {
+	ttl := s.o.JobTTL
+	s.mu.Lock()
+	var expired []*job
+	for _, j := range s.jobs {
+		v := j.snapshot()
+		if terminal(v.state) && !v.finished.IsZero() && now.Sub(v.finished) >= ttl {
+			expired = append(expired, j)
+		}
+	}
+	s.mu.Unlock()
+
+	evicted := 0
+	for _, j := range expired {
+		if j.snapshot().state == stateDone {
+			if _, _, _, ok := s.cache.Lookup(j.key); !ok {
+				continue // entry invalid: eviction would cost a recompute
+			}
+		}
+		s.mu.Lock()
+		// Re-check under the lock: a resubmission may have replaced the
+		// expired job with a fresh (non-terminal) one in the meantime.
+		if cur := s.jobs[j.key]; cur == j && terminal(cur.snapshot().state) {
+			delete(s.jobs, j.key)
+			evicted++
+		}
+		s.mu.Unlock()
+	}
+	if evicted > 0 {
+		fmt.Fprintf(s.o.Log, "serve: evicted %d expired job(s) from the table\n", evicted)
+	}
+	return evicted
 }
 
 // Handler returns the HTTP handler serving the v1 API.
@@ -118,24 +190,26 @@ func (s *Server) Cache() *Cache { return s.cache }
 
 // Shutdown stops the server gracefully: no new submissions or
 // executions, queued jobs failed, streaming clients woken, in-flight
-// executions checkpointed (their sinks refuse further writes, leaving
-// each part file a valid resumable prefix). It waits for executions to
-// settle until ctx expires; a later restart over the same cache
-// directory resumes from the checkpoints instead of recomputing.
-//
-// The in-process engine has no mid-run cancellation, so an in-flight
-// job keeps computing (with every record write refused) until its
-// cells finish; a long job can therefore outlive ctx. That is safe —
-// the checkpoint stopped advancing when Shutdown was called, and the
-// process exit that follows kills the computation — but it means ctx
-// expiry, not settlement, bounds Shutdown for long jobs. Coordinator
-// jobs do cancel promptly (dist.Run honours the server context).
+// executions cancelled at their next cell boundary and checkpointed
+// (each part file a valid resumable prefix). It waits for executions
+// to settle until ctx expires — cancelling the server context stops
+// both the in-process engine (exp.Options.Context) and coordinator
+// runs (dist.Run kills its workers), so settlement is bounded by one
+// cell's runtime, not the remaining sweep. On return it reports, per
+// interrupted job, how many cells completed (checkpointed, never
+// recomputed) and how many were abandoned to the next resume.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.closed.Store(true)
 	s.cancel()
 	s.mu.Lock()
 	queued := s.queue
 	s.queue = nil
+	var inflight []*job
+	for _, j := range s.jobs {
+		if j.snapshot().state == stateRunning {
+			inflight = append(inflight, j)
+		}
+	}
 	s.mu.Unlock()
 	for _, j := range queued {
 		j.publish(func(j *job) {
@@ -148,12 +222,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.wg.Wait()
 		close(settled)
 	}()
+	err := error(nil)
 	select {
 	case <-settled:
-		return nil
 	case <-ctx.Done():
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	completed, abandoned := 0, 0
+	for _, j := range inflight {
+		v := j.snapshot()
+		completed += v.cellsDone
+		abandoned += j.cells - v.cellsDone
+	}
+	if len(inflight) > 0 {
+		fmt.Fprintf(s.o.Log, "serve: shutdown: %d in-flight job(s): %d cells completed (checkpointed), %d abandoned (resumable on restart)\n",
+			len(inflight), completed, abandoned)
+	}
+	return err
 }
 
 // admit starts queued jobs while execution slots are free. Caller holds
@@ -269,6 +354,7 @@ func (s *Server) submit(req dist.Job) (*job, bool, error) {
 	j := fresh
 	if entryOK {
 		j.state = stateDone
+		j.finished = time.Now()
 		j.cacheHit = true
 		j.cellsDone = j.cells
 		j.records = records

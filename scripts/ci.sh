@@ -61,6 +61,18 @@ grep -q "shard 0/3: reusing checkpoint" "$SHARD_TMP/coord.log"
 cmp "$SHARD_TMP/full.jsonl" "$SHARD_TMP/coord.jsonl"
 cmp "$SHARD_TMP/full.jsonl" "$SHARD_TMP/run/merged.jsonl"
 
+echo "== chaos smoke (fig10 under a seeded fault schedule: kill + slow worker + stealing, bytes identical)"
+# Shard 1's first attempt is killed after 2 records; shard 2's worker is
+# slowed per record, which with -steal-after armed exercises the steal
+# path (frontier stall -> kill -> re-dispatch, prefix hash-verified).
+# Whatever schedule the race picks, the merged bytes must equal the
+# unsharded run.
+MESHOPT_FAULT='seed=7,1/kill@2x1,2/slow=5ms' "$SHARD_TMP/meshopt" coord 10 -scale quick -seed 4 \
+    -shards 3 -workers 3 -retries 3 -steal-after 1s -dir "$SHARD_TMP/chaos" \
+    -o "$SHARD_TMP/chaos.jsonl" >/dev/null 2>"$SHARD_TMP/chaos.log"
+cmp "$SHARD_TMP/full.jsonl" "$SHARD_TMP/chaos.jsonl"
+cmp "$SHARD_TMP/full.jsonl" "$SHARD_TMP/chaos/merged.jsonl"
+
 echo "== serve smoke (submit fig10 twice: cold compute, then cache hit; both byte == meshopt fig)"
 "$SHARD_TMP/meshopt" serve -addr 127.0.0.1:0 -cache "$SHARD_TMP/cache" \
     >"$SHARD_TMP/serve.out" 2>"$SHARD_TMP/serve.log" &
