@@ -11,16 +11,19 @@ import (
 	"io"
 	"testing"
 
+	"repro/internal/broadcast"
 	"repro/internal/core/capacity"
 	"repro/internal/core/conflict"
 	"repro/internal/core/feasibility"
 	"repro/internal/core/optimize"
 	"repro/internal/experiments"
+	"repro/internal/experiments/exp"
 	"repro/internal/mac"
 	"repro/internal/measure"
 	"repro/internal/node"
 	"repro/internal/phy"
 	"repro/internal/probe"
+	"repro/internal/scenario/sink"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -160,6 +163,27 @@ func BenchmarkFig14TCPSuite(b *testing.B) {
 	sc := benchScale()
 	for i := 0; i < b.N; i++ {
 		res := experiments.RunFig14(9, sc)
+		res.Print(io.Discard)
+	}
+}
+
+// BenchmarkBroadcast runs the full broadcast dissemination sweep
+// (root × policy × rep at quick scale, adversaries and churn on)
+// through the experiment engine with a streaming JSONL sink — the same
+// path `meshopt fig broadcast` takes.
+func BenchmarkBroadcast(b *testing.B) {
+	b.ReportAllocs()
+	w := broadcast.Default()
+	sc := exp.Quick()
+	for i := 0; i < b.N; i++ {
+		snk := sink.NewJSONL(io.Discard)
+		res, err := exp.Run(w, 4, sc, exp.Options{Sink: snk})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := snk.Close(); err != nil {
+			b.Fatal(err)
+		}
 		res.Print(io.Discard)
 	}
 }

@@ -14,14 +14,21 @@
 //	meshopt watch 10 -addr http://host:8080          # live progress off the frontier
 //	meshopt run quickstart              # run a registered scenario
 //	meshopt run spec.json -o out.jsonl -format jsonl
+//	meshopt fig broadcast               # broadcast dissemination sweep
+//	meshopt run examples/broadcast.json # ...or as a "broadcast" spec kind
 //	meshopt list                        # figures and scenarios in one table
 //
 // Every figure suite is an experiment: a deterministic cell enumeration
 // streamed as one record per cell (JSONL or CSV) plus a reduced summary.
 // Records go to stdout (summary to stderr) by default, or to the -o file
-// (summary to stdout). Swept scenarios are experiments too: `fig`,
-// `coord` and `-shard` accept a registered scenario name or a spec file
-// wherever they accept a figure.
+// (summary to stdout). Swept scenarios are experiments too: `run`,
+// `fig`, `coord` and `-shard` all drive the same engine and accept a
+// registered scenario name or a spec file wherever they accept a
+// figure. That includes the broadcast family: the registered
+// `broadcast` experiment sweeps (root × relay policy × repetition)
+// dissemination cells, and a spec with a `"broadcast"` block (see
+// examples/broadcast.json) runs the same engine over any declared
+// topology.
 //
 // Sharding: `-shard i/k` runs the cells whose index ≡ i (mod k) and
 // streams their records; `meshopt merge` recombines shard files into a
@@ -517,8 +524,11 @@ func copyFile(src, dst string) error {
 	return outF.Close()
 }
 
-// runScenario implements the `run` subcommand. Exit codes: 0 ok, 1
-// runtime failure, 2 usage or unknown scenario.
+// runScenario implements the `run` subcommand: scenarios resolve
+// through the scenario→experiment adapter and run on the same exp
+// engine as `fig` — the stream differs from `fig <scenario>` only in
+// that this path prints the reduction after the records. Exit codes:
+// 0 ok, 1 runtime failure, 2 usage or unknown scenario.
 func runScenario(args []string) int {
 	fs := flag.NewFlagSet("meshopt run", flag.ExitOnError)
 	seed := fs.Int64("seed", 0, "override the scenario's base seed")
@@ -545,21 +555,10 @@ func runScenario(args []string) int {
 	}
 
 	runner.SetWorkers(*workers)
-	opts := scenario.Options{}
-	var err error
-	if opts.Scale, err = parseScale(*scaleName); err != nil {
+	sc, err := parseScale(*scaleName)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
-	}
-	opts.Quick = *scaleName == "quick"
-	seedSet := false
-	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "seed" {
-			seedSet = true
-		}
-	})
-	if seedSet {
-		opts.SeedOverride = seed
 	}
 
 	spec, ok := scenario.Lookup(target)
@@ -576,6 +575,11 @@ func runScenario(args []string) int {
 			return 2
 		}
 	}
+	e, err := scenario.Experiment(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 
 	if *format != "jsonl" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "unknown format %q (want jsonl or csv)\n", *format)
@@ -586,16 +590,16 @@ func runScenario(args []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	opts.Log = logW
+	var snk sink.Sink
 	if *format == "csv" {
-		opts.Sink = sink.NewCSV(recordW)
+		snk = sink.NewCSV(recordW)
 	} else {
-		opts.Sink = sink.NewJSONL(recordW)
+		snk = sink.NewJSONL(recordW)
 	}
 
 	start := time.Now()
-	err = scenario.Run(spec, opts)
-	if cerr := opts.Sink.Close(); err == nil {
+	res, err := exp.Run(e, seedOrDefault(fs, *seed, spec.Seed), sc, exp.Options{Sink: snk})
+	if cerr := snk.Close(); err == nil {
 		err = cerr
 	}
 	if cerr := closeOut(); err == nil {
@@ -605,7 +609,8 @@ func runScenario(args []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	fmt.Fprintf(opts.Log, "done in %v\n", time.Since(start).Round(time.Millisecond))
+	res.Print(logW)
+	fmt.Fprintf(logW, "done in %v\n", time.Since(start).Round(time.Millisecond))
 	return 0
 }
 

@@ -1,0 +1,111 @@
+package broadcast
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// AdversaryConfig selects which fraction of a network misbehaves.
+// Malicious nodes receive but never relay; churned nodes are absent —
+// missing frames entirely — for one seeded interval per run. The
+// timing fields are in simulated seconds; zero values take the
+// defaults below, chosen to overlap a dissemination that completes in
+// tens of milliseconds.
+type AdversaryConfig struct {
+	MaliciousFraction float64
+	ChurnFraction     float64
+	// ChurnStartMaxSec bounds the uniform start of the absence window.
+	ChurnStartMaxSec float64
+	// AbsentMinSec/AbsentMaxSec bound its uniform duration.
+	AbsentMinSec float64
+	AbsentMaxSec float64
+}
+
+// Default churn timing (simulated seconds).
+const (
+	defaultChurnStartMax = 0.02
+	defaultAbsentMin     = 0.005
+	defaultAbsentMax     = 0.05
+)
+
+func (c AdversaryConfig) withDefaults() AdversaryConfig {
+	if c.ChurnStartMaxSec <= 0 {
+		c.ChurnStartMaxSec = defaultChurnStartMax
+	}
+	if c.AbsentMinSec <= 0 {
+		c.AbsentMinSec = defaultAbsentMin
+	}
+	if c.AbsentMaxSec < c.AbsentMinSec {
+		c.AbsentMaxSec = defaultAbsentMax
+	}
+	if c.AbsentMaxSec < c.AbsentMinSec {
+		c.AbsentMaxSec = c.AbsentMinSec
+	}
+	return c
+}
+
+// Flags carries the per-node adversarial state of one run. A node w
+// is absent during [AbsentFrom[w], AbsentUntil[w]); non-churned nodes
+// have an empty interval. The root's flags are ignored at runtime
+// (the engine exempts it), so flag derivation is root-independent.
+type Flags struct {
+	Malicious   []bool
+	AbsentFrom  []sim.Time
+	AbsentUntil []sim.Time
+}
+
+// Absent reports whether node w is churned out at instant t.
+func (f *Flags) Absent(w int, t sim.Time) bool {
+	return t >= f.AbsentFrom[w] && t < f.AbsentUntil[w]
+}
+
+// DeriveFlags assigns adversarial roles for an n-node run: a pure
+// function of (seed, n, cfg) with its own rand stream, so every
+// process sharding a sweep derives identical flags for a cell. Roles
+// are exact counts (round(fraction*n)) drawn disjointly from a seeded
+// permutation — malicious first, churned next — so a node is never
+// both.
+func DeriveFlags(seed int64, n int, cfg AdversaryConfig) *Flags {
+	cfg = cfg.withDefaults()
+	f := &Flags{
+		Malicious:   make([]bool, n),
+		AbsentFrom:  make([]sim.Time, n),
+		AbsentUntil: make([]sim.Time, n),
+	}
+	rng := rand.New(rand.NewSource(mix(seed, 0x6164760a)))
+	perm := rng.Perm(n)
+	nm := int(cfg.MaliciousFraction*float64(n) + 0.5)
+	nc := int(cfg.ChurnFraction*float64(n) + 0.5)
+	if nm > n {
+		nm = n
+	}
+	if nm+nc > n {
+		nc = n - nm
+	}
+	for _, w := range perm[:nm] {
+		f.Malicious[w] = true
+	}
+	for _, w := range perm[nm : nm+nc] {
+		start := rng.Float64() * cfg.ChurnStartMaxSec
+		dur := cfg.AbsentMinSec + rng.Float64()*(cfg.AbsentMaxSec-cfg.AbsentMinSec)
+		f.AbsentFrom[w] = sim.Time(start * float64(sim.Second))
+		f.AbsentUntil[w] = f.AbsentFrom[w] + sim.Time(dur*float64(sim.Second))
+	}
+	return f
+}
+
+// mix folds values into a well-spread 64-bit seed (splitmix64 steps),
+// used to decorrelate the flag stream and per-cell seeds from the
+// base experiment seed.
+func mix(vals ...int64) int64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range vals {
+		h ^= uint64(v)
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return int64(h >> 1) // keep it non-negative for rand.NewSource hygiene
+}

@@ -1,0 +1,173 @@
+package broadcast
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Relay is a forwarding policy: given the node about to relay and the
+// neighbor it received the message from (-1 at the root), it returns
+// the node ids to forward to. Policies must be deterministic given the
+// rng (draw from it in a fixed order, never iterate a map) and must
+// not retain the returned slice's backing array across calls into
+// engine state — the engine consumes it before the next Targets call.
+type Relay interface {
+	Name() string
+	Targets(net *Net, node, from int, rng *rand.Rand) []int
+}
+
+// Flood forwards to every neighbor except the one the message came
+// from: maximal coverage, maximal duplicates.
+type Flood struct{}
+
+// Name implements Relay.
+func (Flood) Name() string { return "flood" }
+
+// Targets implements Relay.
+func (Flood) Targets(net *Net, node, from int, rng *rand.Rand) []int {
+	out := make([]int, 0, len(net.Neighbors[node]))
+	for _, w := range net.Neighbors[node] {
+		if w != from {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Gossip forwards to each neighbor (except the sender) independently
+// with probability P.
+type Gossip struct{ P float64 }
+
+// Name implements Relay.
+func (g Gossip) Name() string { return fmt.Sprintf("gossip(%g)", g.P) }
+
+// Targets implements Relay.
+func (g Gossip) Targets(net *Net, node, from int, rng *rand.Rand) []int {
+	var out []int
+	for _, w := range net.Neighbors[node] {
+		if w == from {
+			continue
+		}
+		if rng.Float64() < g.P {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// KRandom forwards to a uniform K-subset of the neighbors (except the
+// sender); nodes with fewer than K eligible neighbors forward to all
+// of them.
+type KRandom struct{ K int }
+
+// Name implements Relay.
+func (k KRandom) Name() string { return fmt.Sprintf("krandom(%d)", k.K) }
+
+// Targets implements Relay.
+func (k KRandom) Targets(net *Net, node, from int, rng *rand.Rand) []int {
+	out := make([]int, 0, len(net.Neighbors[node]))
+	for _, w := range net.Neighbors[node] {
+		if w != from {
+			out = append(out, w)
+		}
+	}
+	if len(out) <= k.K {
+		return out
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out[:k.K]
+}
+
+// Tree forwards along the channel-gain forest: node v relays to
+// exactly the neighbors whose strongest in-link comes from v
+// (net.BestIn[w] == v). The forest is a pure function of the frozen
+// link gains and is not rooted at the broadcast root, so the root
+// itself floods its neighborhood to seed every reachable subtree;
+// after that each message travels parent-to-child only. The policy
+// draws no randomness — channel losses are its only stochastic
+// element — and duplicates arise only where the root's seed flood
+// overlaps a forest edge.
+type Tree struct{}
+
+// Name implements Relay.
+func (Tree) Name() string { return "tree" }
+
+// Targets implements Relay.
+func (Tree) Targets(net *Net, node, from int, rng *rand.Rand) []int {
+	if from < 0 {
+		return net.Neighbors[node]
+	}
+	var out []int
+	for _, w := range net.Neighbors[node] {
+		if w != from && net.BestIn[w] == node {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Default policy parameters for bare "gossip"/"krandom" names.
+const (
+	defaultGossipP = 0.5
+	defaultK       = 2
+)
+
+// ParsePolicy resolves a policy name: "flood", "tree", "gossip" or
+// "gossip(P)", "krandom" or "krandom(K)". gossipP and k supply the
+// defaults for the bare forms; pass 0 to use the package defaults.
+func ParsePolicy(s string, gossipP float64, k int) (Relay, error) {
+	if gossipP <= 0 {
+		gossipP = defaultGossipP
+	}
+	if k <= 0 {
+		k = defaultK
+	}
+	name, arg := s, ""
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return nil, fmt.Errorf("policy %q: missing closing parenthesis", s)
+		}
+		name, arg = s[:i], s[i+1:len(s)-1]
+	}
+	switch name {
+	case "flood":
+		if arg != "" {
+			return nil, fmt.Errorf("policy %q: flood takes no parameter", s)
+		}
+		return Flood{}, nil
+	case "tree":
+		if arg != "" {
+			return nil, fmt.Errorf("policy %q: tree takes no parameter", s)
+		}
+		return Tree{}, nil
+	case "gossip":
+		p := gossipP
+		if arg != "" {
+			v, err := strconv.ParseFloat(arg, 64)
+			if err != nil {
+				return nil, fmt.Errorf("policy %q: bad probability: %v", s, err)
+			}
+			p = v
+		}
+		if p <= 0 || p > 1 {
+			return nil, fmt.Errorf("policy %q: probability must be in (0,1]", s)
+		}
+		return Gossip{P: p}, nil
+	case "krandom":
+		n := k
+		if arg != "" {
+			v, err := strconv.Atoi(arg)
+			if err != nil {
+				return nil, fmt.Errorf("policy %q: bad fan-out: %v", s, err)
+			}
+			n = v
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("policy %q: fan-out must be >= 1", s)
+		}
+		return KRandom{K: n}, nil
+	}
+	return nil, fmt.Errorf("unknown relay policy %q (want flood, gossip[(p)], krandom[(k)], tree)", s)
+}

@@ -226,7 +226,7 @@ func Run(ctx context.Context, job Job, dir string, o Options) (*Report, error) {
 		},
 	}
 	for i := range r.states {
-		r.states[i] = &shardState{h: sha256.New()}
+		r.states[i] = newShardState()
 	}
 	defer r.merger.Abort() // no-op after a successful Finish
 	defer r.closeReplays()
@@ -279,6 +279,7 @@ func Run(ctx context.Context, job Job, dir string, o Options) (*Report, error) {
 			defer wg.Done()
 			var lastErr error
 			attempt, steals := 1, 0
+			fromCell := 0
 			for attempt <= o.MaxAttempts {
 				var slot int
 				select {
@@ -288,21 +289,32 @@ func Run(ctx context.Context, job Job, dir string, o Options) (*Report, error) {
 					return
 				}
 				rep.Attempts[shard]++
-				err := r.attempt(ctx, shard, slot, rep.Attempts[shard])
+				err := r.attempt(ctx, shard, slot, rep.Attempts[shard], fromCell)
 				slots <- slot
 				if err == nil {
 					return
 				}
 				lastErr = err
+				fromCell = 0
 				if errors.Is(err, errStolen) && steals < o.MaxAttempts {
 					// A steal is not a worker failure: re-dispatch the
-					// residue class immediately (its merged prefix will
-					// be verified and skipped), without burning an
+					// residue class immediately, without burning an
 					// attempt or backing off. Bounded so a shard that
-					// keeps stalling cannot steal forever.
+					// keeps stalling cannot steal forever. The thief is
+					// suffix-dispatched from the victim's merge frontier
+					// (this goroutine owns the shard's state between
+					// attempts, so the read is race-free); the frontier
+					// cell's merged lines are verified and skipped, the
+					// earlier cells come from the checkpoint part file.
 					steals++
 					rep.Steals[shard]++
-					fmt.Fprintf(o.Log, "shard %d/%d: stalled attempt killed, re-dispatching (steal %d)\n", shard, job.Shards, steals)
+					if st := r.states[shard]; st.curCell > 0 {
+						fromCell = st.curCell
+						fmt.Fprintf(o.Log, "shard %d/%d: stalled attempt killed, re-dispatching from cell %d (steal %d)\n",
+							shard, job.Shards, fromCell, steals)
+					} else {
+						fmt.Fprintf(o.Log, "shard %d/%d: stalled attempt killed, re-dispatching (steal %d)\n", shard, job.Shards, steals)
+					}
 					continue
 				}
 				fmt.Fprintf(o.Log, "shard %d/%d attempt %d failed: %v\n", shard, job.Shards, attempt, err)
@@ -537,16 +549,18 @@ type replayCursor struct {
 }
 
 // push forwards a live worker line, then feeds any checkpointed shards
-// the frontier advanced into.
-func (r *run) push(shard int, line []byte) error {
+// the frontier advanced into. It returns the cell the line belongs to,
+// which the caller's shard state tracks for steal suffix-dispatch.
+func (r *run) push(shard int, line []byte) (int, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if err := r.merger.Push(shard, line); err != nil {
-		return err
+		return 0, err
 	}
+	cell := r.merger.Last(shard)
 	err := r.pump()
 	r.report()
-	return err
+	return cell, err
 }
 
 // closeShard marks a live shard complete, then pumps the replays.
@@ -604,13 +618,47 @@ func (r *run) closeReplays() {
 // merged, across that shard's attempts: a retry (or a steal's thief)
 // re-produces the same bytes, so its first pushed lines are verified
 // against the running hash and skipped instead of re-merged.
+//
+// Beyond the whole-stream running hash, the state keeps a snapshot of
+// where the current (possibly partially merged) cell begins — line
+// count, byte offset and hash at that point, plus a hash over the
+// cell's own lines. A steal's thief is suffix-dispatched from that
+// cell: the coordinator reuses the part file's verified prefix for the
+// earlier cells and only the frontier cell's lines are replayed.
 type shardState struct {
 	pushed int
 	h      hash.Hash // sha256 over the pushed lines ('\n' included)
+	bytes  int64     // bytes of the pushed lines ('\n' included)
+
+	curCell        int       // cell of the last pushed line, -1 before the first
+	cellStart      int       // pushed-line count where curCell begins
+	cellStartBytes int64     // byte offset where curCell begins
+	cellStartSum   []byte    // h's digest at cellStart
+	cellH          hash.Hash // sha256 over curCell's pushed lines
+}
+
+func newShardState() *shardState {
+	st := &shardState{h: sha256.New(), curCell: -1, cellH: sha256.New()}
+	st.cellStartSum = st.h.Sum(nil)
+	return st
 }
 
 func shardPath(dir string, shard int) string {
 	return filepath.Join(dir, fmt.Sprintf("shard_%d.jsonl", shard))
+}
+
+// hashFilePrefix hashes the first n bytes of the file at path.
+func hashFilePrefix(path string, n int64) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.CopyN(h, f, n); err != nil {
+		return nil, err
+	}
+	return h.Sum(nil), nil
 }
 
 // attempt runs one dispatch for one shard on the slot's long-lived
@@ -620,7 +668,16 @@ func shardPath(dir string, shard int) string {
 // atomically. On success the worker stays pooled for the next dispatch;
 // on any failure — including a deadline kill or a steal — it is retired
 // and the slot respawns lazily.
-func (r *run) attempt(ctx context.Context, shard, slot, dispatch int) error {
+//
+// fromCell > 0 requests a suffix dispatch (a steal's thief resuming at
+// the stolen shard's merge frontier): the worker streams only cells
+// with Index >= fromCell, the previous attempt's part file supplies the
+// earlier cells verbatim (verified by byte length and prefix hash
+// before reuse), and only the frontier cell's already-merged lines are
+// replayed through the prefix check. If the part file cannot be
+// verified the dispatch silently falls back to a full re-stream, which
+// is always correct.
+func (r *run) attempt(ctx context.Context, shard, slot, dispatch, fromCell int) error {
 	actx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
 	if r.o.AttemptTimeout > 0 {
@@ -643,27 +700,65 @@ func (r *run) attempt(ctx context.Context, shard, slot, dispatch int) error {
 	r.setCancel(shard, cancel)
 	defer r.setCancel(shard, nil)
 
-	req, err := json.Marshal(workRequest{
-		Job:     r.job,
-		Shard:   exp.Shard{Index: shard, Count: r.job.Shards},
-		Attempt: dispatch,
-	})
-	if err != nil {
-		return err
-	}
-
+	st := r.states[shard]
 	part := shardPath(r.dir, shard) + ".part"
-	pf, err := os.Create(part)
+
+	// A suffix dispatch reuses the part file's prefix for the cells
+	// before the frontier; the reuse is gated on the file still holding
+	// those bytes verbatim (length + prefix hash), since the victim may
+	// have died before flushing or left a torn tail.
+	suffix := fromCell > 0
+	if suffix {
+		ok := false
+		if fi, err := os.Stat(part); err == nil && fi.Size() >= st.cellStartBytes {
+			if sum, err := hashFilePrefix(part, st.cellStartBytes); err == nil && bytes.Equal(sum, st.cellStartSum) {
+				ok = true
+			}
+		}
+		if !ok {
+			fmt.Fprintf(r.o.Log, "shard %d/%d: part file unusable for suffix dispatch, re-streaming from cell 0\n",
+				shard, r.job.Shards)
+			suffix, fromCell = false, 0
+		}
+	}
+	var pf *os.File
+	if suffix {
+		if err := os.Truncate(part, st.cellStartBytes); err != nil {
+			r.pool.retire(slot, pw)
+			return err
+		}
+		pf, err = os.OpenFile(part, os.O_WRONLY|os.O_APPEND, 0o644)
+	} else {
+		pf, err = os.Create(part)
+	}
 	if err != nil {
 		r.pool.retire(slot, pw)
 		return err
 	}
 	defer pf.Close()
 
-	st := r.states[shard]
-	prefix := st.pushed // lines a previous attempt already merged
+	req, err := json.Marshal(workRequest{
+		Job:      r.job,
+		Shard:    exp.Shard{Index: shard, Count: r.job.Shards},
+		Attempt:  dispatch,
+		FromCell: fromCell,
+	})
+	if err != nil {
+		return err
+	}
+
+	// prefix: the already-merged lines this attempt will stream again
+	// and must reproduce bit for bit. A full re-stream replays the whole
+	// merged prefix; a suffix dispatch replays only the frontier cell's
+	// lines (the earlier cells are not re-streamed at all).
+	prefix := st.pushed
 	prefixSum := st.h.Sum(nil)
+	if suffix {
+		prefix = st.pushed - st.cellStart
+		prefixSum = st.cellH.Sum(nil)
+	}
 	vh := sha256.New() // re-hash of the replayed prefix
+	ah := sha256.New() // hash of every record line this attempt streamed
 	var (
 		seen        int
 		expectReady = true
@@ -704,7 +799,6 @@ func (r *run) attempt(ctx context.Context, shard, slot, dispatch int) error {
 					break
 				}
 				done, doneN, doneSum = true, n, sum
-				fmt.Fprintf(pf, "%s\n", s)
 				break
 			}
 			workErr = fmt.Errorf("worker: %s", s)
@@ -714,6 +808,8 @@ func (r *run) attempt(ctx context.Context, shard, slot, dispatch int) error {
 			workErr = err
 			break
 		}
+		ah.Write(line)
+		ah.Write([]byte{'\n'})
 		if seen < prefix {
 			// Replaying the prefix a previous attempt merged: verify the
 			// retry reproduces it bit for bit, don't re-merge it.
@@ -726,13 +822,26 @@ func (r *run) attempt(ctx context.Context, shard, slot, dispatch int) error {
 			}
 			continue
 		}
-		if err := r.push(shard, line); err != nil {
+		cell, err := r.push(shard, line)
+		if err != nil {
 			workErr = err
 			break
 		}
+		if cell != st.curCell {
+			// First line of a new cell: snapshot the stream position so a
+			// future steal can suffix-dispatch from this cell.
+			st.cellStart = st.pushed
+			st.cellStartBytes = st.bytes
+			st.cellStartSum = st.h.Sum(nil)
+			st.cellH = sha256.New()
+			st.curCell = cell
+		}
 		st.h.Write(line)
 		st.h.Write([]byte{'\n'})
+		st.cellH.Write(line)
+		st.cellH.Write([]byte{'\n'})
 		st.pushed++
+		st.bytes += int64(len(line)) + 1
 		seen++
 	}
 	if workErr == nil {
@@ -746,10 +855,10 @@ func (r *run) attempt(ctx context.Context, shard, slot, dispatch int) error {
 	case !done:
 		attemptErr = fmt.Errorf("worker stream ended without completion marker")
 	case seen < prefix:
-		attemptErr = fatalError{fmt.Errorf("retried shard %d streamed %d lines, fewer than the %d already merged — determinism violation, not retryable", shard, seen, prefix)}
-	case doneN != st.pushed || doneSum != hex.EncodeToString(st.h.Sum(nil)):
-		attemptErr = fmt.Errorf("completion marker mismatch: worker declared %d records (%s), coordinator merged %d (%s)",
-			doneN, doneSum, st.pushed, hex.EncodeToString(st.h.Sum(nil)))
+		attemptErr = fatalError{fmt.Errorf("retried shard %d streamed %d lines, fewer than the %d its dispatch had to replay — determinism violation, not retryable", shard, seen, prefix)}
+	case doneN != seen || doneSum != hex.EncodeToString(ah.Sum(nil)):
+		attemptErr = fmt.Errorf("completion marker mismatch: worker declared %d records (%s), coordinator saw %d (%s)",
+			doneN, doneSum, seen, hex.EncodeToString(ah.Sum(nil)))
 	}
 	if attemptErr != nil {
 		// The worker may be dead (crash, kill) or healthy-but-unusable
@@ -779,6 +888,14 @@ func (r *run) attempt(ctx context.Context, shard, slot, dispatch int) error {
 	stopWatch()
 	cancel(nil)
 
+	// The checkpoint's completion marker is computed by the coordinator
+	// over the whole merged stream — a suffix dispatch's worker only
+	// declared the suffix — so every checkpoint stays self-validating no
+	// matter how its bytes were assembled. On a full dispatch this is
+	// byte-identical to the marker the worker sent.
+	if _, err := fmt.Fprintf(pf, "%s\n", DoneMarker(st.pushed, st.h.Sum(nil))); err != nil {
+		return err
+	}
 	if err := pf.Sync(); err != nil {
 		return err
 	}
@@ -820,9 +937,18 @@ func (r *run) finishMerge(cells int) (exp.Result, error) {
 // Anything else — truncation, a flipped byte, a missing marker —
 // invalidates the file (ok false) and the artifact must be recomputed.
 func ValidateRecordsFile(path string) (records int, dataBytes int64, ok bool) {
+	records, dataBytes, _, ok = ValidateRecordsFileSum(path)
+	return records, dataBytes, ok
+}
+
+// ValidateRecordsFileSum is ValidateRecordsFile, additionally returning
+// the verified stream's hex SHA-256, so a caller maintaining an index
+// over validated artifacts (the serve layer's cache) gets the digest
+// from the same pass instead of rehashing.
+func ValidateRecordsFileSum(path string) (records int, dataBytes int64, sum string, ok bool) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, 0, false
+		return 0, 0, "", false
 	}
 	defer f.Close()
 	h := sha256.New()
@@ -837,14 +963,15 @@ func ValidateRecordsFile(path string) (records int, dataBytes int64, ok bool) {
 			continue
 		}
 		if sawDone {
-			return 0, 0, false // data after the completion marker
+			return 0, 0, "", false // data after the completion marker
 		}
 		if line[0] == '#' {
-			dn, sum, err := ParseDoneMarker(string(line))
-			if err != nil || dn != n || sum != hex.EncodeToString(h.Sum(nil)) {
-				return 0, 0, false
+			dn, dsum, err := ParseDoneMarker(string(line))
+			if err != nil || dn != n || dsum != hex.EncodeToString(h.Sum(nil)) {
+				return 0, 0, "", false
 			}
 			dataBytes = off
+			sum = dsum
 			sawDone = true
 			continue
 		}
@@ -854,7 +981,7 @@ func ValidateRecordsFile(path string) (records int, dataBytes int64, ok bool) {
 		off += int64(len(line)) + 1
 	}
 	if sc.Err() != nil || !sawDone {
-		return 0, 0, false
+		return 0, 0, "", false
 	}
-	return n, dataBytes, true
+	return n, dataBytes, sum, true
 }

@@ -57,6 +57,11 @@ type workRequest struct {
 	// fault schedules (x<attempts> limits, seed-derived cut points) see
 	// the same attempt numbering the coordinator does.
 	Attempt int `json:"attempt,omitempty"`
+	// FromCell, when positive, restricts the shard to cells with
+	// Index >= FromCell — the steal suffix-dispatch path: a thief
+	// resumes a stolen shard at its merge frontier instead of
+	// re-streaming the whole residue class from cell 0.
+	FromCell int `json:"from_cell,omitempty"`
 }
 
 // ReadyMarker is the idle heartbeat a worker emits on startup and after
@@ -225,7 +230,7 @@ func serveShard(req workRequest, out io.Writer, sched *fault.Schedule, release <
 	// The hash writer comes first so it always sees the clean bytes;
 	// corruption (if scheduled) happens on the transport copy only.
 	snk := &shardSink{jsonl: sink.NewJSONL(io.MultiWriter(h, lineW)), inj: inj}
-	_, runErr := exp.Run(e, req.Job.Seed, sc, exp.Options{Sink: snk, Shard: req.Shard})
+	_, runErr := exp.Run(e, req.Job.Seed, sc, exp.Options{Sink: snk, Shard: req.Shard, FromCell: req.FromCell})
 	if runErr == nil {
 		runErr = snk.Close()
 	}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/broadcast"
+	"repro/internal/experiments/exp"
+)
+
+// TestBroadcastJSONLByteIdenticalAcrossWorkerCounts pins the broadcast
+// family to the engine's streaming guarantee: the record stream must
+// be byte-identical at 1, 2 and GOMAXPROCS workers.
+func TestBroadcastJSONLByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	sc := detScale()
+	sc.Iterations = 2 // 24 nodes, 2 reps: 24 cells
+	e := broadcast.Default()
+	ref, refRes := renderJSONL(t, e, 4, sc, 1)
+	if len(ref) == 0 {
+		t.Fatal("broadcast streamed no records")
+	}
+	for _, workers := range []int{2, max(2, runtime.GOMAXPROCS(0))} {
+		got, res := renderJSONL(t, e, 4, sc, workers)
+		if !bytes.Equal(got, ref) {
+			t.Fatalf("broadcast stream differs at %d workers:\ngot:\n%s\nref:\n%s", workers, got, ref)
+		}
+		if !reflect.DeepEqual(res, refRes) {
+			t.Fatalf("broadcast reduction differs at %d workers:\ngot: %+v\nref: %+v", workers, res, refRes)
+		}
+	}
+}
+
+// TestBroadcastShardMergeByteIdentical mirrors the fig10 shard
+// contract for the dissemination family: 2-way and 3-way shards —
+// each shard run with a different worker count — must merge back to
+// the byte-identical unsharded stream and reduction.
+func TestBroadcastShardMergeByteIdentical(t *testing.T) {
+	sc := detScale()
+	sc.Iterations = 2
+	e := broadcast.Default()
+	full, fullRes := renderJSONL(t, e, 4, sc, max(2, runtime.GOMAXPROCS(0)))
+	if len(full) == 0 {
+		t.Fatal("broadcast streamed no records")
+	}
+	for _, k := range []int{2, 3} {
+		var ins []io.Reader
+		for i := 0; i < k; i++ {
+			workers := 1 + (i % runtime.GOMAXPROCS(0))
+			ins = append(ins, bytes.NewReader(renderShard(t, e, 4, sc, exp.Shard{Index: i, Count: k}, workers)))
+		}
+		var merged bytes.Buffer
+		res, err := exp.Merge(ins, &merged)
+		if err != nil {
+			t.Fatalf("k=%d: merge: %v", k, err)
+		}
+		if !bytes.Equal(merged.Bytes(), full) {
+			t.Fatalf("k=%d: merged shards differ from the unsharded stream:\nmerged:\n%s\nfull:\n%s",
+				k, merged.Bytes(), full)
+		}
+		if !reflect.DeepEqual(res, fullRes) {
+			t.Fatalf("k=%d: merged reduction differs:\nmerged: %+v\nfull:   %+v", k, res, fullRes)
+		}
+	}
+}

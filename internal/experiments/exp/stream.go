@@ -259,3 +259,8 @@ func (m *Merger) stopReduction() Result {
 
 // Frontier reports merge progress: the first cell not yet fully merged.
 func (m *Merger) Frontier() int { return m.next }
+
+// Last reports the highest cell a shard has pushed so far, -1 before
+// its first record. The coordinator uses it to locate a stolen shard's
+// merge frontier when suffix-dispatching the re-run.
+func (m *Merger) Last(shard int) int { return m.last[shard] }

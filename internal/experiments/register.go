@@ -1,6 +1,9 @@
 package experiments
 
-import "repro/internal/experiments/exp"
+import (
+	"repro/internal/broadcast"
+	"repro/internal/experiments/exp"
+)
 
 // Every figure suite registers here, in figure order; cmd/meshopt, the
 // scenario engine and exp.Merge resolve them by name. Figures 7, 8 and
@@ -18,6 +21,7 @@ func init() {
 	exp.Register(fig13Exp{})
 	exp.Register(fig14Exp{})
 	exp.Register(exhaustiveExp{})
+	exp.Register(broadcast.Default())
 	exp.RegisterAlias("fig7", "netvalid")
 	exp.RegisterAlias("fig8", "netvalid")
 	exp.RegisterAlias("fig12", "netvalid")

@@ -2,7 +2,6 @@ package scenario
 
 import (
 	"fmt"
-	"io"
 	"math"
 	"math/rand"
 	"strings"
@@ -10,9 +9,6 @@ import (
 	"repro/internal/core/capacity"
 	"repro/internal/core/controller"
 	"repro/internal/core/optimize"
-	"repro/internal/experiments"
-	"repro/internal/experiments/exp"
-	"repro/internal/experiments/runner"
 	"repro/internal/measure"
 	"repro/internal/phy"
 	"repro/internal/probe"
@@ -23,82 +19,13 @@ import (
 	"repro/internal/transport"
 )
 
-// Options tunes a scenario run.
+// Options tunes cell execution. Scenarios run through the experiment
+// adapter (Experiment) and the exp engine — the legacy in-package run
+// loop is gone — but cell bodies still need the quick-scale knob.
 type Options struct {
-	// Sink receives the streamed per-cell records; nil discards them.
-	Sink sink.Sink
-	// Log receives the human-readable per-cell summary; nil discards it.
-	Log io.Writer
-	// Scale drives the figure suites (specs with Figure set).
-	Scale experiments.Scale
-	// Quick caps declarative durations and probe windows for smoke runs
-	// (the -scale quick default in cmd/meshopt).
+	// Quick caps declarative durations and probe windows for smoke
+	// runs; the experiment adapter derives it from the run scale.
 	Quick bool
-	// SeedOverride replaces the spec's base seed when non-nil.
-	SeedOverride *int64
-}
-
-func (o *Options) withDefaults() Options {
-	out := *o
-	if out.Sink == nil {
-		out.Sink = sink.Discard
-	}
-	if out.Log == nil {
-		out.Log = io.Discard
-	}
-	if out.Scale.PhaseDur == 0 {
-		out.Scale = experiments.Quick()
-	}
-	return out
-}
-
-// Run executes a validated scenario: it expands the sweep axes into
-// independent simulation cells, fans them over the parallel experiment
-// runner, and streams each cell's records into the sink in deterministic
-// cell order. Figure specs delegate to the scenario-ported figure suite
-// with the same sink plumbing.
-func Run(spec *Spec, opts Options) error {
-	if err := spec.Validate(); err != nil {
-		return err
-	}
-	o := opts.withDefaults()
-	seed := spec.Seed
-	if o.SeedOverride != nil {
-		seed = *o.SeedOverride
-	}
-	if spec.Figure != 0 {
-		return runFigure(spec, seed, o)
-	}
-
-	points := sweepPoints(spec)
-	fmt.Fprintf(o.Log, "scenario %s: %d cell(s), %d flow(s)\n", spec.Name, len(points), len(spec.Traffic))
-	var sinkErr error
-	runner.Stream(points, func(i int, pt sweepPoint) cellResult {
-		return runCell(spec, o, seed, i, pt)
-	}, func(i int, res cellResult) {
-		for _, rec := range res.records {
-			if sinkErr == nil {
-				sinkErr = o.Sink.Write(rec)
-			}
-		}
-		fmt.Fprintf(o.Log, "  cell %d/%d%s: %s\n", i+1, len(points), points[i].label(), res.summary)
-	})
-	return sinkErr
-}
-
-// runFigure drives a figure suite from the experiment registry through
-// the sink.
-func runFigure(spec *Spec, seed int64, o Options) error {
-	e, ok := exp.Find(fmt.Sprintf("fig%d", spec.Figure))
-	if !ok {
-		return fmt.Errorf("scenario %q: figure %d has no registered experiment", spec.Name, spec.Figure)
-	}
-	res, err := exp.Run(e, seed, o.Scale, exp.Options{Sink: o.Sink})
-	if err != nil {
-		return err
-	}
-	res.Print(o.Log)
-	return nil
 }
 
 // sweepPoint is one cell's coordinates in the sweep cross product.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/broadcast"
 	"repro/internal/experiments/exp"
 	"repro/internal/scenario/sink"
 )
@@ -33,7 +34,69 @@ func Experiment(spec *Spec) (exp.Experiment, error) {
 		}
 		return e, nil
 	}
+	if spec.Broadcast != nil {
+		return broadcastExperiment(spec)
+	}
 	return specExperiment{spec: spec}, nil
+}
+
+// broadcastExperiment adapts a "broadcast" spec kind to the
+// dissemination workload: the spec's topology (frozen at the
+// experiment seed via buildTopology) becomes the relay graph, and the
+// spec's policy set, roots, repetitions and adversary knobs become the
+// workload axes. The returned Workload is a full exp.Experiment, so
+// broadcast specs shard, coordinate and cache like any figure.
+func broadcastExperiment(spec *Spec) (exp.Experiment, error) {
+	b := spec.Broadcast
+	policies := make([]broadcast.Relay, len(b.Policies))
+	for i, name := range b.Policies {
+		p, err := broadcast.ParsePolicy(name, b.GossipP, b.K)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %v", spec.Name, err)
+		}
+		policies[i] = p
+	}
+	rate, err := parseRate(spec.Topology.Rate)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %v", spec.Name, err)
+	}
+	payload := b.PayloadBytes
+	if payload <= 0 {
+		payload = 1024
+	}
+	adv := broadcast.AdversaryConfig{MaliciousFraction: b.MaliciousFraction}
+	if c := b.Churn; c != nil {
+		adv.ChurnFraction = c.Fraction
+		adv.ChurnStartMaxSec = c.StartMaxSec
+		adv.AbsentMinSec = c.AbsentMinSec
+		adv.AbsentMaxSec = c.AbsentMaxSec
+	}
+	n := spec.Topology.NodeCount()
+	roots := b.Roots
+	if len(roots) == 0 {
+		roots = []int{0, n / 3, 2 * n / 3}
+	}
+	return &broadcast.Workload{
+		Label: spec.Name,
+		Desc:  spec.Description,
+		Build: func(seed int64, _ int) (*broadcast.Net, error) {
+			nw, err := buildTopology(spec, seed)
+			if err != nil {
+				return nil, err
+			}
+			return broadcast.NewNet(nw, rate, payload), nil
+		},
+		Nodes: func(exp.Scale) int { return n },
+		Roots: func(int) []int { return roots },
+		Reps: func(sc exp.Scale) int {
+			if b.Repetitions > 0 {
+				return b.Repetitions
+			}
+			return sc.Iterations
+		},
+		Policies:  policies,
+		Adversary: adv,
+	}, nil
 }
 
 type specExperiment struct{ spec *Spec }

@@ -3,6 +3,12 @@ package scenario
 import (
 	"fmt"
 	"sort"
+
+	// The fig10/fig14 builtins validate against the experiment
+	// registry at init, so the figure suites must be registered before
+	// this package initializes (engine.go used to pull experiments in
+	// for its Scale type; the run port removed that dependency).
+	_ "repro/internal/experiments"
 )
 
 // builtins reproduce the examples/ programs as data, plus fig10/fig14

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"bytes"
+	"io"
 	"math"
 	"os"
 	"reflect"
@@ -9,9 +10,28 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/experiments/exp"
 	"repro/internal/experiments/runner"
 	"repro/internal/scenario/sink"
 )
+
+// runSpec drives a spec through the experiment adapter and engine —
+// the only run path since the legacy in-package stream loop was
+// removed. The seed defaults to the spec's own, mirroring the CLI.
+func runSpec(spec *Spec, snk sink.Sink, seed int64, logW io.Writer) error {
+	e, err := Experiment(spec)
+	if err != nil {
+		return err
+	}
+	res, err := exp.Run(e, seed, exp.Quick(), exp.Options{Sink: snk})
+	if err != nil {
+		return err
+	}
+	if logW != nil {
+		res.Print(logW)
+	}
+	return nil
+}
 
 // TestGoldenQuickstartRoundTrip pins the JSON schema: the built-in
 // quickstart spec must marshal byte-for-byte to the checked-in golden
@@ -66,7 +86,7 @@ func TestBuiltinsMarshalParseRoundTrip(t *testing.T) {
 func TestRunQuickstartEndToEnd(t *testing.T) {
 	spec, _ := Lookup("quickstart")
 	mem := sink.NewMemory()
-	if err := Run(spec, Options{Sink: mem, Quick: true}); err != nil {
+	if err := runSpec(spec, mem, spec.Seed, nil); err != nil {
 		t.Fatal(err)
 	}
 	series := map[string]int{}
@@ -109,7 +129,7 @@ func TestRunUserAuthoredSpec(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	jl := sink.NewJSONL(&buf)
-	if err := Run(spec, Options{Sink: jl, Quick: true}); err != nil {
+	if err := runSpec(spec, jl, spec.Seed, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := jl.Close(); err != nil {
@@ -135,7 +155,7 @@ func TestRunSweepJSONLByteIdenticalAcrossWorkerCounts(t *testing.T) {
 		defer runner.SetWorkers(old)
 		var buf bytes.Buffer
 		jl := sink.NewJSONL(&buf)
-		if err := Run(spec, Options{Sink: jl, Quick: true}); err != nil {
+		if err := runSpec(spec, jl, spec.Seed, nil); err != nil {
 			t.Fatal(err)
 		}
 		jl.Close()
@@ -156,7 +176,7 @@ func TestRunSweepJSONLByteIdenticalAcrossWorkerCounts(t *testing.T) {
 func TestRunFairnessSweep(t *testing.T) {
 	spec, _ := Lookup("fairness")
 	mem := sink.NewMemory()
-	if err := Run(spec, Options{Sink: mem, Quick: true}); err != nil {
+	if err := runSpec(spec, mem, spec.Seed, nil); err != nil {
 		t.Fatal(err)
 	}
 	// plan records carry output_bps per flow; find flow 2 (the 4-hop
@@ -195,8 +215,7 @@ func TestRunFigureSpec(t *testing.T) {
 	spec, _ := Lookup("fig10")
 	mem := sink.NewMemory()
 	var log bytes.Buffer
-	seed := int64(4)
-	if err := Run(spec, Options{Sink: mem, Log: &log, SeedOverride: &seed}); err != nil {
+	if err := runSpec(spec, mem, 4, &log); err != nil {
 		t.Fatal(err)
 	}
 	if len(mem.Records()) == 0 {

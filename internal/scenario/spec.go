@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/broadcast"
 	"repro/internal/experiments/exp"
 	"repro/internal/phy"
 )
@@ -43,6 +44,44 @@ type Spec struct {
 	// "fig<n>" in the experiment registry instead of the declarative
 	// engine; the other workload fields are ignored.
 	Figure int `json:"figure,omitempty"`
+	// Broadcast switches the workload to the event-driven
+	// dissemination engine: the topology is built as usual, then swept
+	// as (root × relay policy × repetition) cells. Traffic, controller,
+	// measure and sweep fields must be absent.
+	Broadcast *BroadcastSpec `json:"broadcast,omitempty"`
+}
+
+// BroadcastSpec parameterizes a broadcast dissemination sweep (spec
+// kind "broadcast"); see internal/broadcast for the engine.
+type BroadcastSpec struct {
+	// Policies lists relay policies by name: "flood", "tree",
+	// "gossip" / "gossip(p)", "krandom" / "krandom(k)".
+	Policies []string `json:"policies"`
+	// GossipP and K supply the parameters for the bare "gossip" and
+	// "krandom" forms (defaults 0.5 and 2).
+	GossipP float64 `json:"gossip_p,omitempty"`
+	K       int     `json:"k,omitempty"`
+	// Roots lists the injection nodes; empty picks {0, n/3, 2n/3}.
+	Roots []int `json:"roots,omitempty"`
+	// Repetitions is the per-(root,policy) repeat count; 0 uses the
+	// run scale's iteration count.
+	Repetitions int `json:"repetitions,omitempty"`
+	// PayloadBytes sizes the broadcast message (default 1024).
+	PayloadBytes int `json:"payload_bytes,omitempty"`
+	// MaliciousFraction of nodes receive the message but never relay.
+	MaliciousFraction float64 `json:"malicious_fraction,omitempty"`
+	// Churn schedules seeded absence windows on a node fraction.
+	Churn *ChurnSpec `json:"churn,omitempty"`
+}
+
+// ChurnSpec schedules churned nodes: each selected node is absent —
+// missing frames entirely — for one uniform interval per run. Times
+// are simulated seconds; zero timing fields take the engine defaults.
+type ChurnSpec struct {
+	Fraction     float64 `json:"fraction"`
+	StartMaxSec  float64 `json:"start_max_sec,omitempty"`
+	AbsentMinSec float64 `json:"absent_min_sec,omitempty"`
+	AbsentMaxSec float64 `json:"absent_max_sec,omitempty"`
 }
 
 // TopologySpec selects and parameterizes the mesh under test.
@@ -281,6 +320,52 @@ func (s *Spec) Validate() error {
 	}
 	if s.PHY != nil && !phyOK {
 		return fail("phy overrides are only supported on position-built topologies (grid, random, explicit), not %q", t.Kind)
+	}
+
+	if b := s.Broadcast; b != nil {
+		if len(s.Traffic) > 0 || s.Controller != nil || s.Measure != (MeasureSpec{}) || len(s.Sweep) > 0 {
+			return fail("broadcast cannot be combined with traffic, controller, measure or sweep fields")
+		}
+		if len(b.Policies) == 0 {
+			return fail("broadcast needs at least one relay policy")
+		}
+		if b.GossipP < 0 || b.GossipP > 1 {
+			return fail("broadcast gossip_p %g out of [0,1]", b.GossipP)
+		}
+		if b.K < 0 {
+			return fail("broadcast k must be non-negative")
+		}
+		for _, name := range b.Policies {
+			if _, err := broadcast.ParsePolicy(name, b.GossipP, b.K); err != nil {
+				return fail("broadcast: %v", err)
+			}
+		}
+		for _, r := range b.Roots {
+			if r < 0 || r >= n {
+				return fail("broadcast root %d out of range for %d nodes", r, n)
+			}
+		}
+		if b.Repetitions < 0 {
+			return fail("broadcast repetitions must be non-negative")
+		}
+		if b.PayloadBytes < 0 {
+			return fail("broadcast payload_bytes must be non-negative")
+		}
+		if b.MaliciousFraction < 0 || b.MaliciousFraction > 1 {
+			return fail("broadcast malicious_fraction %g out of [0,1]", b.MaliciousFraction)
+		}
+		if c := b.Churn; c != nil {
+			if c.Fraction < 0 || c.Fraction > 1 {
+				return fail("broadcast churn fraction %g out of [0,1]", c.Fraction)
+			}
+			if c.StartMaxSec < 0 || c.AbsentMinSec < 0 || c.AbsentMaxSec < 0 {
+				return fail("broadcast churn times must be non-negative")
+			}
+			if c.AbsentMaxSec > 0 && c.AbsentMaxSec < c.AbsentMinSec {
+				return fail("broadcast churn absent_max_sec below absent_min_sec")
+			}
+		}
+		return nil
 	}
 
 	managed := 0

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"repro/internal/dist"
 	"repro/internal/experiments/exp"
@@ -88,11 +89,35 @@ func mustCompactSpec(spec *scenario.Spec) json.RawMessage {
 // granularity) and is renamed into place only once the marker is
 // written, so a crash at any point leaves either a valid entry or a
 // resumable prefix — never a corrupt entry that Lookup would serve.
+//
+// Alongside the entries the cache keeps an advisory index
+// (`index.json`) of validated metadata — record count, stream SHA-256,
+// record-region length, plus a (size, mtime) fingerprint — so repeated
+// Lookups of an entry this process has already validated cost a stat
+// instead of a full rehash. The index never substitutes for
+// validation: the first Lookup of a key in a process always rehashes
+// the entry (catching offline corruption the fingerprint can't), and
+// any fingerprint mismatch falls back to the same full validation.
 type Cache struct {
 	dir string
+
+	mu        sync.Mutex
+	index     map[string]indexEntry
+	validated map[string]bool // keys fully validated by this process
 }
 
-// NewCache opens (creating if needed) the cache directory.
+// indexEntry is one validated entry's metadata in index.json.
+type indexEntry struct {
+	Records   int    `json:"records"`
+	SHA256    string `json:"sha256"`
+	Length    int64  `json:"length"` // record-region bytes (marker excluded)
+	Size      int64  `json:"size"`   // whole-file fingerprint
+	ModTimeNS int64  `json:"mtime_ns"`
+}
+
+// NewCache opens (creating if needed) the cache directory. A readable
+// index.json is loaded; a missing or corrupt one is ignored — the index
+// is advisory and rebuilds itself as entries are validated.
 func NewCache(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -100,8 +125,17 @@ func NewCache(dir string) (*Cache, error) {
 	if err := os.MkdirAll(filepath.Join(dir, "runs"), 0o755); err != nil {
 		return nil, err
 	}
-	return &Cache{dir: dir}, nil
+	c := &Cache{dir: dir, index: map[string]indexEntry{}, validated: map[string]bool{}}
+	if b, err := os.ReadFile(c.indexPath()); err == nil {
+		var idx map[string]indexEntry
+		if json.Unmarshal(b, &idx) == nil && idx != nil {
+			c.index = idx
+		}
+	}
+	return c, nil
 }
+
+func (c *Cache) indexPath() string { return filepath.Join(c.dir, "index.json") }
 
 // Dir returns the cache root.
 func (c *Cache) Dir() string { return c.dir }
@@ -126,13 +160,86 @@ func (c *Cache) RunDir(key string) string {
 // returns its path, record count and record-region byte length. A
 // missing, truncated, bit-flipped or marker-less entry reports ok false
 // — it is never served, the job is recomputed.
+//
+// An entry this process has already fully validated is served from the
+// index when its (size, mtime) fingerprint still matches — a stat
+// instead of a rehash, which is what keeps warm resubmissions of large
+// entries cheap. Any other state takes the full validation path.
 func (c *Cache) Lookup(key string) (path string, records int, dataBytes int64, ok bool) {
 	path = c.EntryPath(key)
-	records, dataBytes, ok = dist.ValidateRecordsFile(path)
+	c.mu.Lock()
+	ent, have := c.index[key]
+	valid := c.validated[key]
+	c.mu.Unlock()
+	if have && valid {
+		if fi, err := os.Stat(path); err == nil && fi.Size() == ent.Size && fi.ModTime().UnixNano() == ent.ModTimeNS {
+			return path, ent.Records, ent.Length, true
+		}
+	}
+	return c.Revalidate(key)
+}
+
+// Revalidate is Lookup without the index fast path: a full rehash of
+// the entry against its completion marker, refreshing (or dropping)
+// the index entry with the outcome. Callers for whom a false positive
+// is costlier than the rehash — the job-table janitor, whose eviction
+// must never turn a warm key into a recomputation — use it directly.
+func (c *Cache) Revalidate(key string) (path string, records int, dataBytes int64, ok bool) {
+	path = c.EntryPath(key)
+	records, dataBytes, sum, ok := dist.ValidateRecordsFileSum(path)
 	if !ok {
+		c.mu.Lock()
+		if _, had := c.index[key]; had {
+			delete(c.index, key)
+			c.persistLocked()
+		}
+		delete(c.validated, key)
+		c.mu.Unlock()
 		return "", 0, 0, false
 	}
+	c.seal(key, records, dataBytes, sum)
 	return path, records, dataBytes, true
+}
+
+// Seal records a just-finished entry in the index. The writer that
+// produced the entry already holds its record count, record-region
+// length and stream hash — the values the completion marker was built
+// from — so sealing costs one stat, never a rehash.
+func (c *Cache) Seal(key string, records int, dataBytes int64, sum []byte) {
+	c.seal(key, records, dataBytes, hex.EncodeToString(sum))
+}
+
+func (c *Cache) seal(key string, records int, dataBytes int64, sum string) {
+	fi, err := os.Stat(c.EntryPath(key))
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	c.index[key] = indexEntry{
+		Records:   records,
+		SHA256:    sum,
+		Length:    dataBytes,
+		Size:      fi.Size(),
+		ModTimeNS: fi.ModTime().UnixNano(),
+	}
+	c.validated[key] = true
+	c.persistLocked()
+	c.mu.Unlock()
+}
+
+// persistLocked writes index.json atomically (tmp + rename). Failures
+// are ignored: the index is advisory, and the worst a lost write costs
+// is one rehash in a future process. Called with c.mu held.
+func (c *Cache) persistLocked() {
+	b, err := json.MarshalIndent(c.index, "", "  ")
+	if err != nil {
+		return
+	}
+	tmp := c.indexPath() + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return
+	}
+	os.Rename(tmp, c.indexPath())
 }
 
 // ImportRunDir converts a finished coordinator run directory into a
@@ -167,6 +274,7 @@ func (c *Cache) ImportRunDir(dir string) (key string, err error) {
 	defer f.Close()
 	h := sha256.New()
 	n := 0
+	var dataBytes int64
 	sc := sink.NewLineScanner(merged)
 	for sc.Scan() {
 		line := sc.Bytes()
@@ -179,6 +287,7 @@ func (c *Cache) ImportRunDir(dir string) (key string, err error) {
 		h.Write(line)
 		h.Write([]byte{'\n'})
 		n++
+		dataBytes += int64(len(line)) + 1
 	}
 	if err := sc.Err(); err != nil {
 		return "", err
@@ -192,5 +301,9 @@ func (c *Cache) ImportRunDir(dir string) (key string, err error) {
 	if err := f.Close(); err != nil {
 		return "", err
 	}
-	return key, os.Rename(part, c.EntryPath(key))
+	if err := os.Rename(part, c.EntryPath(key)); err != nil {
+		return "", err
+	}
+	c.Seal(key, n, dataBytes, h.Sum(nil))
+	return key, nil
 }

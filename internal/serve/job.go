@@ -314,6 +314,7 @@ func (s *Server) runLocal(j *job) error {
 	if err := os.Rename(part, s.cache.EntryPath(j.key)); err != nil {
 		return err
 	}
+	s.cache.Seal(j.key, pre.records+ws.written, cw.n, h.Sum(nil))
 	if res == nil {
 		// A resumed run (FromCell > 0) skips the engine's reduction —
 		// its stream lacks the prefix. The finished entry holds the
@@ -443,6 +444,7 @@ func (s *Server) runDist(j *job) error {
 	if err := os.Rename(part, s.cache.EntryPath(j.key)); err != nil {
 		return err
 	}
+	s.cache.Seal(j.key, tee.lines, tee.n, tee.h.Sum(nil))
 	summary := ""
 	if rep.Result != nil {
 		var b strings.Builder

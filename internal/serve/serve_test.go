@@ -4,12 +4,14 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -369,6 +371,14 @@ func TestCorruptedCacheEntryIsRecomputed(t *testing.T) {
 			}
 			data[len(data)/3] ^= 0x20
 			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			// The rewrite keeps the size; make the mtime change explicit
+			// rather than relying on clock granularity, so the cache's
+			// (size, mtime) fingerprint check is exercised
+			// deterministically.
+			now := time.Now().Add(2 * time.Second)
+			if err := os.Chtimes(path, now, now); err != nil {
 				t.Fatal(err)
 			}
 		}},
@@ -859,5 +869,137 @@ func TestJobTTLEvictsTerminalJobs(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("job with corrupt entry gone from the table: %s", resp.Status)
 		}
+	}
+}
+
+// writeValidEntry plants a hand-built, marker-terminated cache entry.
+func writeValidEntry(t *testing.T, c *Cache, key, line string) {
+	t.Helper()
+	h := sha256.New()
+	h.Write([]byte(line))
+	h.Write([]byte{'\n'})
+	content := line + "\n" + dist.DoneMarker(1, h.Sum(nil)) + "\n"
+	if err := os.WriteFile(c.EntryPath(key), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheIndexFastPathAndSelfValidation(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "deadbeef"
+	line := `{"scenario":"x","series":"cell","cell":0}`
+	writeValidEntry(t, c, key, line)
+
+	// First Lookup in a process always rehashes, then seals the index.
+	_, records, dataBytes, ok := c.Lookup(key)
+	if !ok || records != 1 || dataBytes != int64(len(line)+1) {
+		t.Fatalf("lookup: records=%d bytes=%d ok=%v", records, dataBytes, ok)
+	}
+	idx, err := os.ReadFile(filepath.Join(dir, "index.json"))
+	if err != nil {
+		t.Fatalf("index.json not persisted: %v", err)
+	}
+	wantN, wantB, wantSum, wantOK := dist.ValidateRecordsFileSum(c.EntryPath(key))
+	if !wantOK {
+		t.Fatal("planted entry does not validate")
+	}
+	for _, frag := range []string{
+		fmt.Sprintf(`"records": %d`, wantN),
+		fmt.Sprintf(`"length": %d`, wantB),
+		fmt.Sprintf(`"sha256": %q`, wantSum),
+	} {
+		if !strings.Contains(string(idx), frag) {
+			t.Fatalf("index.json missing %s:\n%s", frag, idx)
+		}
+	}
+
+	// Prove the warm path is a stat, not a rehash: corrupt the entry
+	// while preserving its (size, mtime) fingerprint. The same-process
+	// Lookup serves the stale index entry — and that is fine, because
+	// nothing mutates sealed entries in-place in real operation...
+	fi, err := os.Stat(c.EntryPath(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(c.EntryPath(key))
+	data[len(line)/2] ^= 0x20
+	if err := os.WriteFile(c.EntryPath(key), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(c.EntryPath(key), fi.ModTime(), fi.ModTime()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, ok := c.Lookup(key); !ok {
+		t.Fatal("fingerprint-preserving corruption changed the fast path (did Lookup rehash?)")
+	}
+	// ...while Revalidate bypasses the index and catches it, dropping
+	// the index entry with it.
+	if _, _, _, ok := c.Revalidate(key); ok {
+		t.Fatal("Revalidate served a corrupt entry")
+	}
+	if idx, _ := os.ReadFile(filepath.Join(dir, "index.json")); strings.Contains(string(idx), key) {
+		t.Fatalf("invalidated key still indexed:\n%s", idx)
+	}
+
+	// A fresh process over the same directory must also catch it: the
+	// persisted index is advisory, never a substitute for the first
+	// validation.
+	writeValidEntry(t, c, key, line)
+	c.Lookup(key) // re-seal so the fresh process starts with an index entry
+	data, _ = os.ReadFile(c.EntryPath(key))
+	fi, _ = os.Stat(c.EntryPath(key))
+	data[len(line)/2] ^= 0x20
+	os.WriteFile(c.EntryPath(key), data, 0o644)
+	os.Chtimes(c.EntryPath(key), fi.ModTime(), fi.ModTime())
+	c2, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, ok := c2.Lookup(key); ok {
+		t.Fatal("fresh cache trusted the persisted index over a full validation")
+	}
+}
+
+// TestBroadcastRepeatSubmitIsPureCacheHit is the serving-layer
+// acceptance case for the dissemination family: a broadcast job's
+// stream must match `meshopt fig broadcast` byte for byte, and the
+// repeat submission must be a pure cache hit — no cell re-executed,
+// served straight from the sealed entry.
+func TestBroadcastRepeatSubmitIsPureCacheHit(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, dir, Options{})
+	want := refStream(t, "broadcast", 4)
+	sr := postJob(t, ts, `{"experiment":"broadcast","seed":4,"scale":"quick"}`)
+	if !sr.Created {
+		t.Fatalf("cold submit: %+v", sr)
+	}
+	cold, _ := getRecords(t, ts, sr.ID, "")
+	if !bytes.Equal(cold, want) {
+		t.Fatal("cold broadcast stream differs from `meshopt fig broadcast` bytes")
+	}
+	sr2 := postJob(t, ts, `{"experiment":"broadcast","seed":4}`)
+	if sr2.Created || sr2.ID != sr.ID || sr2.State != stateDone {
+		t.Fatalf("repeat submit recomputed: %+v", sr2)
+	}
+	warm, _ := getRecords(t, ts, sr.ID, "")
+	if !bytes.Equal(warm, want) {
+		t.Fatal("warm broadcast stream differs")
+	}
+	// A fresh server over the same cache: still a hit, still the bytes.
+	_, ts2 := newTestServer(t, dir, Options{})
+	sr3 := postJob(t, ts2, `{"experiment":"broadcast","seed":4,"scale":"quick"}`)
+	if sr3.Created || sr3.State != stateDone {
+		t.Fatalf("restarted server missed the cache: %+v", sr3)
+	}
+	hit, hdr := getRecords(t, ts2, sr3.ID, "")
+	if !bytes.Equal(hit, want) {
+		t.Fatal("cache-hit broadcast stream differs")
+	}
+	if hdr.Get("X-Meshopt-Cache") != "hit" {
+		t.Fatalf("cache-hit header %q", hdr.Get("X-Meshopt-Cache"))
 	}
 }

@@ -162,7 +162,11 @@ func (s *Server) sweepJobs(now time.Time) int {
 	evicted := 0
 	for _, j := range expired {
 		if j.snapshot().state == stateDone {
-			if _, _, _, ok := s.cache.Lookup(j.key); !ok {
+			// Revalidate, not Lookup: eviction relies on the entry being
+			// genuinely servable, so the index fast path is not enough —
+			// a stale fingerprint match must not free a job whose entry
+			// rotted on disk.
+			if _, _, _, ok := s.cache.Revalidate(j.key); !ok {
 				continue // entry invalid: eviction would cost a recompute
 			}
 		}

@@ -73,6 +73,22 @@ MESHOPT_FAULT='seed=7,1/kill@2x1,2/slow=5ms' "$SHARD_TMP/meshopt" coord 10 -scal
 cmp "$SHARD_TMP/full.jsonl" "$SHARD_TMP/chaos.jsonl"
 cmp "$SHARD_TMP/full.jsonl" "$SHARD_TMP/chaos/merged.jsonl"
 
+echo "== broadcast smoke (dissemination family: run + 2-shard merge + chaos-steal coord, bytes identical)"
+"$SHARD_TMP/meshopt" fig broadcast -scale quick -seed 4 -o "$SHARD_TMP/bc.jsonl" >/dev/null
+"$SHARD_TMP/meshopt" run examples/broadcast.json -scale quick -o /dev/null
+"$SHARD_TMP/meshopt" fig broadcast -scale quick -seed 4 -shard 0/2 -o "$SHARD_TMP/bc0.jsonl" >/dev/null
+"$SHARD_TMP/meshopt" fig broadcast -scale quick -seed 4 -shard 1/2 -o "$SHARD_TMP/bc1.jsonl" >/dev/null
+"$SHARD_TMP/meshopt" merge -o "$SHARD_TMP/bcm.jsonl" "$SHARD_TMP/bc0.jsonl" "$SHARD_TMP/bc1.jsonl" >/dev/null
+cmp "$SHARD_TMP/bc.jsonl" "$SHARD_TMP/bcm.jsonl"
+# The chaos case drives the steal suffix-dispatch: shard 1 is killed
+# once, shard 2 wedges mid-cell until the frontier stall steals it and
+# the thief resumes at the stolen shard's merge frontier.
+MESHOPT_FAULT='seed=7,1/kill@2x1,2/hang@6x1' "$SHARD_TMP/meshopt" coord broadcast -scale quick -seed 4 \
+    -shards 3 -workers 3 -retries 3 -steal-after 1s -dir "$SHARD_TMP/bchaos" \
+    -o "$SHARD_TMP/bchaos.jsonl" >/dev/null 2>"$SHARD_TMP/bchaos.log"
+cmp "$SHARD_TMP/bc.jsonl" "$SHARD_TMP/bchaos.jsonl"
+cmp "$SHARD_TMP/bc.jsonl" "$SHARD_TMP/bchaos/merged.jsonl"
+
 echo "== serve smoke (submit fig10 twice: cold compute, then cache hit; both byte == meshopt fig)"
 "$SHARD_TMP/meshopt" serve -addr 127.0.0.1:0 -cache "$SHARD_TMP/cache" \
     >"$SHARD_TMP/serve.out" 2>"$SHARD_TMP/serve.log" &
@@ -91,6 +107,15 @@ test -n "$ADDR" || { cat "$SHARD_TMP/serve.log" >&2; exit 1; }
 grep -q "cache: hit" "$SHARD_TMP/sub2.log"
 cmp "$SHARD_TMP/full.jsonl" "$SHARD_TMP/sub1.jsonl"
 cmp "$SHARD_TMP/full.jsonl" "$SHARD_TMP/sub2.jsonl"
+# Same for a broadcast job: the repeat submission must be a pure cache
+# hit served through the index fast path, byte == meshopt fig.
+"$SHARD_TMP/meshopt" submit broadcast -addr "$ADDR" -scale quick -seed 4 \
+    -o "$SHARD_TMP/bsub1.jsonl" >/dev/null 2>"$SHARD_TMP/bsub1.log"
+"$SHARD_TMP/meshopt" submit broadcast -addr "$ADDR" -scale quick -seed 4 \
+    -o "$SHARD_TMP/bsub2.jsonl" >/dev/null 2>"$SHARD_TMP/bsub2.log"
+grep -q "cache: hit" "$SHARD_TMP/bsub2.log"
+cmp "$SHARD_TMP/bc.jsonl" "$SHARD_TMP/bsub1.jsonl"
+cmp "$SHARD_TMP/bc.jsonl" "$SHARD_TMP/bsub2.jsonl"
 kill "$SERVE_PID" && wait "$SERVE_PID" 2>/dev/null
 SERVE_PID=""
 
