@@ -26,6 +26,7 @@ import (
 	"repro/internal/scenario/sink"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/traffic"
 )
 
@@ -136,6 +137,34 @@ func BenchmarkFig10LossRMSE(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res := experiments.RunFig10(4, sc)
 		res.Print(io.Discard)
+	}
+}
+
+// BenchmarkFig10Trace runs fig 10 through the experiment engine with
+// per-link delivery capture off vs on. The off case is the regression
+// guard: the Tracer hook must cost nothing when no tracer is installed.
+func BenchmarkFig10Trace(b *testing.B) {
+	e, ok := exp.Find("fig10")
+	if !ok {
+		b.Fatal("fig10 not registered")
+	}
+	sc := benchScale()
+	sc.ProbeWindow = 250
+	for _, mode := range []string{"capture=off", "capture=on"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			opts := exp.Options{}
+			if mode == "capture=on" {
+				opts.Capture = func(exp.Cell) exp.Capture { return trace.NewCellCapture() }
+			}
+			for i := 0; i < b.N; i++ {
+				opts.Sink = sink.NewJSONL(io.Discard)
+				if _, err := exp.Run(e, 4, sc, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -113,6 +113,8 @@ func main() {
 			os.Exit(runWatch(os.Args[2:]))
 		case "run":
 			os.Exit(runScenario(os.Args[2:]))
+		case "trace":
+			os.Exit(runTrace(os.Args[2:]))
 		case "list":
 			list(os.Stdout)
 			return
@@ -697,10 +699,14 @@ func legacyFigures() {
 }
 
 // replay feeds an already-gathered record stream to an experiment's
-// reduction.
+// reduction. Capture ("trace") records ride the stream but are never
+// part of a reduction's input.
 func replay(e exp.Experiment, recs []sink.Record) exp.Result {
 	ch := make(chan sink.Record, len(recs))
 	for _, rec := range recs {
+		if rec.Series == "trace" {
+			continue
+		}
 		ch <- rec
 	}
 	close(ch)

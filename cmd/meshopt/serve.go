@@ -31,6 +31,7 @@ func runServe(args []string) int {
 	workers := fs.Int("workers", 0, "in-process worker pool size; 0 = GOMAXPROCS")
 	slots := fs.Int("slots", 0, "worker slots for sharded (shards>1) jobs; 0 = coordinator default")
 	jobTTL := fs.Duration("job-ttl", 0, "evict terminal jobs from the in-memory table after this long (their cache entries keep serving resubmissions); 0 = never")
+	cacheMax := fs.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries once their summed size passes this; 0 = unbounded")
 	imports := fs.String("import", "", "comma-separated coordinator run directories to import as cache entries at startup")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: meshopt serve -cache dir [-addr :8080] [-jobs n] [-workers n]")
@@ -43,11 +44,12 @@ func runServe(args []string) int {
 	}
 	runner.SetWorkers(*workers)
 	s, err := serve.New(serve.Options{
-		CacheDir: *cacheDir,
-		MaxJobs:  *jobs,
-		Slots:    *slots,
-		JobTTL:   *jobTTL,
-		Log:      os.Stderr,
+		CacheDir:      *cacheDir,
+		MaxJobs:       *jobs,
+		Slots:         *slots,
+		JobTTL:        *jobTTL,
+		CacheMaxBytes: *cacheMax,
+		Log:           os.Stderr,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

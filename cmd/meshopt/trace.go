@@ -1,0 +1,225 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments/exp"
+	"repro/internal/experiments/runner"
+	"repro/internal/scenario/sink"
+	"repro/internal/trace"
+)
+
+// runTrace implements the `trace` subcommand family: `record` runs any
+// registered experiment/scenario with per-link delivery capture on,
+// `replay` re-runs a workload against a recorded trace and asserts the
+// delivery decisions are identical, and `diff` compares two recorded
+// streams link by link. Exit codes: 0 ok (replay/diff: identical),
+// 1 runtime failure or divergence, 2 usage.
+func runTrace(args []string) int {
+	if len(args) > 0 {
+		switch args[0] {
+		case "record":
+			return runTraceRecord(args[1:])
+		case "replay":
+			return runTraceReplay(args[1:])
+		case "diff":
+			return runTraceDiff(args[1:])
+		}
+	}
+	fmt.Fprintln(os.Stderr, "usage: meshopt trace record <n|name|scenario|spec.json> [flags]")
+	fmt.Fprintln(os.Stderr, "       meshopt trace replay <n|name|scenario|spec.json> -trace recorded.jsonl [flags]")
+	fmt.Fprintln(os.Stderr, "       meshopt trace diff a.jsonl b.jsonl")
+	return 2
+}
+
+// traceTarget parses the target-before-or-after-flags convention the
+// other subcommands use.
+func traceTarget(fs *flag.FlagSet, args []string) string {
+	var target string
+	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		target, args = args[0], args[1:]
+	}
+	fs.Parse(args)
+	if target == "" && fs.NArg() > 0 {
+		target = fs.Arg(0)
+	}
+	return target
+}
+
+// runTraceRecord runs a target with capture enabled: the output stream
+// is the ordinary run's stream (byte-identical in its non-trace lines)
+// plus the "trace"-series records each cell captured.
+func runTraceRecord(args []string) int {
+	fs := flag.NewFlagSet("meshopt trace record", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "experiment seed")
+	scaleName := fs.String("scale", "quick", "experiment scale: quick or paper")
+	workers := fs.Int("workers", 0, "experiment worker pool size; 0 = GOMAXPROCS")
+	out := fs.String("o", "", "write the recorded stream to this file (default: stdout)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: meshopt trace record <n|name|scenario|spec.json> [flags]")
+		fs.PrintDefaults()
+	}
+	target := traceTarget(fs, args)
+	if target == "" {
+		fs.Usage()
+		return 2
+	}
+	ti, err := resolveShardable(target)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	sc, err := parseScale(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	runner.SetWorkers(*workers)
+	recordW, logW, closeOut, err := openRecords(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	snk := sink.NewJSONL(recordW)
+
+	start := time.Now()
+	res, err := exp.Run(ti.e, seedOrDefault(fs, *seed, ti.seed), sc, exp.Options{
+		Sink:    snk,
+		Capture: func(exp.Cell) exp.Capture { return trace.NewCellCapture() },
+	})
+	if cerr := snk.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := closeOut(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	res.Print(logW)
+	fmt.Fprintf(logW, "recorded in %v\n", time.Since(start).Round(time.Millisecond))
+	return 0
+}
+
+// runTraceReplay re-runs a target against a recorded trace: each cell
+// gets a replay channel built from its recorded events plus a fresh
+// capture, and the re-captured decisions are diffed against the
+// recording. Exit 0 iff every delivery decision matched.
+func runTraceReplay(args []string) int {
+	fs := flag.NewFlagSet("meshopt trace replay", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "experiment seed (must match the recording)")
+	scaleName := fs.String("scale", "quick", "experiment scale (must match the recording)")
+	workers := fs.Int("workers", 0, "experiment worker pool size; 0 = GOMAXPROCS")
+	traceFile := fs.String("trace", "", "recorded stream to replay against (required)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: meshopt trace replay <n|name|scenario|spec.json> -trace recorded.jsonl [flags]")
+		fs.PrintDefaults()
+	}
+	target := traceTarget(fs, args)
+	if target == "" || *traceFile == "" {
+		fs.Usage()
+		return 2
+	}
+	ti, err := resolveShardable(target)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	sc, err := parseScale(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	recorded, err := loadTrace(*traceFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	runner.SetWorkers(*workers)
+	set := trace.NewCaptureSet()
+	start := time.Now()
+	_, err = exp.Run(ti.e, seedOrDefault(fs, *seed, ti.seed), sc, exp.Options{
+		Sink: sink.Discard,
+		Capture: func(c exp.Cell) exp.Capture {
+			return set.Add(c.Index, trace.NewCellCaptureReplay(trace.NewReplay(recorded[c.Index])))
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	replayed := trace.Trace{}
+	for cell, c := range set.Captures() {
+		replayed[cell] = c.Collector()
+	}
+	rep := trace.Diff(recorded, replayed)
+	rep.Print(os.Stdout)
+	diverged := !rep.Identical()
+	for _, cell := range trace.Trace(replayed).Cells() {
+		if r := set.Captures()[cell].Replay(); r != nil {
+			if rerr := r.Err(); rerr != nil {
+				fmt.Fprintf(os.Stderr, "cell %d: %v\n", cell, rerr)
+				diverged = true
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "replayed in %v\n", time.Since(start).Round(time.Millisecond))
+	if diverged {
+		return 1
+	}
+	return 0
+}
+
+// runTraceDiff compares two recorded streams link by link. Exit 0 iff
+// identical.
+func runTraceDiff(args []string) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: meshopt trace diff a.jsonl b.jsonl")
+		return 2
+	}
+	a, err := loadTrace(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	b, err := loadTrace(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	rep := trace.Diff(a, b)
+	rep.Print(os.Stdout)
+	if !rep.Identical() {
+		return 1
+	}
+	return 0
+}
+
+// loadTrace decodes the "trace"-series records of a recorded JSONL
+// stream.
+func loadTrace(path string) (trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := sink.DecodeJSONLStream(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	tr, err := trace.Decode(recs)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(tr) == 0 {
+		return nil, fmt.Errorf("%s: no trace records (was the stream recorded with `meshopt trace record`?)", path)
+	}
+	return tr, nil
+}

@@ -58,6 +58,10 @@ type Net struct {
 	// gain (lowest id on ties), or -1 if w has no in-links. It is the
 	// parent relation of the gain forest the Tree policy relays on.
 	BestIn []int
+	// Rate and Payload are the transmit rate and message size the
+	// graph was frozen at; dissemination traces record them per hop.
+	Rate    phy.Rate
+	Payload int
 
 	loss  []float64  // [src*N+dst] frame loss probability
 	delay []sim.Time // [src*N+dst] transfer delay (airtime)
@@ -83,6 +87,8 @@ func NewNet(nw *topology.Network, r phy.Rate, payloadBytes int) *Net {
 		N:         n,
 		Neighbors: make([][]int, n),
 		BestIn:    make([]int, n),
+		Rate:      r,
+		Payload:   payloadBytes,
 		loss:      make([]float64, n*n),
 		delay:     make([]sim.Time, n*n),
 		gain:      make([]float64, n*n),
@@ -123,14 +129,33 @@ type Metrics struct {
 	Latencies []float64
 }
 
+// Channel overrides the per-hop loss decision: coin is the relay
+// loop's own Bernoulli draw (always performed, keeping the rng stream
+// identical with or without an override) and the return value decides
+// whether the frame is lost. *trace.Replay satisfies this, which is
+// how a dissemination run replays a recorded trace.
+type Channel interface {
+	Outcome(src, dst int, seq int64, kind int, coin bool) bool
+}
+
 // Run executes one dissemination from root under policy and the given
 // adversarial flags (nil means no adversaries). The run is a pure
 // function of its arguments; see the package comment for why.
 func Run(net *Net, root int, policy Relay, flags *Flags, seed int64) Metrics {
+	return RunTraced(net, root, policy, flags, seed, nil, nil)
+}
+
+// RunTraced is Run with optional capture and replay: every per-hop
+// channel decision is reported to tap (when non-nil) as a
+// phy.Decision, and decided by channel (when non-nil) instead of the
+// relay loop's own coin. Passing nil for both is exactly Run; the rng
+// draw sequence is identical in all cases.
+func RunTraced(net *Net, root int, policy Relay, flags *Flags, seed int64, tap phy.Tracer, channel Channel) Metrics {
 	s := sim.New(seed)
 	rng := s.Rand()
 	recv := make([]bool, net.N)
 	m := Metrics{Nodes: net.N}
+	var seq int64
 
 	var relay func(v, from, d int)
 	receive := func(w, from, d int) {
@@ -157,7 +182,25 @@ func Run(net *Net, root int, policy Relay, flags *Flags, seed int64) Metrics {
 	}
 	relay = func(v, from, d int) {
 		for _, w := range policy.Targets(net, v, from, rng) {
-			if rng.Float64() < net.Loss(v, w) {
+			coin := rng.Float64() < net.Loss(v, w)
+			lost := coin
+			hop := seq
+			seq++
+			if channel != nil {
+				lost = channel.Outcome(v, w, hop, int(phy.KindData), coin)
+			}
+			if tap != nil {
+				cause := phy.CauseNone
+				if lost {
+					cause = phy.CauseChannel
+				}
+				tap.Decide(phy.Decision{
+					T: s.Now(), Src: v, Dst: w, Seq: hop,
+					Kind: phy.KindData, Rate: net.Rate, Bytes: net.Payload,
+					Delivered: !lost, Cause: cause,
+				})
+			}
+			if lost {
 				continue // frame lost on the channel
 			}
 			delay := net.Delay(v, w) + procDelay + sim.Time(rng.Int63n(int64(maxJitter)))

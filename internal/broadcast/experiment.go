@@ -11,6 +11,7 @@ import (
 	"repro/internal/scenario/sink"
 	"repro/internal/stats"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // defaultPayload is the broadcast message size in bytes.
@@ -43,6 +44,10 @@ type Workload struct {
 	Policies []Relay
 	// Adversary selects the misbehaving fraction of each run.
 	Adversary AdversaryConfig
+	// Trace turns on per-hop delivery capture for every cell when the
+	// engine supplies no capture of its own (the scenario spec's
+	// "trace" flag); trace records are appended after the cell's rows.
+	Trace bool
 }
 
 // bcCell is the per-cell payload: indices into the sweep axes plus the
@@ -99,7 +104,20 @@ func (w *Workload) RunCellRecords(c exp.Cell) []sink.Record {
 	// tuple rolls private loss coins, jitter and adversary flags.
 	cs := mix(c.Seed, int64(bc.root), int64(bc.policy), int64(bc.rep))
 	flags := DeriveFlags(cs, net.N, w.Adversary)
-	m := Run(net, bc.root, pol, flags, cs)
+	cc, _ := c.Capture.(*trace.CellCapture)
+	selfTrace := cc == nil && w.Trace
+	if selfTrace {
+		cc = trace.NewCellCapture()
+	}
+	var tap phy.Tracer
+	var ch Channel
+	if cc != nil {
+		tap = cc
+		if r := cc.Replay(); r != nil {
+			ch = r
+		}
+	}
+	m := RunTraced(net, bc.root, pol, flags, cs, tap, ch)
 	recs := []sink.Record{{
 		Series: "run",
 		Fields: []sink.Field{
@@ -117,6 +135,9 @@ func (w *Workload) RunCellRecords(c exp.Cell) []sink.Record {
 	if len(m.Latencies) > 0 {
 		cdf := stats.NewCDF(m.Latencies)
 		recs = append(recs, cdf.QuantileSeries(w.Label, "lat", latencyQuantiles)...)
+	}
+	if selfTrace {
+		recs = append(recs, cc.Records()...)
 	}
 	return recs
 }

@@ -107,11 +107,30 @@ func Paper() Scale {
 // Cell is one independent simulation unit of an experiment: a seed
 // assigned before the fan-out plus the experiment's own cell payload.
 // Index is the cell's position in the experiment's enumeration; the
-// engine assigns it, experiments never set it.
+// engine assigns it, experiments never set it. Capture, when non-nil,
+// is the engine-provided capture hook (Options.Capture) the cell body
+// should attach to whatever it simulates; after the body returns, the
+// engine appends the capture's records to the cell's stream.
 type Cell struct {
-	Index int
-	Seed  int64
-	Data  any
+	Index   int
+	Seed    int64
+	Data    any
+	Capture Capture
+}
+
+// Capture is a per-cell capture handle: a cell body attaches it to its
+// simulation (experiments decide how — e.g. installing it as a PHY
+// tracer), and after the body returns the engine appends Records to the
+// cell's record stream. The engine stamps Scenario and Cell; Series
+// must be set by the capture (so reductions can filter capture series
+// out).
+//
+// Determinism contract: Records must be a pure function of the cell's
+// execution, so capture-enabled runs inherit the byte-identity
+// guarantee — and the non-capture records of a capture-enabled run are
+// byte-identical to a capture-off run.
+type Capture interface {
+	Records() []sink.Record
 }
 
 // Result is a reduced experiment outcome; every figure's result type
@@ -214,6 +233,13 @@ type Options struct {
 	// checkpoint — and Run returns an error wrapping ctx's cause. Nil
 	// means the run cannot be cancelled.
 	Context context.Context
+	// Capture, when set, is called once per executing cell (on that
+	// cell's worker goroutine, so the factory must be safe for
+	// concurrent calls) and the returned capture rides the cell through
+	// its body; its records are appended after the cell's own records.
+	// Capture records are never fed to the reduction — Reduce sees
+	// exactly the capture-off stream.
+	Capture func(c Cell) Capture
 }
 
 // Run executes an experiment: enumerate cells, fan them over the worker
@@ -249,7 +275,17 @@ func Run(e Experiment, seed int64, sc Scale, o Options) (Result, error) {
 		snk = sink.Discard
 	}
 	streamer, multi := e.(RecordStreamer)
-	runCell := func(_ int, c Cell) []sink.Record {
+	// cellOut carries a cell's records plus the boundary between the
+	// body's own records and the appended capture records — the latter
+	// are streamed to the sink but never fed to the reduction.
+	type cellOut struct {
+		recs []sink.Record
+		own  int
+	}
+	runCell := func(_ int, c Cell) cellOut {
+		if o.Capture != nil {
+			c.Capture = o.Capture(c)
+		}
 		var recs []sink.Record
 		if multi {
 			recs = streamer.RunCellRecords(c)
@@ -260,6 +296,10 @@ func Run(e Experiment, seed int64, sc Scale, o Options) (Result, error) {
 		} else {
 			recs = []sink.Record{e.RunCell(c)}
 		}
+		own := len(recs)
+		if c.Capture != nil {
+			recs = append(recs, c.Capture.Records()...)
+		}
 		for i := range recs {
 			recs[i].Scenario = e.Name()
 			recs[i].Cell = c.Index
@@ -267,7 +307,7 @@ func Run(e Experiment, seed int64, sc Scale, o Options) (Result, error) {
 				recs[i].Series = "cell"
 			}
 		}
-		return recs
+		return cellOut{recs: recs, own: own}
 	}
 
 	progress := o.Progress
@@ -288,8 +328,8 @@ func Run(e Experiment, seed int64, sc Scale, o Options) (Result, error) {
 		}
 		var sinkErr error
 		done := 0
-		runErr := runner.StreamCtx(runCtx, runner.Workers(), mine, runCell, func(_ int, recs []sink.Record) {
-			for _, rec := range recs {
+		runErr := runner.StreamCtx(runCtx, runner.Workers(), mine, runCell, func(_ int, out cellOut) {
+			for _, rec := range out.recs {
 				if sinkErr == nil {
 					if sinkErr = snk.Write(rec); sinkErr != nil {
 						stop()
@@ -324,14 +364,16 @@ func Run(e Experiment, seed int64, sc Scale, o Options) (Result, error) {
 	defer closeCh()
 	var sinkErr error
 	cellsDone := 0
-	runErr := runner.StreamCtx(runCtx, runner.Workers(), cells, runCell, func(_ int, recs []sink.Record) {
-		for _, rec := range recs {
+	runErr := runner.StreamCtx(runCtx, runner.Workers(), cells, runCell, func(_ int, out cellOut) {
+		for i, rec := range out.recs {
 			if sinkErr == nil {
 				if sinkErr = snk.Write(rec); sinkErr != nil {
 					stop()
 				}
 			}
-			ch <- rec
+			if i < out.own {
+				ch <- rec
+			}
 		}
 		cellsDone++
 		progress(cellsDone, len(cells))

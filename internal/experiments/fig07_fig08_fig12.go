@@ -8,6 +8,7 @@ import (
 	"repro/internal/experiments/exp"
 	"repro/internal/scenario/sink"
 	"repro/internal/stats"
+	"repro/internal/traffic"
 )
 
 // ValidationScales are the Fig. 8 scaling factors.
@@ -59,13 +60,24 @@ func (netvalidExp) Cells(seed int64, sc Scale) []exp.Cell {
 	return cells
 }
 
-func (netvalidExp) RunCell(c exp.Cell) sink.Record {
+func (e netvalidExp) RunCell(c exp.Cell) sink.Record {
+	return e.RunCellRecords(c)[0]
+}
+
+// RunCellRecords implements exp.RecordStreamer: the configuration's
+// sample record followed by one "residual"-series record exposing the
+// per-link loss-rate residuals — measured solo network-layer loss
+// minus the channel model's frame loss probability on every used
+// link. The residual series rides the stream for analysis; Reduce
+// folds "cell" records alone.
+func (netvalidExp) RunCellRecords(c exp.Cell) []sink.Record {
 	d := c.Data.(netvalidCell)
 	skipped := 0
 	var lir, twoHop []FlowSample
 	v, err := PrepareValidation(d.cfg, d.sc)
 	if err != nil {
 		skipped = 1
+		v = nil
 	} else {
 		for _, model := range []string{"lir", "twohop"} {
 			region := v.RegionLIR(LIRThreshold)
@@ -108,12 +120,48 @@ func (netvalidExp) RunCell(c exp.Cell) sink.Record {
 			sink.F(group.prefix+"_target", targets),
 			sink.F(group.prefix+"_achieved", achieved))
 	}
-	return sink.Record{Fields: fields}
+	recs := []sink.Record{{Fields: fields}}
+	if v != nil {
+		recs = append(recs, residualRecord(v, d.cfg))
+	}
+	return recs
+}
+
+// residualRecord renders one prepared configuration's per-link
+// loss-rate residuals: the offline-measured solo loss next to the
+// channel model's frame loss probability, and their difference.
+func residualRecord(v *NetValidation, cfg FlowConfig) sink.Record {
+	n := len(v.Links)
+	src := make([]float64, n)
+	dst := make([]float64, n)
+	measured := make([]float64, n)
+	model := make([]float64, n)
+	residual := make([]float64, n)
+	for i, l := range v.Links {
+		src[i], dst[i] = float64(l.Src), float64(l.Dst)
+		measured[i] = v.Loss[i]
+		model[i] = v.Net.Medium.FrameLossProb(l.Src, l.Dst, cfg.Rate, traffic.DefaultPayload)
+		residual[i] = measured[i] - model[i]
+	}
+	return sink.Record{
+		Series: "residual",
+		Fields: []sink.Field{
+			sink.F("links", n),
+			sink.F("src", src),
+			sink.F("dst", dst),
+			sink.F("measured_loss", measured),
+			sink.F("model_loss", model),
+			sink.F("residual", residual),
+		},
+	}
 }
 
 func (netvalidExp) Reduce(recs <-chan sink.Record) exp.Result {
 	var res NetValidationResult
 	for rec := range recs {
+		if rec.Series != "" && rec.Series != "cell" {
+			continue // residual/trace series are analysis-only
+		}
 		res.SkippedConfigs += rec.Int("skipped")
 		for _, group := range []struct {
 			prefix string

@@ -15,6 +15,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/traffic"
 )
 
@@ -204,16 +205,31 @@ type fig10Share struct {
 	sc      Scale
 	rate    phy.Rate
 	samples map[topology.Link]fig10Sample
+	// events holds the shared phase's per-link delivery decisions when
+	// the share was built with capture on. The share owns the collector
+	// and each scoring cell adopts only its own link's events, so trace
+	// record placement is independent of which cell happened to build
+	// the shared simulation.
+	events map[trace.Link][]trace.Event
 }
 
-func (s *fig10Share) sample(l topology.Link) (fig10Sample, bool) {
-	s.once.Do(s.build)
+// sample returns one link's probing trace, building the shared phase on
+// first use. captured turns on decision capture for the build; the
+// engine enables capture uniformly per run, so every caller passes the
+// same value and the once.Do winner is immaterial.
+func (s *fig10Share) sample(l topology.Link, captured bool) (fig10Sample, bool) {
+	s.once.Do(func() { s.build(captured) })
 	smp, ok := s.samples[l]
 	return smp, ok
 }
 
-func (s *fig10Share) build() {
+func (s *fig10Share) build(captured bool) {
 	nw := topologyAtRate(s.seed+int64(s.rate), s.rate)
+	var col *trace.Collector
+	if captured {
+		col = trace.NewCollector()
+		nw.Medium.SetTracer(col)
+	}
 	period := probePeriodFor(s.rate, s.sc)
 	links := fig10Links(nw, s.rate, s.sc)
 	recs := make([]*probe.Recorder, len(nw.Nodes))
@@ -232,6 +248,12 @@ func (s *fig10Share) build() {
 		}
 		truth := nw.Medium.FrameLossProb(l.Src, l.Dst, s.rate, traffic.DefaultPayload+phy.MACHeaderBytes)
 		s.samples[l] = fig10Sample{trace: tr, truth: truth}
+	}
+	if col != nil {
+		s.events = map[trace.Link][]trace.Event{}
+		for _, l := range col.Links() {
+			s.events[l] = col.Events(l)
+		}
 	}
 }
 
@@ -292,7 +314,12 @@ func (fig10Exp) Cells(seed int64, sc Scale) []exp.Cell {
 
 func (fig10Exp) RunCell(c exp.Cell) sink.Record {
 	d := c.Data.(fig10Cell)
-	smp, ok := d.share.sample(d.link)
+	cc, _ := c.Capture.(*trace.CellCapture)
+	smp, ok := d.share.sample(d.link, cc != nil)
+	if cc != nil {
+		lk := trace.Link{Src: d.link.Src, Dst: d.link.Dst}
+		cc.Adopt(lk, d.share.events[lk])
+	}
 	fields := []sink.Field{
 		sink.F("link", d.link.String()),
 		sink.F("skipped", !ok),

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"repro/internal/broadcast"
+	"repro/internal/experiments/exp"
+	"repro/internal/scenario/sink"
+	"repro/internal/trace"
+)
+
+// captureJSONL streams an experiment with per-link delivery capture
+// enabled, under a pinned worker count.
+func captureJSONL(t *testing.T, e exp.Experiment, seed int64, sc Scale, workers int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	withWorkers(workers, func() {
+		s := sink.NewJSONL(&buf)
+		_, err := exp.Run(e, seed, sc, exp.Options{
+			Sink:    s,
+			Capture: func(exp.Cell) exp.Capture { return trace.NewCellCapture() },
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return buf.Bytes()
+}
+
+// stripTrace drops the "trace"-series lines from a JSONL stream.
+func stripTrace(b []byte) []byte {
+	var out []byte
+	for _, line := range bytes.SplitAfter(b, []byte("\n")) {
+		if bytes.Contains(line, []byte(`"series":"trace"`)) {
+			continue
+		}
+		out = append(out, line...)
+	}
+	return out
+}
+
+// decodeTrace rebuilds the Trace carried by a recorded JSONL stream.
+func decodeTrace(t *testing.T, b []byte) trace.Trace {
+	t.Helper()
+	recs, err := sink.DecodeJSONLStream(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Decode(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) == 0 {
+		t.Fatal("stream carries no trace records")
+	}
+	return tr
+}
+
+// assertCaptureTransparent checks the capture hook's core contract on
+// one experiment: turning capture on must not change a single byte of
+// the non-trace records, at any worker count, and the captured stream
+// itself must be byte-identical across worker counts.
+func assertCaptureTransparent(t *testing.T, e exp.Experiment, seed int64, sc Scale) {
+	t.Helper()
+	plain, _ := renderJSONL(t, e, seed, sc, 1)
+	counts := []int{1, 2, max(2, runtime.GOMAXPROCS(0))}
+	var first []byte
+	for _, w := range counts {
+		captured := captureJSONL(t, e, seed, sc, w)
+		if !bytes.Contains(captured, []byte(`"series":"trace"`)) {
+			t.Fatalf("workers=%d: capture-on stream carries no trace records", w)
+		}
+		if got := stripTrace(captured); !bytes.Equal(got, plain) {
+			t.Fatalf("workers=%d: capture-on non-trace bytes differ from the plain stream", w)
+		}
+		if first == nil {
+			first = captured
+		} else if !bytes.Equal(captured, first) {
+			t.Fatalf("workers=%d: captured stream differs from workers=%d", w, counts[0])
+		}
+	}
+}
+
+func TestFig10CaptureLeavesRecordBytesUntouched(t *testing.T) {
+	assertCaptureTransparent(t, fig10Exp{}, 4, detScale())
+}
+
+func TestBroadcastCaptureLeavesRecordBytesUntouched(t *testing.T) {
+	assertCaptureTransparent(t, broadcast.Default(), 4, detScale())
+}
+
+// replayAgainst re-runs an experiment with each cell's replay channel
+// built from the recording plus a fresh capture, and returns the diff
+// of re-captured decisions against the recording.
+func replayAgainst(t *testing.T, e exp.Experiment, seed int64, sc Scale, recorded trace.Trace) trace.Report {
+	t.Helper()
+	set := trace.NewCaptureSet()
+	withWorkers(2, func() {
+		_, err := exp.Run(e, seed, sc, exp.Options{
+			Sink: sink.Discard,
+			Capture: func(c exp.Cell) exp.Capture {
+				return set.Add(c.Index, trace.NewCellCaptureReplay(trace.NewReplay(recorded[c.Index])))
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	replayed := trace.Trace{}
+	for cell, cc := range set.Captures() {
+		replayed[cell] = cc.Collector()
+		if rerr := cc.Replay().Err(); rerr != nil {
+			t.Errorf("cell %d: %v", cell, rerr)
+		}
+	}
+	return trace.Diff(recorded, replayed)
+}
+
+// assertRoundTrip records an experiment and replays it against its own
+// recording: zero delivery-decision divergence.
+func assertRoundTrip(t *testing.T, e exp.Experiment, seed int64, sc Scale) {
+	t.Helper()
+	recorded := decodeTrace(t, captureJSONL(t, e, seed, sc, 1))
+	rep := replayAgainst(t, e, seed, sc, recorded)
+	if !rep.Identical() {
+		var b bytes.Buffer
+		rep.Print(&b)
+		t.Fatalf("record -> replay diverged:\n%s", b.String())
+	}
+	if rep.Events == 0 {
+		t.Fatal("round trip compared no events")
+	}
+}
+
+func TestFig10RecordReplayRoundTrip(t *testing.T) {
+	assertRoundTrip(t, fig10Exp{}, 4, detScale())
+}
+
+func TestBroadcastRecordReplayRoundTrip(t *testing.T) {
+	assertRoundTrip(t, broadcast.Default(), 4, detScale())
+}
+
+// TestTraceDiffDetectsSeedPerturbation: the `trace diff` primitive must
+// flag two recordings of the same experiment at different seeds — the
+// divergence-detection path `meshopt trace diff` exits nonzero on.
+func TestTraceDiffDetectsSeedPerturbation(t *testing.T) {
+	sc := detScale()
+	a := decodeTrace(t, captureJSONL(t, fig10Exp{}, 4, sc, 1))
+	b := decodeTrace(t, captureJSONL(t, fig10Exp{}, 5, sc, 1))
+	if rep := trace.Diff(a, b); rep.Identical() {
+		t.Fatal("seed-perturbed recordings compare identical")
+	}
+	if rep := trace.Diff(a, a); !rep.Identical() {
+		t.Fatal("self-diff diverges")
+	}
+}

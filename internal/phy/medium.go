@@ -67,6 +67,67 @@ type Listener interface {
 	TxDone(f *Frame)
 }
 
+// LossCause labels why a frame was not delivered in a Decision.
+type LossCause int
+
+// Loss causes, in Decision order. CauseNone marks a delivered frame.
+const (
+	CauseNone     LossCause = iota // delivered
+	CauseSINR                      // interference/fading below decode threshold
+	CauseChannel                   // Bernoulli channel-error process
+	CauseUnlocked                  // receiver never locked (busy, transmitting, weak)
+)
+
+func (c LossCause) String() string {
+	switch c {
+	case CauseNone:
+		return "delivered"
+	case CauseSINR:
+		return "sinr"
+	case CauseChannel:
+		return "channel"
+	case CauseUnlocked:
+		return "unlocked"
+	}
+	return fmt.Sprintf("LossCause(%d)", int(c))
+}
+
+// Decision is one per-link delivery decision: the outcome of a frame at
+// one receiving radio. Unicast frames decide at their intended
+// destination; broadcast frames decide once per radio that locked onto
+// them (Dst is the observer's id). Overheard unicast frames — decodable
+// at a third party — are not decisions: the link src->dst is the unit
+// the paper's model predicts.
+type Decision struct {
+	T         sim.Time
+	Src, Dst  int
+	Seq       int64
+	Kind      Kind
+	Rate      Rate
+	Bytes     int
+	Delivered bool
+	Cause     LossCause // CauseNone iff Delivered
+}
+
+// Tracer observes every per-link delivery decision the medium makes.
+// Decide is called from the simulator's event loop in deterministic
+// order (arrival-end processing iterates radios in id order), so an
+// append-only tracer records the same sequence on every run of the same
+// seed.
+type Tracer interface {
+	Decide(d Decision)
+}
+
+// Channel is the loss-decision interface behind the Bernoulli
+// channel-error draw. The default stochastic channel consumes exactly
+// one rng draw iff p > 0; any replacement must mirror that contract —
+// the same rng stream feeds the fade draws, so an unmirrored draw
+// shifts every later reception. p is the channel loss probability the
+// medium computed for this frame on src->dst.
+type Channel interface {
+	Lost(f *Frame, dst int, p float64, rng *rand.Rand) bool
+}
+
 // LinkCounters tallies per-directed-link PHY outcomes, used by tests and
 // by experiments that need ground-truth loss breakdowns.
 type LinkCounters struct {
@@ -135,6 +196,9 @@ type Medium struct {
 	// Dense [src*n+dst] mirrors, built when the medium freezes.
 	ln1mBER  []float64 // log1p(-ber); 0 means a clean link
 	counters []LinkCounters
+
+	tracer  Tracer  // optional per-link decision hook; nil = off
+	channel Channel // optional loss-decision override; nil = stochastic
 }
 
 // NewMedium creates an empty medium on the given simulator.
@@ -154,6 +218,15 @@ func NewMedium(s *sim.Sim, cfg Config) *Medium {
 
 // Sim returns the simulator driving this medium.
 func (m *Medium) Sim() *sim.Sim { return m.sim }
+
+// SetTracer installs (or, with nil, removes) the per-link decision hook.
+// Capture is free when off: the receive path pays one nil check.
+func (m *Medium) SetTracer(t Tracer) { m.tracer = t }
+
+// SetChannel replaces the stochastic Bernoulli channel-error process
+// with c (nil restores the default). Replay media install their
+// recorded trace here.
+func (m *Medium) SetChannel(c Channel) { m.channel = c }
 
 // Config returns the radio configuration.
 func (m *Medium) Config() Config { return m.cfg }
@@ -377,14 +450,18 @@ func (m *Medium) Transmit(r *Radio, f *Frame) {
 	})
 }
 
-// channelLost draws the Bernoulli channel-error process for a decoded
-// frame on src->dst.
+// channelLost decides the channel-error outcome for a decoded frame on
+// src->dst: the installed Channel if any, else one Bernoulli draw
+// (consumed iff p > 0 — replacements must mirror this, see Channel).
 func (m *Medium) channelLost(f *Frame, dst int) bool {
 	bytes := f.Bytes
 	if f.Kind != KindAck {
 		bytes += MACHeaderBytes
 	}
 	p := m.ChannelLossProb(f.Src, dst, bytes)
+	if m.channel != nil {
+		return m.channel.Lost(f, dst, p, m.rng)
+	}
 	return p > 0 && m.rng.Float64() < p
 }
 
@@ -473,6 +550,7 @@ func (r *Radio) arrivalStart(tx *transmission, p float64) {
 		// Preamble capture: a much stronger late arrival steals the
 		// receiver. The previous frame is lost.
 		r.countLoss(r.lock.tx, lossSINR)
+		r.trace(r.lock.tx, false, CauseSINR)
 		r.lock = reception{tx: tx, powerMW: p, maxInterfMW: r.interference(tx)}
 	case r.lock.tx != nil:
 		if i := r.interference(r.lock.tx); i > r.lock.maxInterfMW {
@@ -508,6 +586,33 @@ func (r *Radio) countLoss(tx *transmission, k lossKind) {
 	}
 }
 
+// trace reports one delivery decision for tx at this radio to the
+// installed tracer. Unicast frames trace only at their intended
+// destination; broadcast frames trace at every radio that locked onto
+// them (Dst is the observer). With no tracer installed the cost is one
+// nil check.
+func (r *Radio) trace(tx *transmission, delivered bool, cause LossCause) {
+	t := r.m.tracer
+	if t == nil {
+		return
+	}
+	f := tx.frame
+	if !f.Broadcast() && f.Dst != r.id {
+		return // overheard unicast: not a per-link decision
+	}
+	t.Decide(Decision{
+		T:         r.m.sim.Now(),
+		Src:       f.Src,
+		Dst:       r.id,
+		Seq:       f.Seq,
+		Kind:      f.Kind,
+		Rate:      f.Rate,
+		Bytes:     f.Bytes,
+		Delivered: delivered,
+		Cause:     cause,
+	})
+}
+
 func (r *Radio) arrivalEnd(tx *transmission) {
 	idx := -1
 	for i := range r.arrivals {
@@ -534,6 +639,7 @@ func (r *Radio) arrivalEnd(tx *transmission) {
 		// The intended receiver never locked (busy, transmitting, or
 		// the signal was too weak).
 		r.countLoss(tx, lossUnlocked)
+		r.trace(tx, false, CauseUnlocked)
 	}
 	r.updateCS()
 }
@@ -548,15 +654,18 @@ func (r *Radio) finishReception() {
 	}
 	if sinrDB < f.Rate.MinSINRdB() {
 		r.countLoss(rec.tx, lossSINR)
+		r.trace(rec.tx, false, CauseSINR)
 		return
 	}
 	if r.m.channelLost(f, r.id) {
 		r.countLoss(rec.tx, lossChannel)
+		r.trace(rec.tx, false, CauseChannel)
 		return
 	}
 	if !f.Broadcast() && f.Dst == r.id {
 		r.m.Counters(f.Src, f.Dst).Received++
 	}
+	r.trace(rec.tx, true, CauseNone)
 	if r.listener != nil {
 		r.listener.Receive(f)
 	}

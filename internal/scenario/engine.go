@@ -15,6 +15,7 @@ import (
 	"repro/internal/scenario/sink"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/traffic"
 	"repro/internal/transport"
 )
@@ -26,6 +27,11 @@ type Options struct {
 	// Quick caps declarative durations and probe windows for smoke
 	// runs; the experiment adapter derives it from the run scale.
 	Quick bool
+	// Capture, when set, is installed on the cell's medium right after
+	// topology construction: the tracer records every delivery
+	// decision, and a carried replay channel overrides the stochastic
+	// channel (see internal/trace).
+	Capture *trace.CellCapture
 }
 
 // sweepPoint is one cell's coordinates in the sweep cross product.
@@ -139,6 +145,9 @@ func runCell(spec *Spec, o Options, baseSeed int64, idx int, pt sweepPoint) cell
 		emit("error", sink.F("error", err.Error()))
 		res.summary = "error: " + err.Error()
 		return res
+	}
+	if o.Capture != nil {
+		o.Capture.Install(nw.Medium)
 	}
 	rate, _ := parseRate(spec.Topology.Rate)
 	payload := traffic.DefaultPayload

@@ -7,6 +7,7 @@ import (
 	"repro/internal/broadcast"
 	"repro/internal/experiments/exp"
 	"repro/internal/scenario/sink"
+	"repro/internal/trace"
 )
 
 // Experiment adapts a declarative Spec to the exp.Experiment interface,
@@ -96,6 +97,7 @@ func broadcastExperiment(spec *Spec) (exp.Experiment, error) {
 		},
 		Policies:  policies,
 		Adversary: adv,
+		Trace:     spec.Trace,
 	}, nil
 }
 
@@ -126,11 +128,24 @@ func (s specExperiment) Cells(seed int64, sc exp.Scale) []exp.Cell {
 }
 
 // RunCellRecords executes one sweep point and returns its records: the
-// cell's link/plan/flow/probe rows followed by one "summary" record.
+// cell's link/plan/flow/probe rows, any "trace" records the spec's
+// Trace flag captured, and one trailing "summary" record. An
+// engine-provided capture (c.Capture, from exp.Options.Capture) takes
+// precedence over the spec flag; the engine then appends the trace
+// records itself.
 func (s specExperiment) RunCellRecords(c exp.Cell) []sink.Record {
 	d := c.Data.(specCell)
-	res := runCell(s.spec, Options{Quick: d.quick}, c.Seed, c.Index, d.pt)
-	return append(res.records, sink.Record{
+	cc, _ := c.Capture.(*trace.CellCapture)
+	selfTrace := cc == nil && s.spec.Trace
+	if selfTrace {
+		cc = trace.NewCellCapture()
+	}
+	res := runCell(s.spec, Options{Quick: d.quick, Capture: cc}, c.Seed, c.Index, d.pt)
+	recs := res.records
+	if selfTrace {
+		recs = append(recs, cc.Records()...)
+	}
+	return append(recs, sink.Record{
 		Series: "summary",
 		Fields: []sink.Field{sink.F("text", res.summary)},
 	})
@@ -178,6 +193,8 @@ func (s specExperiment) Reduce(recs <-chan sink.Record) exp.Result {
 		case "error":
 			res.Errors++
 			res.Records++
+		case "trace":
+			// Capture output rides the stream but is not a result row.
 		default:
 			res.Records++
 		}

@@ -49,6 +49,11 @@ type Spec struct {
 	// as (root × relay policy × repetition) cells. Traffic, controller,
 	// measure and sweep fields must be absent.
 	Broadcast *BroadcastSpec `json:"broadcast,omitempty"`
+	// Trace turns on per-link delivery capture: every cell records its
+	// channel decisions and appends them as "trace"-series records
+	// after its result rows (see internal/trace). Figure-delegating
+	// specs reject it; use `meshopt trace record fig<n>` instead.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // BroadcastSpec parameterizes a broadcast dissemination sweep (spec
@@ -274,6 +279,9 @@ func (s *Spec) Validate() error {
 	if s.Figure != 0 {
 		if _, ok := exp.Find(fmt.Sprintf("fig%d", s.Figure)); !ok {
 			return fail("figure %d has no registered experiment", s.Figure)
+		}
+		if s.Trace {
+			return fail("trace is not supported on figure-delegating specs; use `meshopt trace record fig%d`", s.Figure)
 		}
 		return nil
 	}

@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/dist"
 	"repro/internal/experiments/exp"
@@ -113,6 +115,10 @@ type indexEntry struct {
 	Length    int64  `json:"length"` // record-region bytes (marker excluded)
 	Size      int64  `json:"size"`   // whole-file fingerprint
 	ModTimeNS int64  `json:"mtime_ns"`
+	// LastValidated orders entries for quota eviction: it is refreshed
+	// every time the entry seals or a lookup serves it, so the eviction
+	// janitor drops the least-recently-used entries first.
+	LastValidated int64 `json:"last_validated_ns,omitempty"`
 }
 
 // NewCache opens (creating if needed) the cache directory. A readable
@@ -173,6 +179,7 @@ func (c *Cache) Lookup(key string) (path string, records int, dataBytes int64, o
 	c.mu.Unlock()
 	if have && valid {
 		if fi, err := os.Stat(path); err == nil && fi.Size() == ent.Size && fi.ModTime().UnixNano() == ent.ModTimeNS {
+			c.touch(key)
 			return path, ent.Records, ent.Length, true
 		}
 	}
@@ -216,15 +223,100 @@ func (c *Cache) seal(key string, records int, dataBytes int64, sum string) {
 	}
 	c.mu.Lock()
 	c.index[key] = indexEntry{
-		Records:   records,
-		SHA256:    sum,
-		Length:    dataBytes,
-		Size:      fi.Size(),
-		ModTimeNS: fi.ModTime().UnixNano(),
+		Records:       records,
+		SHA256:        sum,
+		Length:        dataBytes,
+		Size:          fi.Size(),
+		ModTimeNS:     fi.ModTime().UnixNano(),
+		LastValidated: time.Now().UnixNano(),
 	}
 	c.validated[key] = true
 	c.persistLocked()
 	c.mu.Unlock()
+}
+
+// touch refreshes a key's eviction timestamp after an index-fast-path
+// lookup served it.
+func (c *Cache) touch(key string) {
+	c.mu.Lock()
+	if ent, ok := c.index[key]; ok {
+		ent.LastValidated = time.Now().UnixNano()
+		c.index[key] = ent
+		c.persistLocked()
+	}
+	c.mu.Unlock()
+}
+
+// Size returns the summed on-disk size of the indexed entries.
+func (c *Cache) Size() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total int64
+	for _, ent := range c.index {
+		total += ent.Size
+	}
+	return total
+}
+
+// EvictOver brings the cache under quota bytes by deleting entries in
+// least-recently-validated order, skipping pinned keys (live jobs whose
+// entry is still being served). Each candidate is revalidated before
+// its file is deleted: an entry that fails validation drops out of the
+// index without a delete (Revalidate already pruned it), so the index
+// stays consistent with the directory either way. Returns how many
+// entries were deleted and how many bytes they freed.
+func (c *Cache) EvictOver(quota int64, pinned map[string]bool) (evicted int, freed int64) {
+	if quota <= 0 {
+		return 0, 0
+	}
+	type cand struct {
+		key  string
+		size int64
+		last int64
+	}
+	c.mu.Lock()
+	var total int64
+	cands := make([]cand, 0, len(c.index))
+	for k, ent := range c.index {
+		total += ent.Size
+		cands = append(cands, cand{key: k, size: ent.Size, last: ent.LastValidated})
+	}
+	c.mu.Unlock()
+	if total <= quota {
+		return 0, 0
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].last != cands[j].last {
+			return cands[i].last < cands[j].last
+		}
+		return cands[i].key < cands[j].key
+	})
+	for _, cd := range cands {
+		if total <= quota {
+			break
+		}
+		if pinned[cd.key] {
+			continue
+		}
+		if _, _, _, ok := c.Revalidate(cd.key); !ok {
+			// Already invalid: Revalidate dropped it from the index, so
+			// its bytes no longer count against the quota.
+			total -= cd.size
+			continue
+		}
+		if err := os.Remove(c.EntryPath(cd.key)); err != nil {
+			continue
+		}
+		c.mu.Lock()
+		delete(c.index, cd.key)
+		delete(c.validated, cd.key)
+		c.persistLocked()
+		c.mu.Unlock()
+		total -= cd.size
+		freed += cd.size
+		evicted++
+	}
+	return evicted, freed
 }
 
 // persistLocked writes index.json atomically (tmp + rename). Failures

@@ -361,6 +361,9 @@ func reduceEntry(e exp.Experiment, path string) (exp.Result, error) {
 			<-done
 			return nil, err
 		}
+		if rec.Series == "trace" {
+			continue // capture records ride the stream, never the reduction
+		}
 		ch <- rec
 	}
 	close(ch)

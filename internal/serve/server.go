@@ -38,6 +38,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,6 +70,11 @@ type Options struct {
 	// state; resubmitting one re-executes either way). 0 disables GC:
 	// the table grows with the number of distinct jobs ever submitted.
 	JobTTL time.Duration
+	// CacheMaxBytes bounds the summed size of sealed cache entries; the
+	// janitor evicts least-recently-validated entries past the quota,
+	// revalidating each candidate first and never touching entries whose
+	// key is live in the job table. 0 disables the quota.
+	CacheMaxBytes int64
 	// Log receives human-readable progress; nil discards it.
 	Log io.Writer
 }
@@ -115,16 +121,19 @@ func New(o Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/records", s.handleRecords)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
-	if o.JobTTL > 0 {
+	if o.JobTTL > 0 || o.CacheMaxBytes > 0 {
 		go s.janitor(o.JobTTL)
 	}
 	return s, nil
 }
 
 // janitor periodically sweeps expired terminal jobs out of the job
-// table until the server shuts down.
+// table and enforces the cache byte quota until the server shuts down.
 func (s *Server) janitor(ttl time.Duration) {
 	period := ttl / 4
+	if period <= 0 {
+		period = 200 * time.Millisecond // quota-only janitor
+	}
 	if period < 10*time.Millisecond {
 		period = 10 * time.Millisecond
 	}
@@ -135,8 +144,34 @@ func (s *Server) janitor(ttl time.Duration) {
 		case <-s.ctx.Done():
 			return
 		case now := <-t.C:
-			s.sweepJobs(now)
+			if ttl > 0 {
+				s.sweepJobs(now)
+			}
+			s.enforceQuota()
 		}
+	}
+}
+
+// enforceQuota brings the cache under CacheMaxBytes, pinning every key
+// present in the job table: a resident done job's entry backs its live
+// record stream, and evicting it would turn a warm ID into a broken
+// stream. Unpinned entries (jobs GC'd by TTL, or imported runs never
+// submitted this process) are fair game, least recently validated
+// first.
+func (s *Server) enforceQuota() {
+	quota := s.o.CacheMaxBytes
+	if quota <= 0 {
+		return
+	}
+	s.mu.Lock()
+	pinned := make(map[string]bool, len(s.jobs))
+	for key := range s.jobs {
+		pinned[key] = true
+	}
+	s.mu.Unlock()
+	if n, freed := s.cache.EvictOver(quota, pinned); n > 0 {
+		fmt.Fprintf(s.o.Log, "serve: cache quota: evicted %d entr%s (%d bytes)\n",
+			n, map[bool]string{true: "y", false: "ies"}[n == 1], freed)
 	}
 }
 
@@ -284,6 +319,8 @@ func (s *Server) execute(j *job) {
 		return
 	}
 	fmt.Fprintf(s.o.Log, "serve: job %.12s: done\n", j.key)
+	// A fresh entry just landed; trim the cache if it pushed past quota.
+	s.enforceQuota()
 }
 
 // submitRequest is the POST /v1/jobs body. Exactly one of Experiment
@@ -324,6 +361,18 @@ func (s *Server) submit(req dist.Job) (*job, bool, error) {
 		return nil, false, err
 	}
 	path, records, dataBytes, entryOK := s.cache.Lookup(key)
+	// A cache-hit-born job never runs a reduction, so its summary is
+	// recomputed by replaying the entry's records through Reduce —
+	// GET /v1/jobs/{id} then shows the same summary a computed job
+	// would. Like the entry validation, this runs before the lock.
+	summary := ""
+	if entryOK {
+		if res, rerr := reduceEntry(e, path); rerr == nil && res != nil {
+			var b strings.Builder
+			res.Print(&b)
+			summary = b.String()
+		}
+	}
 	// Built speculatively before the lock: the cell enumeration of a
 	// large sweep is not free, and holding s.mu through it would convoy
 	// the whole API the same way the entry rehash above would.
@@ -364,6 +413,7 @@ func (s *Server) submit(req dist.Job) (*job, bool, error) {
 		j.records = records
 		j.bytes = dataBytes
 		j.path = path
+		j.summary = summary
 		s.jobs[key] = j // fully initialized before it becomes reachable
 		return j, false, nil
 	}

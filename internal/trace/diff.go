@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Divergence is one point where two traces disagree.
+type Divergence struct {
+	Cell   int
+	Link   Link
+	Index  int    // event index within the link series (-1 for count/link-set mismatches)
+	Detail string // human-readable description
+}
+
+// Report is the outcome of diffing two traces, link by link.
+type Report struct {
+	Cells       int // cells compared (union)
+	Links       int // links compared (union, across cells)
+	Events      int // events compared
+	Divergences []Divergence
+}
+
+// Identical reports whether the two traces agreed everywhere.
+func (r Report) Identical() bool { return len(r.Divergences) == 0 }
+
+// Print renders the report; one line per divergence, capped summary
+// line last.
+func (r Report) Print(w io.Writer) {
+	const maxLines = 20
+	for i, d := range r.Divergences {
+		if i == maxLines {
+			fmt.Fprintf(w, "... and %d more divergence(s)\n", len(r.Divergences)-maxLines)
+			break
+		}
+		fmt.Fprintf(w, "cell %d link %s: %s\n", d.Cell, d.Link, d.Detail)
+	}
+	if r.Identical() {
+		fmt.Fprintf(w, "traces identical: %d cell(s), %d link(s), %d event(s)\n", r.Cells, r.Links, r.Events)
+	} else {
+		fmt.Fprintf(w, "traces diverge: %d divergence(s) across %d cell(s), %d link(s), %d event(s)\n",
+			len(r.Divergences), r.Cells, r.Links, r.Events)
+	}
+}
+
+// Diff compares two traces link by link: link sets per cell, event
+// counts per link, and every event field in order. The first differing
+// event on a link is reported (one divergence per link keeps the
+// report readable; the counts capture the rest).
+func Diff(a, b Trace) Report {
+	var rep Report
+	cells := map[int]bool{}
+	for c := range a {
+		cells[c] = true
+	}
+	for c := range b {
+		cells[c] = true
+	}
+	order := make([]int, 0, len(cells))
+	for c := range cells {
+		order = append(order, c)
+	}
+	sort.Ints(order)
+	rep.Cells = len(order)
+
+	for _, cell := range order {
+		ca, cb := a[cell], b[cell]
+		if ca == nil {
+			ca = NewCollector()
+		}
+		if cb == nil {
+			cb = NewCollector()
+		}
+		links := map[Link]bool{}
+		var linkOrder []Link
+		for _, l := range ca.order {
+			if !links[l] {
+				links[l] = true
+				linkOrder = append(linkOrder, l)
+			}
+		}
+		for _, l := range cb.order {
+			if !links[l] {
+				links[l] = true
+				linkOrder = append(linkOrder, l)
+			}
+		}
+		rep.Links += len(linkOrder)
+		for _, l := range linkOrder {
+			ea, eb := ca.byLink[l], cb.byLink[l]
+			n := len(ea)
+			if len(eb) > n {
+				n = len(eb)
+			}
+			rep.Events += n
+			if d, ok := diffLink(cell, l, ea, eb); ok {
+				rep.Divergences = append(rep.Divergences, d)
+			}
+		}
+	}
+	return rep
+}
+
+// diffLink finds the first divergence on one link's event series.
+func diffLink(cell int, l Link, a, b []Event) (Divergence, bool) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return Divergence{
+				Cell: cell, Link: l, Index: i,
+				Detail: fmt.Sprintf("event %d: %s != %s", i, fmtEvent(a[i]), fmtEvent(b[i])),
+			}, true
+		}
+	}
+	if len(a) != len(b) {
+		return Divergence{
+			Cell: cell, Link: l, Index: -1,
+			Detail: fmt.Sprintf("event count %d != %d", len(a), len(b)),
+		}, true
+	}
+	return Divergence{}, false
+}
+
+func fmtEvent(e Event) string {
+	return fmt.Sprintf("{seq %d t %d out %s}", e.Seq, int64(e.T), outName(e.Out))
+}

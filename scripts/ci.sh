@@ -21,8 +21,8 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (parallel experiment engine + shard coordinator + serve layer)"
-go test -race ./internal/experiments/... ./internal/dist/... ./internal/serve
+echo "== go test -race (parallel experiment engine + shard coordinator + serve layer + trace)"
+go test -race ./internal/experiments/... ./internal/dist/... ./internal/serve ./internal/trace
 
 echo "== scenario schema gate (round-trip parse/marshal goldens)"
 go test ./internal/scenario -run 'TestGolden|TestBuiltinsMarshalParse' -count=1
@@ -88,6 +88,17 @@ MESHOPT_FAULT='seed=7,1/kill@2x1,2/hang@6x1' "$SHARD_TMP/meshopt" coord broadcas
     -o "$SHARD_TMP/bchaos.jsonl" >/dev/null 2>"$SHARD_TMP/bchaos.log"
 cmp "$SHARD_TMP/bc.jsonl" "$SHARD_TMP/bchaos.jsonl"
 cmp "$SHARD_TMP/bc.jsonl" "$SHARD_TMP/bchaos/merged.jsonl"
+
+echo "== trace smoke (record fig10 -> replay exits 0; capture leaves non-trace bytes untouched; seed diff exits nonzero)"
+"$SHARD_TMP/meshopt" trace record 10 -scale quick -seed 4 -o "$SHARD_TMP/rec4.jsonl" >/dev/null
+"$SHARD_TMP/meshopt" trace replay 10 -scale quick -seed 4 -trace "$SHARD_TMP/rec4.jsonl" >/dev/null
+grep -v '"series":"trace"' "$SHARD_TMP/rec4.jsonl" | cmp - "$SHARD_TMP/full.jsonl"
+"$SHARD_TMP/meshopt" trace diff "$SHARD_TMP/rec4.jsonl" "$SHARD_TMP/rec4.jsonl" >/dev/null
+"$SHARD_TMP/meshopt" trace record 10 -scale quick -seed 5 -o "$SHARD_TMP/rec5.jsonl" >/dev/null
+if "$SHARD_TMP/meshopt" trace diff "$SHARD_TMP/rec4.jsonl" "$SHARD_TMP/rec5.jsonl" >/dev/null; then
+    echo "trace diff should exit nonzero on seed-perturbed recordings" >&2
+    exit 1
+fi
 
 echo "== serve smoke (submit fig10 twice: cold compute, then cache hit; both byte == meshopt fig)"
 "$SHARD_TMP/meshopt" serve -addr 127.0.0.1:0 -cache "$SHARD_TMP/cache" \
