@@ -70,6 +70,18 @@ func TestExitCodeConventions(t *testing.T) {
 		{"watch no target", func() int { return runWatch(nil) }, 2},
 		{"watch unknown target", func() int { return runWatch([]string{"nosuchtarget"}) }, 2},
 		{"watch no server", func() int { return runWatch([]string{"5", "-addr", "http://127.0.0.1:1"}) }, 1},
+
+		{"stats stray arg", func() int { return runStats([]string{"extra"}) }, 2},
+		{"stats metrics and path", func() int { return runStats([]string{"-metrics", "-path", "/v1/stats"}) }, 2},
+		{"stats bad path", func() int { return runStats([]string{"-path", "no-slash"}) }, 2},
+		{"stats no server", func() int { return runStats([]string{"-addr", "http://127.0.0.1:1"}) }, 1},
+
+		{"coord bad log level", func() int {
+			return runCoord([]string{"5", "-shards", "2", "-dir", tmp + "/r2", "-log-level", "loud"})
+		}, 2},
+		{"serve bad log format", func() int {
+			return runServe([]string{"-cache", tmp + "/c", "-log-format", "yaml"})
+		}, 2},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -12,6 +12,7 @@
 //	meshopt serve -addr :8080 -cache cache/          # HTTP experiment service
 //	meshopt submit 10 -addr http://host:8080         # run (or fetch) a job remotely
 //	meshopt watch 10 -addr http://host:8080          # live progress off the frontier
+//	meshopt stats -addr http://host:8080             # /v1/stats snapshot (-metrics: Prometheus text)
 //	meshopt run quickstart              # run a registered scenario
 //	meshopt run spec.json -o out.jsonl -format jsonl
 //	meshopt fig broadcast               # broadcast dissemination sweep
@@ -90,6 +91,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/experiments/exp"
 	"repro/internal/experiments/runner"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/scenario/sink"
 )
@@ -104,13 +106,15 @@ func main() {
 		case "coord":
 			os.Exit(runCoord(os.Args[2:]))
 		case "work":
-			os.Exit(runWork())
+			os.Exit(runWork(os.Args[2:]))
 		case "serve":
 			os.Exit(runServe(os.Args[2:]))
 		case "submit":
 			os.Exit(runSubmit(os.Args[2:]))
 		case "watch":
 			os.Exit(runWatch(os.Args[2:]))
+		case "stats":
+			os.Exit(runStats(os.Args[2:]))
 		case "run":
 			os.Exit(runScenario(os.Args[2:]))
 		case "trace":
@@ -248,6 +252,8 @@ func runFig(args []string) int {
 	shardSpec := fs.String("shard", "", "run one residue class of cells (i/k, e.g. 0/2); requires -format jsonl")
 	out := fs.String("o", "", "write result records to this file (default: stdout)")
 	format := fs.String("format", "jsonl", "record format: jsonl or csv")
+	pprofCPU := fs.String("pprof-cpu", "", "write a CPU profile of the run to this file")
+	pprofMem := fs.String("pprof-mem", "", "write a heap profile (taken after the run, post-GC) to this file")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: meshopt fig <n|name> [flags]")
 		fs.PrintDefaults()
@@ -305,8 +311,17 @@ func runFig(args []string) int {
 		snk = sink.NewJSONL(recordW)
 	}
 
+	stopProfiles, err := startProfiles(*pprofCPU, *pprofMem)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
 	start := time.Now()
 	res, err := exp.Run(e, seedOrDefault(fs, *seed, ti.seed), sc, exp.Options{Sink: snk, Shard: shard})
+	if perr := stopProfiles(); err == nil {
+		err = perr
+	}
 	if cerr := snk.Close(); err == nil {
 		err = cerr
 	}
@@ -379,9 +394,30 @@ func runMerge(args []string) int {
 
 // runWork implements the `work` subcommand: a long-lived worker serving
 // shard dispatches on stdin/stdout for a `meshopt coord` coordinator
-// (local subprocess, ssh, k8s exec, ...) until stdin closes.
-func runWork() int {
-	if err := dist.ServeWork(os.Stdin, os.Stdout); err != nil {
+// (local subprocess, ssh, k8s exec, ...) until stdin closes. The record
+// protocol owns stdout, so the event log goes to stderr and metrics are
+// only reachable through the -metrics-addr sidecar.
+func runWork(args []string) int {
+	fs := flag.NewFlagSet("meshopt work", flag.ExitOnError)
+	of := addObsFlags(fs, "warn")
+	metricsAddr := fs.String("metrics-addr", "", "serve GET /metrics and /debug/pprof/* on this sidecar address (host:port; empty = off)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: meshopt work [flags]   (stdio worker protocol; spawned by coord)")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	logger, err := of.logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	stopSidecar, err := startSidecar(*metricsAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer stopSidecar()
+	if err := dist.ServeWorkLogged(os.Stdin, os.Stdout, logger); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
@@ -407,6 +443,8 @@ func runCoord(args []string) int {
 	stealAfter := fs.Duration("steal-after", 0, "work stealing: kill and re-dispatch the shard gating the merge frontier after it stalls this long with a free slot available (0 = off)")
 	out := fs.String("o", "", "also copy the merged records to this file")
 	watch := fs.Bool("watch", false, "render a live progress line (cells merged, shards done) on stderr instead of the shard log")
+	of := addObsFlags(fs, "info")
+	metricsAddr := fs.String("metrics-addr", "", "serve GET /metrics and /debug/pprof/* on this sidecar address (host:port; empty = off)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: meshopt coord <n|name|scenario|spec.json> -shards k -workers <n|cmd-template> -dir rundir [flags]")
 		fs.PrintDefaults()
@@ -441,6 +479,17 @@ func runCoord(args []string) int {
 		fmt.Fprintln(os.Stderr, "-retries must be at least 1 (it counts dispatch attempts; 1 means no retry)")
 		return 2
 	}
+	logger, err := of.logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	stopSidecar, err := startSidecar(*metricsAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer stopSidecar()
 
 	o := dist.Options{
 		MaxAttempts:    *retries,
@@ -449,7 +498,7 @@ func runCoord(args []string) int {
 		BackoffCap:     *backoffCap,
 		Jitter:         *jitter,
 		StealAfter:     *stealAfter,
-		Log:            os.Stderr,
+		Logger:         logger,
 	}
 	if n, err := strconv.Atoi(*workers); err == nil && *workers != "" {
 		o.Slots = n
@@ -461,7 +510,7 @@ func runCoord(args []string) int {
 		// The progress line replaces the shard log (both write stderr;
 		// interleaving them would shred the \r rendering). Progress is
 		// called under the merge lock, so rendering is throttled.
-		o.Log = io.Discard
+		o.Logger = obs.Discard()
 		var lastRender time.Time
 		o.Progress = func(p dist.Progress) {
 			if time.Since(lastRender) < 100*time.Millisecond && p.MergedCells < p.Cells {
@@ -633,6 +682,7 @@ func legacyFigures() {
 		fmt.Fprintln(os.Stderr, "       meshopt serve -cache dir [-addr :8080]   (HTTP experiment service)")
 		fmt.Fprintln(os.Stderr, "       meshopt submit <n|name|scenario> -addr http://host:port [flags]")
 		fmt.Fprintln(os.Stderr, "       meshopt watch <job-id|target> -addr http://host:port")
+		fmt.Fprintln(os.Stderr, "       meshopt stats -addr http://host:port [-metrics|-path /p]   (server observability)")
 		fmt.Fprintln(os.Stderr, "       meshopt run <scenario.json|name> [flags]")
 		fmt.Fprintln(os.Stderr, "       meshopt list")
 		fmt.Fprintln(os.Stderr, "legacy flags (deprecated aliases over the same registry):")

@@ -33,6 +33,7 @@ func runServe(args []string) int {
 	jobTTL := fs.Duration("job-ttl", 0, "evict terminal jobs from the in-memory table after this long (their cache entries keep serving resubmissions); 0 = never")
 	cacheMax := fs.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries once their summed size passes this; 0 = unbounded")
 	imports := fs.String("import", "", "comma-separated coordinator run directories to import as cache entries at startup")
+	of := addObsFlags(fs, "info")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: meshopt serve -cache dir [-addr :8080] [-jobs n] [-workers n]")
 		fs.PrintDefaults()
@@ -42,6 +43,11 @@ func runServe(args []string) int {
 		fs.Usage()
 		return 2
 	}
+	logger, err := of.logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 	runner.SetWorkers(*workers)
 	s, err := serve.New(serve.Options{
 		CacheDir:      *cacheDir,
@@ -49,7 +55,7 @@ func runServe(args []string) int {
 		Slots:         *slots,
 		JobTTL:        *jobTTL,
 		CacheMaxBytes: *cacheMax,
-		Log:           os.Stderr,
+		Logger:        logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

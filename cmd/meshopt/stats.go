@@ -1,0 +1,72 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+// runStats implements the `stats` subcommand: fetch a running
+// `meshopt serve` instance's observability surfaces and print them to
+// stdout. The default is the GET /v1/stats JSON snapshot; -metrics
+// fetches the Prometheus text exposition instead, and -path fetches an
+// arbitrary GET path (e.g. /debug/pprof/), so scripts never need curl.
+// Exit codes: 0 ok, 1 server unreachable or non-200, 2 usage.
+func runStats(args []string) int {
+	fs := flag.NewFlagSet("meshopt stats", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "server base URL (scheme optional)")
+	metrics := fs.Bool("metrics", false, "fetch /metrics (Prometheus text) instead of /v1/stats")
+	path := fs.String("path", "", "fetch this GET path instead (e.g. /debug/pprof/)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: meshopt stats -addr http://host:port [-metrics | -path /some/path]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return 2
+	}
+	if *metrics && *path != "" {
+		fmt.Fprintln(os.Stderr, "-metrics and -path are mutually exclusive")
+		return 2
+	}
+	p := "/v1/stats"
+	switch {
+	case *metrics:
+		p = "/metrics"
+	case *path != "":
+		if !strings.HasPrefix(*path, "/") {
+			fmt.Fprintf(os.Stderr, "-path must start with / (got %q)\n", *path)
+			return 2
+		}
+		p = *path
+	}
+
+	base := strings.TrimRight(*addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	resp, err := http.Get(base + p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "GET %s%s: %s: %s\n", base, p, resp.Status, strings.TrimSpace(string(body)))
+		return 1
+	}
+	os.Stdout.Write(body)
+	if len(body) > 0 && body[len(body)-1] != '\n' {
+		fmt.Println()
+	}
+	return 0
+}

@@ -11,15 +11,18 @@ import (
 	"fmt"
 	"hash"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/dist/fault"
 	"repro/internal/experiments/exp"
+	"repro/internal/obs"
 	"repro/internal/scenario/sink"
 )
 
@@ -63,7 +66,13 @@ type Options struct {
 	// worker is kept across dispatches and only respawned after a
 	// failure, kill, or steal.
 	Spawner Spawner
-	// Log receives human-readable progress; nil discards it.
+	// Logger receives structured coordinator events (dispatch, retry,
+	// steal, spawn, divergence), with shard/slot/attempt/cell fields.
+	// Nil derives an info-level text logger from Log — or a discard
+	// logger when Log is nil too.
+	Logger *slog.Logger
+	// Log is the legacy progress writer; it only matters when Logger is
+	// nil (see above). Nil discards.
 	Log io.Writer
 	// Stream, when set, receives a live copy of the merged record stream
 	// — the same bytes written to dir/merged.jsonl — flushed at cell
@@ -154,8 +163,8 @@ func Run(ctx context.Context, job Job, dir string, o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	if o.Log == nil {
-		o.Log = io.Discard
+	if o.Logger == nil {
+		o.Logger = obs.TextLogger(o.Log)
 	}
 	if o.Slots <= 0 {
 		o.Slots = min(job.Shards, runtime.GOMAXPROCS(0))
@@ -185,7 +194,7 @@ func Run(ctx context.Context, job Job, dir string, o Options) (*Report, error) {
 	var pending []int
 	for i := 0; i < job.Shards; i++ {
 		if n, _, ok := ValidateRecordsFile(shardPath(dir, i)); ok {
-			fmt.Fprintf(o.Log, "shard %d/%d: reusing checkpoint (%d records)\n", i, job.Shards, n)
+			o.Logger.Info("reusing checkpoint", "shard", i, "shards", job.Shards, "records", n)
 			rep.Reused = append(rep.Reused, i)
 		} else {
 			pending = append(pending, i)
@@ -221,7 +230,7 @@ func Run(ctx context.Context, job Job, dir string, o Options) (*Report, error) {
 		pool: &workerPool{
 			ctx:     ctx,
 			spawner: o.Spawner,
-			log:     o.Log,
+			log:     o.Logger,
 			slots:   make([]*poolWorker, o.Slots),
 		},
 	}
@@ -308,23 +317,27 @@ func Run(ctx context.Context, job Job, dir string, o Options) (*Report, error) {
 					// earlier cells come from the checkpoint part file.
 					steals++
 					rep.Steals[shard]++
+					metSteals.Inc()
 					if st := r.states[shard]; st.curCell > 0 {
 						fromCell = st.curCell
-						fmt.Fprintf(o.Log, "shard %d/%d: stalled attempt killed, re-dispatching from cell %d (steal %d)\n",
-							shard, job.Shards, fromCell, steals)
-					} else {
-						fmt.Fprintf(o.Log, "shard %d/%d: stalled attempt killed, re-dispatching (steal %d)\n", shard, job.Shards, steals)
 					}
+					o.Logger.Info("stalled attempt killed, re-dispatching",
+						"shard", shard, "shards", job.Shards, "from_cell", fromCell, "steal", steals)
 					continue
 				}
-				fmt.Fprintf(o.Log, "shard %d/%d attempt %d failed: %v\n", shard, job.Shards, attempt, err)
+				o.Logger.Warn("attempt failed",
+					"shard", shard, "shards", job.Shards, "attempt", attempt, "err", err)
 				var fe fatalError
 				if ctx.Err() != nil || errors.As(err, &fe) {
 					break
 				}
 				attempt++
+				metRetries.Inc()
 				if attempt <= o.MaxAttempts {
 					d := retryDelay(o.Backoff, o.BackoffCap, o.Jitter, job.Seed, shard, attempt-1)
+					metBackoffWaits.Inc()
+					metBackoffSeconds.Add(d.Seconds())
+					o.Logger.Debug("retry backoff", "shard", shard, "attempt", attempt, "delay", d)
 					select {
 					case <-time.After(d):
 					case <-ctx.Done():
@@ -387,7 +400,7 @@ type poolWorker struct {
 type workerPool struct {
 	ctx     context.Context
 	spawner Spawner
-	log     io.Writer
+	log     *slog.Logger
 	mu      sync.Mutex
 	slots   []*poolWorker
 	spawns  int
@@ -409,7 +422,8 @@ func (p *workerPool) acquire(slot int) (*poolWorker, error) {
 		return nil, err
 	}
 	p.spawns++
-	fmt.Fprintf(p.log, "slot %d: spawned worker (%d total)\n", slot, p.spawns)
+	metSpawns.Inc()
+	p.log.Info("spawned worker", "slot", slot, "spawns", p.spawns)
 	pw := &poolWorker{w: w, sc: sink.NewLineScanner(w.Out)}
 	p.slots[slot] = pw
 	return pw, nil
@@ -522,8 +536,9 @@ func (r *run) stealLoop(stop <-chan struct{}, slots chan int) {
 		if cancel == nil {
 			continue // frontier shard not dispatched right now
 		}
-		fmt.Fprintf(r.o.Log, "shard %d/%d: frontier stalled at cell %d for %s, stealing\n",
-			shard, r.job.Shards, f, r.o.StealAfter)
+		metStallSeconds.Add(time.Since(lastAdvance).Seconds())
+		r.o.Logger.Info("frontier stalled, stealing",
+			"shard", shard, "shards", r.job.Shards, "cell", f, "stalled_for", r.o.StealAfter)
 		cancel(errStolen)
 		lastAdvance = time.Now() // give the thief a full stall window
 	}
@@ -531,6 +546,7 @@ func (r *run) stealLoop(stop <-chan struct{}, slots chan int) {
 
 // report publishes a progress observation. Called with r.mu held.
 func (r *run) report() {
+	metFrontier.Set(float64(r.merger.Frontier()))
 	if r.o.Progress == nil {
 		return
 	}
@@ -678,6 +694,10 @@ func hashFilePrefix(path string, n int64) ([]byte, error) {
 // verified the dispatch silently falls back to a full re-stream, which
 // is always correct.
 func (r *run) attempt(ctx context.Context, shard, slot, dispatch, fromCell int) error {
+	metDispatches.Inc()
+	r.o.Logger.Debug("dispatch",
+		"shard", shard, "shards", r.job.Shards, "slot", slot, "attempt", dispatch, "from_cell", fromCell)
+	shardCell := metShardCell.With(strconv.Itoa(shard))
 	actx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
 	if r.o.AttemptTimeout > 0 {
@@ -716,8 +736,8 @@ func (r *run) attempt(ctx context.Context, shard, slot, dispatch, fromCell int) 
 			}
 		}
 		if !ok {
-			fmt.Fprintf(r.o.Log, "shard %d/%d: part file unusable for suffix dispatch, re-streaming from cell 0\n",
-				shard, r.job.Shards)
+			r.o.Logger.Warn("part file unusable for suffix dispatch, re-streaming",
+				"shard", shard, "shards", r.job.Shards, "from_cell", 0)
 			suffix, fromCell = false, 0
 		}
 	}
@@ -781,6 +801,7 @@ func (r *run) attempt(ctx context.Context, shard, slot, dispatch, fromCell int) 
 			// in-process pipes.
 			if string(line) == ReadyMarker {
 				expectReady = false
+				metHeartbeats.Inc()
 				if _, err := pw.w.In.Write(append(req, '\n')); err != nil {
 					workErr = fmt.Errorf("sending job: %w", err)
 					break
@@ -835,6 +856,7 @@ func (r *run) attempt(ctx context.Context, shard, slot, dispatch, fromCell int) 
 			st.cellStartSum = st.h.Sum(nil)
 			st.cellH = sha256.New()
 			st.curCell = cell
+			shardCell.Set(float64(cell))
 		}
 		st.h.Write(line)
 		st.h.Write([]byte{'\n'})
@@ -867,6 +889,8 @@ func (r *run) attempt(ctx context.Context, shard, slot, dispatch, fromCell int) 
 		waitErr := r.pool.retire(slot, pw)
 		var fe fatalError
 		if errors.As(attemptErr, &fe) {
+			r.o.Logger.Error("determinism violation",
+				"shard", shard, "shards", r.job.Shards, "attempt", dispatch, "err", attemptErr)
 			return attemptErr
 		}
 		if cause := context.Cause(actx); cause != nil {
@@ -908,7 +932,7 @@ func (r *run) attempt(ctx context.Context, shard, slot, dispatch, fromCell int) 
 	if err := r.closeShard(shard); err != nil {
 		return fatalError{err}
 	}
-	fmt.Fprintf(r.o.Log, "shard %d/%d complete (%d records)\n", shard, r.job.Shards, st.pushed)
+	r.o.Logger.Info("shard complete", "shard", shard, "shards", r.job.Shards, "records", st.pushed)
 	if r.o.onShardDone != nil {
 		r.o.onShardDone(shard)
 	}

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -299,7 +300,7 @@ func TestCoordStealSuffixDispatchResumesAtFrontier(t *testing.T) {
 	if rep.Steals[1] == 0 {
 		t.Fatalf("shard 1 was never stolen (attempts %v, steals %v)", rep.Attempts, rep.Steals)
 	}
-	if !strings.Contains(log.String(), "re-dispatching from cell 4") {
+	if !strings.Contains(log.String(), `msg="stalled attempt killed, re-dispatching" shard=1 shards=3 from_cell=4`) {
 		t.Fatalf("thief was not suffix-dispatched from the frontier cell:\n%s", log.String())
 	}
 	// A checkpoint assembled from a reused prefix plus the thief's
@@ -336,7 +337,7 @@ func TestCoordBroadcastChaosKillAndStealByteIdentical(t *testing.T) {
 	if rep.Steals[2] == 0 {
 		t.Fatalf("hung shard 2 was never stolen (attempts %v, steals %v)", rep.Attempts, rep.Steals)
 	}
-	if !strings.Contains(log.String(), "re-dispatching from cell") {
+	if !regexp.MustCompile(`msg="stalled attempt killed, re-dispatching" shard=\d+ shards=3 from_cell=[1-9]`).MatchString(log.String()) {
 		t.Fatalf("stolen shard was not suffix-dispatched:\n%s", log.String())
 	}
 }

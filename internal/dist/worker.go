@@ -8,10 +8,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"strings"
 
 	"repro/internal/dist/fault"
 	"repro/internal/experiments/exp"
+	"repro/internal/obs"
 	"repro/internal/scenario/sink"
 )
 
@@ -161,11 +163,19 @@ func (c *corruptWriter) Write(p []byte) (int, error) {
 // MESHOPT_WORK_FAIL kill hook). cmd/meshopt's `work` subcommand is a
 // direct wrapper.
 func ServeWork(in io.Reader, out io.Writer) error {
+	return ServeWorkLogged(in, out, nil)
+}
+
+// ServeWorkLogged is ServeWork with a structured event logger (request
+// received / request complete, with job/shard/attempt/cell fields).
+// The logger must write somewhere other than out — protocol stream and
+// log stream are strictly separate. Nil discards.
+func ServeWorkLogged(in io.Reader, out io.Writer, logger *slog.Logger) error {
 	sched, err := fault.FromEnv()
 	if err != nil {
 		return fmt.Errorf("dist: work: %w", err)
 	}
-	return ServeWorkOn(in, out, sched, nil)
+	return serveWorkOn(in, out, sched, nil, logger)
 }
 
 // ServeWorkOn is ServeWork with an explicit fault schedule and hang
@@ -174,6 +184,13 @@ func ServeWork(in io.Reader, out io.Writer) error {
 // injected fault, standing in for the process kill a subprocess worker
 // would receive.
 func ServeWorkOn(in io.Reader, out io.Writer, sched *fault.Schedule, release <-chan struct{}) error {
+	return serveWorkOn(in, out, sched, release, nil)
+}
+
+func serveWorkOn(in io.Reader, out io.Writer, sched *fault.Schedule, release <-chan struct{}, logger *slog.Logger) error {
+	if logger == nil {
+		logger = obs.Discard()
+	}
 	br := bufio.NewReader(in)
 	if _, err := fmt.Fprintln(out, ReadyMarker); err != nil {
 		return fmt.Errorf("dist: work: writing ready: %w", err)
@@ -193,11 +210,18 @@ func ServeWorkOn(in io.Reader, out io.Writer, sched *fault.Schedule, release <-c
 		if err := json.Unmarshal(line, &req); err != nil {
 			return fmt.Errorf("dist: work: bad request: %w", err)
 		}
+		logger.Info("shard request",
+			"experiment", req.Job.Experiment, "seed", req.Job.Seed,
+			"shard", req.Shard.Index, "shards", req.Shard.Count,
+			"attempt", req.Attempt, "from_cell", req.FromCell)
 		if err := serveShard(req, out, sched, release); err != nil {
 			// Injected kills and I/O failures end the worker like a
 			// crash would: the coordinator respawns a fresh process.
+			logger.Error("shard request failed",
+				"shard", req.Shard.Index, "shards", req.Shard.Count, "attempt", req.Attempt, "err", err)
 			return err
 		}
+		logger.Info("shard request complete", "shard", req.Shard.Index, "shards", req.Shard.Count)
 		if _, err := fmt.Fprintln(out, ReadyMarker); err != nil {
 			return fmt.Errorf("dist: work: writing ready: %w", err)
 		}

@@ -31,10 +31,26 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/experiments/runner"
+	"repro/internal/obs"
 	"repro/internal/scenario/sink"
 	"repro/internal/sim"
+)
+
+// Engine metrics, labelled by experiment name. Strictly out-of-band:
+// they time and count cells, never inspect or alter their records, so
+// the streamed bytes are identical with the registry on or off.
+var (
+	metRuns = obs.Default.CounterVec("meshopt_exp_runs_total",
+		"Engine runs started.", "experiment")
+	metCellSeconds = obs.Default.HistogramVec("meshopt_exp_cell_seconds",
+		"Wall time per cell body (capture overhead excluded).", obs.TimeBuckets(), "experiment")
+	metCaptureSeconds = obs.Default.CounterVec("meshopt_exp_capture_seconds_total",
+		"Wall time spent collecting capture records.", "experiment")
+	metCaptureRecords = obs.Default.CounterVec("meshopt_exp_capture_records_total",
+		"Capture records appended to cell streams.", "experiment")
 )
 
 // Scale sets the fidelity/runtime trade-off of an experiment run.
@@ -282,9 +298,18 @@ func Run(e Experiment, seed int64, sc Scale, o Options) (Result, error) {
 		recs []sink.Record
 		own  int
 	}
+	observing := obs.Default.Enabled()
+	cellSeconds := metCellSeconds.With(e.Name())
+	captureSeconds := metCaptureSeconds.With(e.Name())
+	captureRecords := metCaptureRecords.With(e.Name())
+	metRuns.With(e.Name()).Inc()
 	runCell := func(_ int, c Cell) cellOut {
 		if o.Capture != nil {
 			c.Capture = o.Capture(c)
+		}
+		var bodyStart time.Time
+		if observing {
+			bodyStart = time.Now()
 		}
 		var recs []sink.Record
 		if multi {
@@ -296,9 +321,20 @@ func Run(e Experiment, seed int64, sc Scale, o Options) (Result, error) {
 		} else {
 			recs = []sink.Record{e.RunCell(c)}
 		}
+		if observing {
+			cellSeconds.Observe(time.Since(bodyStart).Seconds())
+		}
 		own := len(recs)
 		if c.Capture != nil {
+			var capStart time.Time
+			if observing {
+				capStart = time.Now()
+			}
 			recs = append(recs, c.Capture.Records()...)
+			if observing {
+				captureSeconds.Add(time.Since(capStart).Seconds())
+				captureRecords.Add(float64(len(recs) - own))
+			}
 		}
 		for i := range recs {
 			recs[i].Scenario = e.Name()

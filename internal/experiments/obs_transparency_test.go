@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"repro/internal/broadcast"
+	"repro/internal/experiments/exp"
+	"repro/internal/obs"
+)
+
+// TestRecordStreamUnchangedByObservability pins the out-of-band
+// contract: the record stream is a pure function of (experiment, seed,
+// scale), so enabling the metrics registry must not perturb a single
+// byte of it — at 1, 2 or GOMAXPROCS workers, for both the fig10 sweep
+// and the broadcast dissemination family. The metrics-off run is the
+// reference; every metrics-on run must reproduce it exactly.
+func TestRecordStreamUnchangedByObservability(t *testing.T) {
+	t.Cleanup(func() { obs.Default.SetEnabled(true) })
+	bsc := detScale()
+	bsc.Iterations = 2 // 24 nodes, 2 reps: 24 cells
+	cases := []struct {
+		name string
+		e    exp.Experiment
+		sc   Scale
+	}{
+		{"fig10", fig10Exp{}, detScale()},
+		{"broadcast", broadcast.Default(), bsc},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			obs.Default.SetEnabled(false)
+			ref, refRes := renderJSONL(t, tc.e, 4, tc.sc, 1)
+			if len(ref) == 0 {
+				t.Fatalf("%s streamed no records", tc.name)
+			}
+			obs.Default.SetEnabled(true)
+			for _, workers := range []int{1, 2, max(2, runtime.GOMAXPROCS(0))} {
+				got, res := renderJSONL(t, tc.e, 4, tc.sc, workers)
+				if !bytes.Equal(got, ref) {
+					t.Fatalf("%s stream at %d workers with metrics on differs from the metrics-off reference:\ngot:\n%s\nref:\n%s",
+						tc.name, workers, got, ref)
+				}
+				if !resultEqual(res, refRes) {
+					t.Fatalf("%s reduction at %d workers differs with metrics on", tc.name, workers)
+				}
+			}
+			// The instrumented runs must actually have recorded: a silently
+			// disabled registry would make this test vacuous.
+			if v := counterValue(t, "meshopt_runner_cells_completed_total"); v <= 0 {
+				t.Fatalf("meshopt_runner_cells_completed_total = %v after instrumented runs, want > 0", v)
+			}
+		})
+	}
+}
+
+// counterValue reads an unlabelled counter's value from the default
+// registry's snapshot.
+func counterValue(t *testing.T, name string) float64 {
+	t.Helper()
+	for _, f := range obs.Default.Snapshot().Families {
+		if f.Name == name {
+			return f.Series[0].Value
+		}
+	}
+	return 0
+}
+
+// resultEqual compares reductions via their printed form (exp.Result is
+// an interface; the printed summary is its observable surface).
+func resultEqual(a, b exp.Result) bool {
+	var ba, bb bytes.Buffer
+	a.Print(&ba)
+	b.Print(&bb)
+	return bytes.Equal(ba.Bytes(), bb.Bytes())
+}

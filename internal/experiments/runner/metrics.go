@@ -1,0 +1,51 @@
+package runner
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Pool metrics, registered in the process-wide registry. All of this is
+// out-of-band: the counters and the wall-time histogram observe when a
+// cell runs and how long it took, never what it produced, so the record
+// stream is byte-identical with the registry enabled or disabled.
+var (
+	cellsStarted = obs.Default.Counter("meshopt_runner_cells_started_total",
+		"Cells claimed by pool workers.")
+	cellsCompleted = obs.Default.Counter("meshopt_runner_cells_completed_total",
+		"Cells that ran to completion.")
+	cellsCancelled = obs.Default.Counter("meshopt_runner_cells_cancelled_total",
+		"Cells never claimed because the run was cancelled.")
+	cellSeconds = obs.Default.Histogram("meshopt_runner_cell_seconds",
+		"Wall time per cell.", obs.TimeBuckets())
+)
+
+// instrumentCell wraps a cell function with the pool metrics. The check
+// is per cell so a registry toggled mid-run settles at cell boundaries;
+// disabled, the cost is one atomic load per cell.
+func instrumentCell[T, R any](fn func(i int, cell T) R) func(i int, cell T) R {
+	return func(i int, cell T) R {
+		if !obs.Default.Enabled() {
+			return fn(i, cell)
+		}
+		cellsStarted.Inc()
+		start := time.Now()
+		r := fn(i, cell)
+		cellSeconds.Observe(time.Since(start).Seconds())
+		cellsCompleted.Inc()
+		return r
+	}
+}
+
+// countCancelled records cells that were never claimed when a run was
+// cut short: total less the claimed count (the claim counter may
+// overshoot by up to one per worker).
+func countCancelled(total, claimed int) {
+	if claimed > total {
+		claimed = total
+	}
+	if total > claimed {
+		cellsCancelled.Add(float64(total - claimed))
+	}
+}

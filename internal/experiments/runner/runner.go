@@ -85,11 +85,13 @@ func MapCtx[T, R any](ctx context.Context, workers int, cells []T, fn func(i int
 	if workers > len(cells) {
 		workers = len(cells)
 	}
+	fn = instrumentCell(fn)
 	done := ctx.Done() // nil for background contexts: the case never fires
 	if workers == 1 {
 		for i, c := range cells {
 			select {
 			case <-done:
+				countCancelled(len(cells), i)
 				return out, ctx.Err()
 			default:
 			}
@@ -139,6 +141,7 @@ func MapCtx[T, R any](ctx context.Context, workers int, cells []T, fn func(i int
 	}
 	if cancelled.Load() && int(next.Load()) < len(cells) {
 		// Cells [next, len) were never claimed; out[0:next] is filled.
+		countCancelled(len(cells), int(next.Load()))
 		return out, ctx.Err()
 	}
 	return out, nil

@@ -64,11 +64,13 @@ func StreamCtx[T, R any](ctx context.Context, workers int, cells []T, fn func(i 
 	if workers > n {
 		workers = n
 	}
+	fn = instrumentCell(fn)
 	done := ctx.Done() // nil for background contexts: the case never fires
 	if workers == 1 {
 		for i, c := range cells {
 			select {
 			case <-done:
+				countCancelled(n, i)
 				return ctx.Err()
 			default:
 			}
@@ -177,6 +179,7 @@ func StreamCtx[T, R any](ctx context.Context, workers int, cells []T, fn func(i 
 	}
 	if frontier < n {
 		// Cancelled mid-sweep: the emitted prefix is [0, frontier).
+		countCancelled(n, int(next.Load()))
 		return ctx.Err()
 	}
 	return nil

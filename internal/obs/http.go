@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// MetricsHandler serves a registry in the Prometheus text exposition
+// format.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var b strings.Builder
+		reg.WritePrometheus(&b)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(b.String()))
+	})
+}
+
+// Mount attaches GET /metrics and GET /debug/pprof/* to a mux. The
+// pprof handlers are wired explicitly rather than through
+// net/http/pprof's DefaultServeMux side effects, so importing obs never
+// pollutes a server that chose not to Mount.
+func Mount(mux *http.ServeMux, reg *Registry) {
+	mux.Handle("GET /metrics", MetricsHandler(reg))
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// Sidecar starts a metrics+pprof listener on addr (host:port, port 0
+// OK) for processes that have no HTTP surface of their own — coord and
+// work. It returns the bound address and a shutdown func.
+func Sidecar(addr string, reg *Registry) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	Mount(mux, reg)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

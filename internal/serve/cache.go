@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -13,6 +14,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/experiments/exp"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/scenario/sink"
 )
@@ -102,6 +104,7 @@ func mustCompactSpec(spec *scenario.Spec) json.RawMessage {
 // any fingerprint mismatch falls back to the same full validation.
 type Cache struct {
 	dir string
+	log *slog.Logger
 
 	mu        sync.Mutex
 	index     map[string]indexEntry
@@ -131,14 +134,37 @@ func NewCache(dir string) (*Cache, error) {
 	if err := os.MkdirAll(filepath.Join(dir, "runs"), 0o755); err != nil {
 		return nil, err
 	}
-	c := &Cache{dir: dir, index: map[string]indexEntry{}, validated: map[string]bool{}}
+	c := &Cache{dir: dir, log: obs.Discard(), index: map[string]indexEntry{}, validated: map[string]bool{}}
 	if b, err := os.ReadFile(c.indexPath()); err == nil {
 		var idx map[string]indexEntry
 		if json.Unmarshal(b, &idx) == nil && idx != nil {
 			c.index = idx
 		}
 	}
+	c.mu.Lock()
+	c.updateGaugesLocked()
+	c.mu.Unlock()
 	return c, nil
+}
+
+// SetLogger installs the structured event logger (eviction events and
+// the like). Nil discards. Call before the cache is shared.
+func (c *Cache) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = obs.Discard()
+	}
+	c.log = l
+}
+
+// updateGaugesLocked refreshes the cache size gauges from the index.
+// Called with c.mu held.
+func (c *Cache) updateGaugesLocked() {
+	var total int64
+	for _, ent := range c.index {
+		total += ent.Size
+	}
+	metCacheBytes.Set(float64(total))
+	metCacheEntries.Set(float64(len(c.index)))
 }
 
 func (c *Cache) indexPath() string { return filepath.Join(c.dir, "index.json") }
@@ -180,10 +206,17 @@ func (c *Cache) Lookup(key string) (path string, records int, dataBytes int64, o
 	if have && valid {
 		if fi, err := os.Stat(path); err == nil && fi.Size() == ent.Size && fi.ModTime().UnixNano() == ent.ModTimeNS {
 			c.touch(key)
+			metCacheHits.Inc()
 			return path, ent.Records, ent.Length, true
 		}
 	}
-	return c.Revalidate(key)
+	path, records, dataBytes, ok = c.Revalidate(key)
+	if ok {
+		metCacheHits.Inc()
+	} else {
+		metCacheMisses.Inc()
+	}
+	return path, records, dataBytes, ok
 }
 
 // Revalidate is Lookup without the index fast path: a full rehash of
@@ -193,12 +226,14 @@ func (c *Cache) Lookup(key string) (path string, records int, dataBytes int64, o
 // must never turn a warm key into a recomputation — use it directly.
 func (c *Cache) Revalidate(key string) (path string, records int, dataBytes int64, ok bool) {
 	path = c.EntryPath(key)
+	metCacheRevalidations.Inc()
 	records, dataBytes, sum, ok := dist.ValidateRecordsFileSum(path)
 	if !ok {
 		c.mu.Lock()
 		if _, had := c.index[key]; had {
 			delete(c.index, key)
 			c.persistLocked()
+			c.updateGaugesLocked()
 		}
 		delete(c.validated, key)
 		c.mu.Unlock()
@@ -232,6 +267,7 @@ func (c *Cache) seal(key string, records int, dataBytes int64, sum string) {
 	}
 	c.validated[key] = true
 	c.persistLocked()
+	c.updateGaugesLocked()
 	c.mu.Unlock()
 }
 
@@ -245,6 +281,13 @@ func (c *Cache) touch(key string) {
 		c.persistLocked()
 	}
 	c.mu.Unlock()
+}
+
+// Entries returns how many entries the index currently holds.
+func (c *Cache) Entries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.index)
 }
 
 // Size returns the summed on-disk size of the indexed entries.
@@ -311,10 +354,16 @@ func (c *Cache) EvictOver(quota int64, pinned map[string]bool) (evicted int, fre
 		delete(c.index, cd.key)
 		delete(c.validated, cd.key)
 		c.persistLocked()
+		c.updateGaugesLocked()
 		c.mu.Unlock()
 		total -= cd.size
 		freed += cd.size
 		evicted++
+		metCacheEvictions.Inc()
+		metCacheEvictedBytes.Add(float64(cd.size))
+		c.log.Info("cache entry evicted",
+			"key", cd.key, "bytes", cd.size,
+			"last_validated_age", time.Since(time.Unix(0, cd.last)).Round(time.Millisecond))
 	}
 	return evicted, freed
 }

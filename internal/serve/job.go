@@ -272,7 +272,8 @@ func (s *Server) runLocal(j *job) error {
 		if f, err = os.OpenFile(part, os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
 			return err
 		}
-		fmt.Fprintf(s.o.Log, "serve: job %.12s: resuming from checkpoint (%d/%d cells)\n", j.key, pre.cells, j.cells)
+		s.o.Logger.Info("job resuming from checkpoint",
+			"job", j.key[:12], "resumed_cells", pre.cells, "cells", j.cells)
 	} else if f, err = os.Create(part); err != nil {
 		return err
 	}
@@ -426,7 +427,7 @@ func (s *Server) runDist(j *job) error {
 	rep, err := dist.Run(s.ctx, j.req, s.cache.RunDir(j.key), dist.Options{
 		Slots:   s.o.Slots,
 		Spawner: s.o.Spawner,
-		Log:     s.o.Log,
+		Logger:  s.o.Logger.With("job", j.key[:12]),
 		Stream:  tee,
 		Progress: func(p dist.Progress) {
 			j.publish(func(j *job) { j.cellsDone = p.MergedCells })

@@ -1,0 +1,40 @@
+package serve
+
+import "repro/internal/obs"
+
+// Serve-layer metrics, registered in the process-wide registry. All
+// out-of-band: job lifecycle, admission and cache bookkeeping are
+// counted, the record bytes themselves never touched.
+var (
+	metSubmissions = obs.Default.Counter("meshopt_serve_submissions_total",
+		"Job submissions received (POST /v1/jobs).")
+	metCoalesced = obs.Default.Counter("meshopt_serve_coalesced_total",
+		"Submissions coalesced onto an existing job or cache entry instead of executing.")
+	metJobsRunning = obs.Default.Gauge("meshopt_serve_jobs_running",
+		"Jobs currently executing.")
+	metQueueDepth = obs.Default.Gauge("meshopt_serve_queue_depth",
+		"Jobs queued behind the admission limit.")
+	metJobsDone = obs.Default.Counter("meshopt_serve_jobs_done_total",
+		"Jobs that reached the done state by executing.")
+	metJobsFailed = obs.Default.Counter("meshopt_serve_jobs_failed_total",
+		"Jobs that reached the failed state.")
+	metJobsSwept = obs.Default.Counter("meshopt_serve_jobs_swept_total",
+		"Terminal jobs GC'd from the job table by the TTL janitor.")
+	metSubscribers = obs.Default.Gauge("meshopt_serve_stream_subscribers",
+		"Live GET /v1/jobs/{id}/records streams.")
+
+	metCacheHits = obs.Default.Counter("meshopt_cache_hits_total",
+		"Cache lookups that served a valid entry.")
+	metCacheMisses = obs.Default.Counter("meshopt_cache_misses_total",
+		"Cache lookups that found no valid entry.")
+	metCacheRevalidations = obs.Default.Counter("meshopt_cache_revalidations_total",
+		"Full entry rehashes (index fast path not taken).")
+	metCacheEvictions = obs.Default.Counter("meshopt_cache_evictions_total",
+		"Entries deleted by the quota janitor.")
+	metCacheEvictedBytes = obs.Default.Counter("meshopt_cache_evicted_bytes_total",
+		"Bytes freed by quota evictions.")
+	metCacheBytes = obs.Default.Gauge("meshopt_cache_bytes",
+		"Summed on-disk size of indexed cache entries.")
+	metCacheEntries = obs.Default.Gauge("meshopt_cache_entries",
+		"Indexed cache entries.")
+)

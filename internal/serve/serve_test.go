@@ -807,7 +807,7 @@ func TestShutdownStopsComputation(t *testing.T) {
 	if later := atomic.LoadInt64(&toyCells); later != after {
 		t.Fatalf("cells kept executing after Shutdown returned: %d -> %d", after, later)
 	}
-	if !strings.Contains(log.String(), "cells completed (checkpointed)") {
+	if !strings.Contains(log.String(), `msg="shutdown interrupted in-flight jobs" jobs=1 cells_completed=`) {
 		t.Fatalf("shutdown log lacks the cell accounting:\n%s", log.String())
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"sort"
@@ -45,6 +46,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/experiments/exp"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/scenario/sink"
 )
@@ -75,7 +77,12 @@ type Options struct {
 	// revalidating each candidate first and never touching entries whose
 	// key is live in the job table. 0 disables the quota.
 	CacheMaxBytes int64
-	// Log receives human-readable progress; nil discards it.
+	// Logger receives structured server events (job lifecycle, sweeps,
+	// evictions), with job/state/cell fields. Nil derives an info-level
+	// text logger from Log — or a discard logger when Log is nil too.
+	Logger *slog.Logger
+	// Log is the legacy progress writer; it only matters when Logger is
+	// nil (see above). Nil discards.
 	Log io.Writer
 }
 
@@ -89,6 +96,8 @@ type Server struct {
 	cancel context.CancelFunc
 	closed atomic.Bool
 
+	start time.Time
+
 	mu      sync.Mutex // guards jobs/queue/running; never taken inside a job's lock
 	jobs    map[string]*job
 	queue   []*job
@@ -101,13 +110,14 @@ func New(o Options) (*Server, error) {
 	if o.MaxJobs <= 0 {
 		o.MaxJobs = 2
 	}
-	if o.Log == nil {
-		o.Log = io.Discard
+	if o.Logger == nil {
+		o.Logger = obs.TextLogger(o.Log)
 	}
 	cache, err := NewCache(o.CacheDir)
 	if err != nil {
 		return nil, err
 	}
+	cache.SetLogger(o.Logger)
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		o:      o,
@@ -115,12 +125,15 @@ func New(o Options) (*Server, error) {
 		mux:    http.NewServeMux(),
 		ctx:    ctx,
 		cancel: cancel,
+		start:  time.Now(),
 		jobs:   map[string]*job{},
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/records", s.handleRecords)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	obs.Mount(s.mux, obs.Default)
 	if o.JobTTL > 0 || o.CacheMaxBytes > 0 {
 		go s.janitor(o.JobTTL)
 	}
@@ -170,8 +183,7 @@ func (s *Server) enforceQuota() {
 	}
 	s.mu.Unlock()
 	if n, freed := s.cache.EvictOver(quota, pinned); n > 0 {
-		fmt.Fprintf(s.o.Log, "serve: cache quota: evicted %d entr%s (%d bytes)\n",
-			n, map[bool]string{true: "y", false: "ies"}[n == 1], freed)
+		s.o.Logger.Info("cache quota enforced", "evicted", n, "freed_bytes", freed, "quota_bytes", quota)
 	}
 }
 
@@ -215,7 +227,8 @@ func (s *Server) sweepJobs(now time.Time) int {
 		s.mu.Unlock()
 	}
 	if evicted > 0 {
-		fmt.Fprintf(s.o.Log, "serve: evicted %d expired job(s) from the table\n", evicted)
+		metJobsSwept.Add(float64(evicted))
+		s.o.Logger.Info("expired jobs swept from table", "evicted", evicted)
 	}
 	return evicted
 }
@@ -274,8 +287,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		abandoned += j.cells - v.cellsDone
 	}
 	if len(inflight) > 0 {
-		fmt.Fprintf(s.o.Log, "serve: shutdown: %d in-flight job(s): %d cells completed (checkpointed), %d abandoned (resumable on restart)\n",
-			len(inflight), completed, abandoned)
+		s.o.Logger.Info("shutdown interrupted in-flight jobs",
+			"jobs", len(inflight), "cells_completed", completed, "cells_abandoned", abandoned)
 	}
 	return err
 }
@@ -290,6 +303,8 @@ func (s *Server) admit() {
 		s.wg.Add(1)
 		go s.execute(j)
 	}
+	metJobsRunning.Set(float64(s.running))
+	metQueueDepth.Set(float64(len(s.queue)))
 }
 
 // execute runs one job to a terminal state and frees its slot.
@@ -302,8 +317,9 @@ func (s *Server) execute(j *job) {
 		s.wg.Done()
 	}()
 	j.publish(func(j *job) { j.state = stateRunning })
-	fmt.Fprintf(s.o.Log, "serve: job %.12s: running %s (seed %d, scale %s, shards %d)\n",
-		j.key, j.req.Experiment, j.req.Seed, j.req.Scale, j.req.Shards)
+	s.o.Logger.Info("job running",
+		"job", j.key[:12], "experiment", j.req.Experiment, "seed", j.req.Seed,
+		"scale", j.req.Scale, "shards", j.req.Shards, "cells", j.cells)
 	var err error
 	if j.req.Shards > 1 {
 		err = s.runDist(j)
@@ -311,14 +327,16 @@ func (s *Server) execute(j *job) {
 		err = s.runLocal(j)
 	}
 	if err != nil {
-		fmt.Fprintf(s.o.Log, "serve: job %.12s: failed: %v\n", j.key, err)
+		metJobsFailed.Inc()
+		s.o.Logger.Warn("job failed", "job", j.key[:12], "err", err)
 		j.publish(func(j *job) {
 			j.state = stateFailed
 			j.errMsg = err.Error()
 		})
 		return
 	}
-	fmt.Fprintf(s.o.Log, "serve: job %.12s: done\n", j.key)
+	metJobsDone.Inc()
+	s.o.Logger.Info("job done", "job", j.key[:12], "records", j.snapshot().records)
 	// A fresh entry just landed; trim the cache if it pushed past quota.
 	s.enforceQuota()
 }
@@ -352,6 +370,7 @@ type submitResponse struct {
 // convoy the whole API behind disk I/O; the map check under the lock
 // then decides what the validation outcome means.
 func (s *Server) submit(req dist.Job) (*job, bool, error) {
+	metSubmissions.Inc()
 	key, err := JobKey(req)
 	if err != nil {
 		return nil, false, err
@@ -387,11 +406,13 @@ func (s *Server) submit(req dist.Job) (*job, bool, error) {
 		st := j.snapshot().state
 		switch {
 		case !terminal(st):
+			metCoalesced.Inc()
 			return j, false, nil // single-flight: attach to the in-flight job
 		case st == stateDone:
 			// The entry re-validated on this attach: a corrupted or
 			// evicted file must trigger recomputation, never be served.
 			if entryOK {
+				metCoalesced.Inc()
 				return j, false, nil
 			}
 			// The job may have finished — renaming its entry into
@@ -399,6 +420,7 @@ func (s *Server) submit(req dist.Job) (*job, bool, error) {
 			// before declaring the entry corrupt (rare path, so the
 			// rehash under the lock is acceptable here).
 			if _, _, _, ok := s.cache.Lookup(key); ok {
+				metCoalesced.Inc()
 				return j, false, nil
 			}
 		}
@@ -415,6 +437,8 @@ func (s *Server) submit(req dist.Job) (*job, bool, error) {
 		j.path = path
 		j.summary = summary
 		s.jobs[key] = j // fully initialized before it becomes reachable
+		metCoalesced.Inc()
+		s.o.Logger.Info("job served from cache", "job", key[:12], "records", records)
 		return j, false, nil
 	}
 	s.jobs[key] = j
@@ -548,6 +572,8 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("X-Meshopt-Cache", cacheState)
 	flusher, _ := w.(http.Flusher)
+	metSubscribers.Inc()
+	defer metSubscribers.Dec()
 
 	var f *os.File
 	defer func() {
@@ -660,6 +686,39 @@ func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
 		out = append(out, experimentInfo{Name: a, Kind: "alias", Description: "alias of " + aliases[a]})
 	}
 	writeJSON(w, out)
+}
+
+// statsResponse is the GET /v1/stats body: a JSON introspection
+// snapshot — job table by state, admission state, cache footprint, and
+// the full metrics registry snapshot (the same data /metrics exposes as
+// Prometheus text).
+type statsResponse struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Jobs          map[string]int `json:"jobs"`
+	QueueDepth    int            `json:"queue_depth"`
+	Running       int            `json:"running"`
+	CacheEntries  int            `json:"cache_entries"`
+	CacheBytes    int64          `json:"cache_bytes"`
+	Metrics       obs.Snapshot   `json:"metrics"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	jobs := map[string]int{}
+	for _, j := range s.jobs {
+		jobs[j.snapshot().state]++
+	}
+	queued, running := len(s.queue), s.running
+	s.mu.Unlock()
+	writeJSON(w, statsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Jobs:          jobs,
+		QueueDepth:    queued,
+		Running:       running,
+		CacheEntries:  s.cache.Entries(),
+		CacheBytes:    s.cache.Size(),
+		Metrics:       obs.Default.Snapshot(),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -21,8 +21,8 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (parallel experiment engine + shard coordinator + serve layer + trace)"
-go test -race ./internal/experiments/... ./internal/dist/... ./internal/serve ./internal/trace
+echo "== go test -race (parallel experiment engine + shard coordinator + serve layer + trace + obs)"
+go test -race ./internal/experiments/... ./internal/dist/... ./internal/serve ./internal/trace ./internal/obs
 
 echo "== scenario schema gate (round-trip parse/marshal goldens)"
 go test ./internal/scenario -run 'TestGolden|TestBuiltinsMarshalParse' -count=1
@@ -41,6 +41,13 @@ go build -o "$SHARD_TMP/meshopt" ./cmd/meshopt
 "$SHARD_TMP/meshopt" merge -o "$SHARD_TMP/merged.jsonl" "$SHARD_TMP/s0.jsonl" "$SHARD_TMP/s1.jsonl" >/dev/null
 cmp "$SHARD_TMP/full.jsonl" "$SHARD_TMP/merged.jsonl"
 
+echo "== pprof smoke (fig10 -pprof-cpu/-pprof-mem write profiles without perturbing the stream)"
+"$SHARD_TMP/meshopt" fig 10 -scale quick -seed 4 -pprof-cpu "$SHARD_TMP/cpu.pprof" \
+    -pprof-mem "$SHARD_TMP/mem.pprof" -o "$SHARD_TMP/prof.jsonl" >/dev/null
+test -s "$SHARD_TMP/cpu.pprof"
+test -s "$SHARD_TMP/mem.pprof"
+cmp "$SHARD_TMP/full.jsonl" "$SHARD_TMP/prof.jsonl"
+
 echo "== coord smoke (fig10, 3 local workers: mid-run worker kill, bounded retries, resume)"
 # Phase 1: the MESHOPT_WORK_FAIL hook kills shard 1's worker after 2
 # records on every attempt, so the coordinator must exhaust its retries
@@ -57,7 +64,7 @@ test ! -f "$SHARD_TMP/run/shard_1.jsonl"
 # byte-identical to the unsharded run.
 "$SHARD_TMP/meshopt" coord 10 -scale quick -seed 4 -shards 3 -workers 3 -dir "$SHARD_TMP/run" \
     -o "$SHARD_TMP/coord.jsonl" >/dev/null 2>"$SHARD_TMP/coord.log"
-grep -q "shard 0/3: reusing checkpoint" "$SHARD_TMP/coord.log"
+grep -q 'msg="reusing checkpoint" shard=0 shards=3' "$SHARD_TMP/coord.log"
 cmp "$SHARD_TMP/full.jsonl" "$SHARD_TMP/coord.jsonl"
 cmp "$SHARD_TMP/full.jsonl" "$SHARD_TMP/run/merged.jsonl"
 
@@ -127,6 +134,17 @@ cmp "$SHARD_TMP/full.jsonl" "$SHARD_TMP/sub2.jsonl"
 grep -q "cache: hit" "$SHARD_TMP/bsub2.log"
 cmp "$SHARD_TMP/bc.jsonl" "$SHARD_TMP/bsub1.jsonl"
 cmp "$SHARD_TMP/bc.jsonl" "$SHARD_TMP/bsub2.jsonl"
+
+echo "== observability smoke (/metrics counters live, /v1/stats JSON, pprof reachable)"
+# After the cache-hit resubmissions above, the Prometheus text must show
+# nonzero cache-hit and job counters, the stats snapshot must be valid
+# JSON with a job table, and the pprof index must be mounted.
+"$SHARD_TMP/meshopt" stats -addr "$ADDR" -metrics >"$SHARD_TMP/metrics.txt"
+grep -Eq '^meshopt_cache_hits_total [1-9]' "$SHARD_TMP/metrics.txt"
+grep -Eq '^meshopt_serve_jobs_done_total [1-9]' "$SHARD_TMP/metrics.txt"
+grep -q '^# TYPE meshopt_runner_cell_seconds histogram' "$SHARD_TMP/metrics.txt"
+"$SHARD_TMP/meshopt" stats -addr "$ADDR" | grep -q '"jobs"'
+"$SHARD_TMP/meshopt" stats -addr "$ADDR" -path /debug/pprof/ | grep -qi 'pprof'
 kill "$SERVE_PID" && wait "$SERVE_PID" 2>/dev/null
 SERVE_PID=""
 
