@@ -27,6 +27,9 @@ func TestExitCodeConventions(t *testing.T) {
 	gap := write("gap.jsonl", `{"scenario":"x","series":"cell","cell":0,"v":1}`+"\n"+
 		`{"scenario":"x","series":"cell","cell":2,"v":3}`+"\n")
 	inTheWay := write("file-not-dir", "plain file\n")
+	badTrace := write("bad.trace", "not a span capture\n")
+	goodTrace := write("good.jsonl",
+		`{"id":1,"parent":0,"name":"job","start_ns":0,"dur_ns":1000000,"attrs":[]}`+"\n")
 
 	cases := []struct {
 		name string
@@ -71,7 +74,24 @@ func TestExitCodeConventions(t *testing.T) {
 		{"watch unknown target", func() int { return runWatch([]string{"nosuchtarget"}) }, 2},
 		{"watch no server", func() int { return runWatch([]string{"5", "-addr", "http://127.0.0.1:1"}) }, 1},
 
+		{"report no file", func() int { return runReport(nil) }, 2},
+		{"report two files", func() int { return runReport([]string{s0, s1}) }, 2},
+		{"report missing file", func() int { return runReport([]string{filepath.Join(tmp, "absent.json")}) }, 2},
+		{"report unparseable capture", func() int { return runReport([]string{badTrace}) }, 1},
+		{"report ok", func() int { return runReport([]string{goodTrace}) }, 0},
+
+		{"fig trace ok", func() int {
+			return runFig([]string{"5", "-o", filepath.Join(tmp, "fig5t.jsonl"),
+				"-trace", filepath.Join(tmp, "fig5t.trace.json")})
+		}, 0},
+		{"fig trace unwritable", func() int {
+			return runFig([]string{"5", "-o", filepath.Join(tmp, "fig5u.jsonl"),
+				"-trace", filepath.Join(inTheWay, "sub", "t.json")})
+		}, 1},
+
 		{"stats stray arg", func() int { return runStats([]string{"extra"}) }, 2},
+		{"stats watch and metrics", func() int { return runStats([]string{"-metrics", "-watch", "1s"}) }, 2},
+		{"stats samples without watch", func() int { return runStats([]string{"-samples", "2"}) }, 2},
 		{"stats metrics and path", func() int { return runStats([]string{"-metrics", "-path", "/v1/stats"}) }, 2},
 		{"stats bad path", func() int { return runStats([]string{"-path", "no-slash"}) }, 2},
 		{"stats no server", func() int { return runStats([]string{"-addr", "http://127.0.0.1:1"}) }, 1},

@@ -13,6 +13,8 @@
 //	meshopt submit 10 -addr http://host:8080         # run (or fetch) a job remotely
 //	meshopt watch 10 -addr http://host:8080          # live progress off the frontier
 //	meshopt stats -addr http://host:8080             # /v1/stats snapshot (-metrics: Prometheus text)
+//	meshopt fig 10 -trace spans.json                 # capture an execution span tree
+//	meshopt report spans.json                        # critical path + slot/retry/steal decomposition
 //	meshopt run quickstart              # run a registered scenario
 //	meshopt run spec.json -o out.jsonl -format jsonl
 //	meshopt fig broadcast               # broadcast dissemination sweep
@@ -92,6 +94,7 @@ import (
 	"repro/internal/experiments/exp"
 	"repro/internal/experiments/runner"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/scenario"
 	"repro/internal/scenario/sink"
 )
@@ -119,6 +122,8 @@ func main() {
 			os.Exit(runScenario(os.Args[2:]))
 		case "trace":
 			os.Exit(runTrace(os.Args[2:]))
+		case "report":
+			os.Exit(runReport(os.Args[2:]))
 		case "list":
 			list(os.Stdout)
 			return
@@ -254,6 +259,7 @@ func runFig(args []string) int {
 	format := fs.String("format", "jsonl", "record format: jsonl or csv")
 	pprofCPU := fs.String("pprof-cpu", "", "write a CPU profile of the run to this file")
 	pprofMem := fs.String("pprof-mem", "", "write a heap profile (taken after the run, post-GC) to this file")
+	tracePath := fs.String("trace", "", "write an execution span capture to this file (.json = Chrome trace-event, .jsonl = span log; see `meshopt report`)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: meshopt fig <n|name> [flags]")
 		fs.PrintDefaults()
@@ -317,8 +323,22 @@ func runFig(args []string) int {
 		return 1
 	}
 
+	effSeed := seedOrDefault(fs, *seed, ti.seed)
+	opts := exp.Options{Sink: snk, Shard: shard}
+	var trace *span.Recorder
+	var figSpan *span.Span
+	if *tracePath != "" {
+		trace = span.NewRecorder()
+		figSpan = trace.Root("fig",
+			span.Str("experiment", e.Name()),
+			span.I64("seed", effSeed),
+			span.Str("scale", *scaleName),
+			span.Str("shard", shard.String()))
+		opts.Context = span.NewContext(context.Background(), figSpan)
+	}
+
 	start := time.Now()
-	res, err := exp.Run(e, seedOrDefault(fs, *seed, ti.seed), sc, exp.Options{Sink: snk, Shard: shard})
+	res, err := exp.Run(e, effSeed, sc, opts)
 	if perr := stopProfiles(); err == nil {
 		err = perr
 	}
@@ -327,6 +347,12 @@ func runFig(args []string) int {
 	}
 	if cerr := closeOut(); err == nil {
 		err = cerr
+	}
+	if trace != nil {
+		figSpan.End()
+		if werr := span.WriteFile(*tracePath, trace.Snapshot()); err == nil {
+			err = werr
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -442,6 +468,7 @@ func runCoord(args []string) int {
 	jitter := fs.Float64("jitter", 0, "randomize each retry delay downward by up to this fraction (0..1, deterministic per job seed)")
 	stealAfter := fs.Duration("steal-after", 0, "work stealing: kill and re-dispatch the shard gating the merge frontier after it stalls this long with a free slot available (0 = off)")
 	out := fs.String("o", "", "also copy the merged records to this file")
+	tracePath := fs.String("trace", "", "write an execution span capture to this file (.json = Chrome trace-event, .jsonl = span log; see `meshopt report`)")
 	watch := fs.Bool("watch", false, "render a live progress line (cells merged, shards done) on stderr instead of the shard log")
 	of := addObsFlags(fs, "info")
 	metricsAddr := fs.String("metrics-addr", "", "serve GET /metrics and /debug/pprof/* on this sidecar address (host:port; empty = off)")
@@ -534,10 +561,27 @@ func runCoord(args []string) int {
 	// rerunning the same command resumes. A second signal kills hard.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	var trace *span.Recorder
+	var coordSpan *span.Span
+	if *tracePath != "" {
+		trace = span.NewRecorder()
+		coordSpan = trace.Root("coord",
+			span.Str("experiment", ti.name),
+			span.I64("seed", job.Seed),
+			span.Str("scale", *scaleName),
+			span.Int("shards", *shards))
+		ctx = span.NewContext(ctx, coordSpan)
+	}
 	start := time.Now()
 	rep, err := dist.Run(ctx, job, *dir, o)
 	if *watch {
 		fmt.Fprintln(os.Stderr)
+	}
+	if trace != nil {
+		coordSpan.End()
+		if werr := span.WriteFile(*tracePath, trace.Snapshot()); err == nil {
+			err = werr
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -683,6 +727,7 @@ func legacyFigures() {
 		fmt.Fprintln(os.Stderr, "       meshopt submit <n|name|scenario> -addr http://host:port [flags]")
 		fmt.Fprintln(os.Stderr, "       meshopt watch <job-id|target> -addr http://host:port")
 		fmt.Fprintln(os.Stderr, "       meshopt stats -addr http://host:port [-metrics|-path /p]   (server observability)")
+		fmt.Fprintln(os.Stderr, "       meshopt report <spans.json|spans.jsonl>   (decompose a -trace capture)")
 		fmt.Fprintln(os.Stderr, "       meshopt run <scenario.json|name> [flags]")
 		fmt.Fprintln(os.Stderr, "       meshopt list")
 		fmt.Fprintln(os.Stderr, "legacy flags (deprecated aliases over the same registry):")

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs/span"
+)
+
+// runReport implements the `report` subcommand: read a span capture
+// (Chrome trace-event JSON or JSONL, as written by -trace or the serve
+// trace endpoint) and print the run decomposition — critical path,
+// per-slot utilization, retry/steal cost accounting, cell latency
+// quantiles. Exit codes: 0 ok, 1 unparseable capture, 2 usage or
+// unreadable file.
+func runReport(args []string) int {
+	fs := flag.NewFlagSet("meshopt report", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: meshopt report <spans.json|spans.jsonl>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer f.Close()
+	spans, err := span.Parse(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", fs.Arg(0), err)
+		return 1
+	}
+	span.Build(spans).Format(os.Stdout)
+	return 0
+}

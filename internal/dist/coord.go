@@ -23,6 +23,7 @@ import (
 	"repro/internal/dist/fault"
 	"repro/internal/experiments/exp"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/scenario/sink"
 )
 
@@ -221,6 +222,7 @@ func Run(ctx context.Context, job Job, dir string, o Options) (*Report, error) {
 		job:        job,
 		dir:        dir,
 		o:          o,
+		sp:         span.FromContext(ctx),
 		cells:      cells,
 		merger:     merger,
 		states:     make([]*shardState, job.Shards),
@@ -338,10 +340,13 @@ func Run(ctx context.Context, job Job, dir string, o Options) (*Report, error) {
 					metBackoffWaits.Inc()
 					metBackoffSeconds.Add(d.Seconds())
 					o.Logger.Debug("retry backoff", "shard", shard, "attempt", attempt, "delay", d)
+					bsp := r.sp.Child("backoff",
+						span.Int("shard", shard), span.Int("attempt", attempt), span.Str("delay", d.String()))
 					select {
 					case <-time.After(d):
 					case <-ctx.Done():
 					}
+					bsp.End()
 				}
 			}
 			fail(fmt.Errorf("shard %d/%d failed after %d attempt(s): %w", shard, job.Shards, rep.Attempts[shard], lastErr))
@@ -355,7 +360,9 @@ func Run(ctx context.Context, job Job, dir string, o Options) (*Report, error) {
 			dir, errors.Join(failures...))
 	}
 
+	reduceSpan := r.sp.Child("reduce")
 	res, err := r.finishMerge(cells)
+	reduceSpan.End()
 	if err != nil {
 		return rep, err
 	}
@@ -374,6 +381,7 @@ type run struct {
 	job        Job
 	dir        string
 	o          Options
+	sp         *span.Span // trace parent from Run's ctx; nil when untraced
 	cells      int
 	mu         sync.Mutex // serializes merger + replay access across shard goroutines
 	merger     *exp.Merger
@@ -407,26 +415,27 @@ type workerPool struct {
 }
 
 // acquire returns the slot's live worker, spawning one if the slot is
-// empty. A freshly spawned worker's first output line is its #ready
-// heartbeat; a pooled worker's stream is positioned just before the
-// #ready it wrote after its previous request — either way the next line
-// the caller reads is #ready.
-func (p *workerPool) acquire(slot int) (*poolWorker, error) {
+// empty; spawned reports whether this call spawned (so the dispatch can
+// attribute the spawn cost to a trace span). A freshly spawned worker's
+// first output line is its #ready heartbeat; a pooled worker's stream is
+// positioned just before the #ready it wrote after its previous request
+// — either way the next line the caller reads is #ready.
+func (p *workerPool) acquire(slot int) (pw *poolWorker, spawned bool, err error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if pw := p.slots[slot]; pw != nil {
-		return pw, nil
+		return pw, false, nil
 	}
 	w, err := p.spawner.Spawn(p.ctx, slot)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	p.spawns++
 	metSpawns.Inc()
 	p.log.Info("spawned worker", "slot", slot, "spawns", p.spawns)
-	pw := &poolWorker{w: w, sc: sink.NewLineScanner(w.Out)}
+	pw = &poolWorker{w: w, sc: sink.NewLineScanner(w.Out)}
 	p.slots[slot] = pw
-	return pw, nil
+	return pw, true, nil
 }
 
 // retire kills and reaps the slot's worker if it is still pw (idempotent
@@ -537,6 +546,9 @@ func (r *run) stealLoop(stop <-chan struct{}, slots chan int) {
 			continue // frontier shard not dispatched right now
 		}
 		metStallSeconds.Add(time.Since(lastAdvance).Seconds())
+		// The stall interval is only known in hindsight: backdate it to
+		// the frontier's last advance.
+		r.sp.ChildAt(lastAdvance, "stall", span.Int("shard", shard), span.Int("cell", f)).End()
 		r.o.Logger.Info("frontier stalled, stealing",
 			"shard", shard, "shards", r.job.Shards, "cell", f, "stalled_for", r.o.StealAfter)
 		cancel(errStolen)
@@ -697,6 +709,9 @@ func (r *run) attempt(ctx context.Context, shard, slot, dispatch, fromCell int) 
 	metDispatches.Inc()
 	r.o.Logger.Debug("dispatch",
 		"shard", shard, "shards", r.job.Shards, "slot", slot, "attempt", dispatch, "from_cell", fromCell)
+	dsp := r.sp.Child("dispatch", span.Int("shard", shard), span.Int("slot", slot),
+		span.Int("attempt", dispatch), span.Int("from_cell", fromCell))
+	defer dsp.End()
 	shardCell := metShardCell.With(strconv.Itoa(shard))
 	actx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
@@ -706,9 +721,13 @@ func (r *run) attempt(ctx context.Context, shard, slot, dispatch, fromCell int) 
 		defer tcancel()
 	}
 
-	pw, err := r.pool.acquire(slot)
+	spawnAt := time.Now()
+	pw, spawned, err := r.pool.acquire(slot)
 	if err != nil {
 		return err
+	}
+	if spawned {
+		dsp.ChildAt(spawnAt, "spawn").End()
 	}
 	// The watchdog turns any cancellation — per-attempt deadline, a
 	// steal, run cancellation — into a worker kill, which unblocks the
@@ -779,6 +798,14 @@ func (r *run) attempt(ctx context.Context, shard, slot, dispatch, fromCell int) 
 	}
 	vh := sha256.New() // re-hash of the replayed prefix
 	ah := sha256.New() // hash of every record line this attempt streamed
+	// ready.wait covers the gap until the worker's heartbeat is consumed
+	// (the spawn cost on a fresh slot, zero-ish on a pooled one); stream
+	// then runs from the request write to the end of the attempt, with
+	// the prefix replay — a retry's whole merged prefix, or just the
+	// frontier cell on a steal's suffix dispatch — as a verify child.
+	readySp := dsp.Child("ready.wait")
+	var streamSp, verifySp *span.Span
+	defer func() { verifySp.End(); streamSp.End(); readySp.End() }()
 	var (
 		seen        int
 		expectReady = true
@@ -802,6 +829,12 @@ func (r *run) attempt(ctx context.Context, shard, slot, dispatch, fromCell int) 
 			if string(line) == ReadyMarker {
 				expectReady = false
 				metHeartbeats.Inc()
+				readySp.End()
+				streamSp = dsp.Child("stream")
+				if prefix > 0 {
+					verifySp = streamSp.Child("verify",
+						span.Int("lines", prefix), span.Str("suffix", strconv.FormatBool(suffix)))
+				}
 				if _, err := pw.w.In.Write(append(req, '\n')); err != nil {
 					workErr = fmt.Errorf("sending job: %w", err)
 					break
@@ -837,9 +870,12 @@ func (r *run) attempt(ctx context.Context, shard, slot, dispatch, fromCell int) 
 			vh.Write(line)
 			vh.Write([]byte{'\n'})
 			seen++
-			if seen == prefix && !bytes.Equal(vh.Sum(nil), prefixSum) {
-				workErr = fatalError{fmt.Errorf("retried shard %d reproduced different bytes than its merged prefix (%d lines) — determinism violation, not retryable", shard, prefix)}
-				break
+			if seen == prefix {
+				verifySp.End()
+				if !bytes.Equal(vh.Sum(nil), prefixSum) {
+					workErr = fatalError{fmt.Errorf("retried shard %d reproduced different bytes than its merged prefix (%d lines) — determinism violation, not retryable", shard, prefix)}
+					break
+				}
 			}
 			continue
 		}
@@ -869,6 +905,7 @@ func (r *run) attempt(ctx context.Context, shard, slot, dispatch, fromCell int) 
 	if workErr == nil {
 		workErr = pw.sc.Err()
 	}
+	streamSp.SetAttr("lines", strconv.Itoa(seen))
 
 	var attemptErr error
 	switch {

@@ -1,0 +1,107 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs/span"
+)
+
+// tracedRun runs the coordinator with a span recorder threaded through
+// the context and returns the report plus the captured spans.
+func tracedRun(t *testing.T, job Job, dir string, o Options) (*Report, []span.SpanData) {
+	t.Helper()
+	rec := span.NewRecorder()
+	root := rec.Root("coord")
+	rep, err := Run(span.NewContext(context.Background(), root), job, dir, o)
+	root.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, rec.Snapshot()
+}
+
+// TestCoordTracedByteIdenticalToUnsharded pins the out-of-band contract
+// at the coordinator layer: a traced coord run's merged bytes and
+// reduction are identical to the unsharded in-process run, and the
+// capture holds one dispatch span per shard under the root.
+func TestCoordTracedByteIdenticalToUnsharded(t *testing.T) {
+	dir := t.TempDir()
+	rep, spans := tracedRun(t, toyJob(3), dir, Options{Slots: 2, Spawner: &testSpawner{}})
+	wantBytes, wantRes := unsharded(t, toyJob(3))
+	got, err := os.ReadFile(filepath.Join(dir, "merged.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantBytes) {
+		t.Fatalf("traced merged bytes differ from the unsharded stream:\nmerged:\n%s\nfull:\n%s", got, wantBytes)
+	}
+	if !reflect.DeepEqual(rep.Result, wantRes) {
+		t.Fatalf("traced reduction differs: %+v vs %+v", rep.Result, wantRes)
+	}
+	tree := span.Tree(spans)
+	if n := strings.Count(tree, "dispatch{"); n != 3 {
+		t.Fatalf("capture has %d dispatch spans, want 3:\n%s", n, tree)
+	}
+	for _, want := range []string{"reduce", "stream", "spawn"} {
+		if !strings.Contains(tree, want) {
+			t.Fatalf("capture has no %q span:\n%s", want, tree)
+		}
+	}
+}
+
+// TestCoordChaosReportAttributesRetryAndSteal is the chaos acceptance
+// case for the report: shard 1's worker is killed mid-stream (forcing a
+// backoff + full re-dispatch whose prefix replay verifies) and shard
+// 2's worker wedges (forcing a steal whose thief suffix-dispatches from
+// the frontier). `meshopt report` over the capture must attribute the
+// two recovery mechanisms on distinct lines — retry backoff vs steal
+// suffix-verify — with the matching dispatch counts.
+func TestCoordChaosReportAttributesRetryAndSteal(t *testing.T) {
+	dir := t.TempDir()
+	sp := &testSpawner{sched: mustSchedule(t, "1/kill@1x1,2/hang@2x1")}
+	rep, spans := tracedRun(t, toyJob(3), dir, Options{
+		Slots:      3,
+		Spawner:    sp,
+		Backoff:    1,
+		StealAfter: 50 * time.Millisecond,
+	})
+	if rep.Attempts[1] < 2 {
+		t.Fatalf("killed shard 1 took %d dispatches, want >= 2", rep.Attempts[1])
+	}
+	if rep.Steals[2] == 0 {
+		t.Fatalf("hung shard 2 was never stolen (attempts %v, steals %v)", rep.Attempts, rep.Steals)
+	}
+
+	report := span.Build(spans)
+	if report.Retries == 0 {
+		t.Fatalf("report counts no retried dispatches: %+v", report)
+	}
+	if report.Steals == 0 {
+		t.Fatalf("report counts no steal suffix-dispatches: %+v", report)
+	}
+	if report.Backoff.N == 0 {
+		t.Fatalf("report attributes no retry backoff time: %+v", report)
+	}
+	if report.SuffixVerify.N == 0 {
+		t.Fatalf("report attributes no steal suffix-verify time: %+v", report)
+	}
+	if report.Stalls.N == 0 {
+		t.Fatalf("report attributes no frontier stall time: %+v", report)
+	}
+
+	var out bytes.Buffer
+	report.Format(&out)
+	text := out.String()
+	for _, want := range []string{"retry backoff:", "steal suffix-verify:", "frontier stalls:", "critical path"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("report output missing %q:\n%s", want, text)
+		}
+	}
+}

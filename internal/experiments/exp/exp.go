@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/experiments/runner"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/scenario/sink"
 	"repro/internal/sim"
 )
@@ -286,6 +287,16 @@ func Run(e Experiment, seed int64, sc Scale, o Options) (Result, error) {
 	// without requiring the caller to have provided a context.
 	runCtx, stop := context.WithCancel(ctx)
 	defer stop()
+	// When the caller's context carries a trace span, the whole engine
+	// run nests under an "exp.run" child and the fan-out's per-cell spans
+	// nest under that. Untraced contexts leave runSpan nil and every span
+	// call below no-ops.
+	runSpan := span.FromContext(ctx).Child("exp.run",
+		span.Str("experiment", e.Name()),
+		span.Str("shard", o.Shard.String()),
+		span.Int("from_cell", o.FromCell))
+	defer runSpan.End()
+	runCtx = span.NewContext(runCtx, runSpan)
 	snk := o.Sink
 	if snk == nil {
 		snk = sink.Discard
@@ -389,7 +400,12 @@ func Run(e Experiment, seed int64, sc Scale, o Options) (Result, error) {
 	// goroutine from leaking if a cell panics mid-run.
 	ch := make(chan sink.Record, 4*runner.Workers())
 	done := make(chan Result, 1)
-	go func() { done <- e.Reduce(ch) }()
+	go func() {
+		reduceSpan := runSpan.Child("reduce")
+		r := e.Reduce(ch)
+		reduceSpan.End()
+		done <- r
+	}()
 	closed := false
 	closeCh := func() {
 		if !closed {

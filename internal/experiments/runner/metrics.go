@@ -1,9 +1,11 @@
 package runner
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 )
 
 // Pool metrics, registered in the process-wide registry. All of this is
@@ -21,19 +23,32 @@ var (
 		"Wall time per cell.", obs.TimeBuckets())
 )
 
-// instrumentCell wraps a cell function with the pool metrics. The check
-// is per cell so a registry toggled mid-run settles at cell boundaries;
-// disabled, the cost is one atomic load per cell.
-func instrumentCell[T, R any](fn func(i int, cell T) R) func(i int, cell T) R {
+// instrumentCell wraps a cell function with the pool metrics and — when
+// ctx carries a trace span — a per-cell child span. The metrics check is
+// per cell so a registry toggled mid-run settles at cell boundaries;
+// with both disabled, the cost is one ctx.Value lookup per wrap site
+// plus one atomic load per cell, and no allocations.
+func instrumentCell[T, R any](ctx context.Context, fn func(i int, cell T) R) func(i int, cell T) R {
+	parent := span.FromContext(ctx)
 	return func(i int, cell T) R {
-		if !obs.Default.Enabled() {
+		traced := obs.Default.Enabled()
+		if !traced && parent == nil {
 			return fn(i, cell)
 		}
-		cellsStarted.Inc()
+		var sp *span.Span
+		if parent != nil {
+			sp = parent.Child("cell", span.Int("cell", i))
+		}
+		if traced {
+			cellsStarted.Inc()
+		}
 		start := time.Now()
 		r := fn(i, cell)
-		cellSeconds.Observe(time.Since(start).Seconds())
-		cellsCompleted.Inc()
+		if traced {
+			cellSeconds.Observe(time.Since(start).Seconds())
+			cellsCompleted.Inc()
+		}
+		sp.End()
 		return r
 	}
 }

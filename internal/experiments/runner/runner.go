@@ -85,7 +85,7 @@ func MapCtx[T, R any](ctx context.Context, workers int, cells []T, fn func(i int
 	if workers > len(cells) {
 		workers = len(cells)
 	}
-	fn = instrumentCell(fn)
+	fn = instrumentCell(ctx, fn)
 	done := ctx.Done() // nil for background contexts: the case never fires
 	if workers == 1 {
 		for i, c := range cells {

@@ -64,7 +64,7 @@ func StreamCtx[T, R any](ctx context.Context, workers int, cells []T, fn func(i 
 	if workers > n {
 		workers = n
 	}
-	fn = instrumentCell(fn)
+	fn = instrumentCell(ctx, fn)
 	done := ctx.Done() // nil for background contexts: the case never fires
 	if workers == 1 {
 		for i, c := range cells {

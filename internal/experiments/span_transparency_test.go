@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/broadcast"
+	"repro/internal/experiments/exp"
+	"repro/internal/obs/span"
+	"repro/internal/scenario/sink"
+)
+
+// renderTraced runs an experiment with a span recorder threaded through
+// the context and returns the record bytes plus the canonical span
+// tree.
+func renderTraced(t *testing.T, e exp.Experiment, seed int64, sc Scale, workers int) ([]byte, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	rec := span.NewRecorder()
+	root := rec.Root("test")
+	withWorkers(workers, func() {
+		s := sink.NewJSONL(&buf)
+		_, err := exp.Run(e, seed, sc, exp.Options{
+			Sink:    s,
+			Context: span.NewContext(context.Background(), root),
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	root.End()
+	return buf.Bytes(), span.Tree(rec.Snapshot())
+}
+
+// TestRecordStreamUnchangedByTracing extends the out-of-band contract
+// to span capture: threading a live span recorder through a run must
+// not perturb a byte of the record stream — at 1, 2 or GOMAXPROCS
+// workers, for both the fig10 sweep and the broadcast family. And the
+// span *structure* (tree shape, names, attrs) must itself be
+// deterministic: the same run traced at any worker count yields the
+// same canonical tree; only durations may differ.
+func TestRecordStreamUnchangedByTracing(t *testing.T) {
+	bsc := detScale()
+	bsc.Iterations = 2
+	cases := []struct {
+		name string
+		e    exp.Experiment
+		sc   Scale
+	}{
+		{"fig10", fig10Exp{}, detScale()},
+		{"broadcast", broadcast.Default(), bsc},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref, _ := renderJSONL(t, tc.e, 4, tc.sc, 1)
+			if len(ref) == 0 {
+				t.Fatalf("%s streamed no records", tc.name)
+			}
+			var refTree string
+			for _, workers := range []int{1, 2, max(2, runtime.GOMAXPROCS(0))} {
+				got, tree := renderTraced(t, tc.e, 4, tc.sc, workers)
+				if !bytes.Equal(got, ref) {
+					t.Fatalf("%s stream at %d workers with tracing on differs from the untraced reference:\ngot:\n%s\nref:\n%s",
+						tc.name, workers, got, ref)
+				}
+				if refTree == "" {
+					refTree = tree
+				} else if tree != refTree {
+					t.Fatalf("%s span tree at %d workers differs from the 1-worker tree:\ngot:\n%s\nwant:\n%s",
+						tc.name, workers, tree, refTree)
+				}
+			}
+			// The capture must not be vacuous: the tree carries the run
+			// and its per-cell spans.
+			if !strings.Contains(refTree, "exp.run") {
+				t.Fatalf("span tree has no exp.run span:\n%s", refTree)
+			}
+			cells := strings.Count(refTree, "cell{")
+			records := bytes.Count(ref, []byte("\n"))
+			if cells == 0 || records%cells != 0 {
+				t.Fatalf("span tree has %d cell spans for %d records (want one span per cell):\n%s",
+					cells, records, refTree)
+			}
+		})
+	}
+}

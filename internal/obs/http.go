@@ -23,6 +23,7 @@ func MetricsHandler(reg *Registry) http.Handler {
 // net/http/pprof's DefaultServeMux side effects, so importing obs never
 // pollutes a server that chose not to Mount.
 func Mount(mux *http.ServeMux, reg *Registry) {
+	RegisterProcessMetrics(reg) // every scrape surface self-describes
 	mux.Handle("GET /metrics", MetricsHandler(reg))
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)

@@ -36,8 +36,11 @@ import (
 type Registry struct {
 	enabled atomic.Bool // collection switch; exposure is the caller's concern
 
-	mu   sync.Mutex
-	fams map[string]*family
+	mu    sync.Mutex
+	fams  map[string]*family
+	hooks []func() // run before every Snapshot (scrape-time refreshers)
+
+	procOnce sync.Once // RegisterProcessMetrics guard
 }
 
 // Default is the process-wide registry. Instrumented packages register
@@ -352,7 +355,23 @@ type Bucket struct {
 // consistent-enough view (each series read atomically, monotonic
 // counters may be mid-update across series); quiescent it is exact and
 // deterministic.
+// AddSnapshotHook registers fn to run at the start of every Snapshot
+// (and therefore every Prometheus scrape), before the registry lock is
+// taken — the place to refresh gauges whose value is a function of
+// scrape time, like process uptime.
+func (r *Registry) AddSnapshotHook(fn func()) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
+}
+
 func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
 	r.mu.Lock()
 	names := make([]string, 0, len(r.fams))
 	fams := make([]*family, 0, len(r.fams))

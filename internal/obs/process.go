@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// processStart anchors the uptime gauge. Set at package init, which is
+// close enough to process start for an observability readout.
+var processStart = time.Now()
+
+// RegisterProcessMetrics adds the self-describing process metrics to
+// the registry: a meshopt_build_info gauge whose labels carry the Go
+// version, OS/arch and GOMAXPROCS (value fixed at 1, the Prometheus
+// convention for info metrics), and a process-uptime gauge refreshed on
+// every scrape via a snapshot hook. Idempotent — every exposure surface
+// (serve, the sidecars) calls it without coordination.
+func RegisterProcessMetrics(r *Registry) {
+	r.procOnce.Do(func() {
+		r.GaugeVec("meshopt_build_info",
+			"Build and runtime info; the value is always 1.",
+			"go_version", "goos", "goarch", "gomaxprocs").
+			With(runtime.Version(), runtime.GOOS, runtime.GOARCH,
+				strconv.Itoa(runtime.GOMAXPROCS(0))).Set(1)
+		uptime := r.Gauge("meshopt_process_uptime_seconds",
+			"Seconds since the process started.")
+		r.AddSnapshotHook(func() {
+			uptime.Set(time.Since(processStart).Seconds())
+		})
+	})
+}

@@ -1,0 +1,332 @@
+package span
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Export formats. Both normalize timestamps to a 0-origin (the earliest
+// span starts at t=0), so two exports of the same structure differ only
+// in durations — and a fixed synthetic tree serializes byte-stably.
+//
+//   - Chrome trace-event JSON (WriteChrome): loadable in Perfetto /
+//     chrome://tracing. One pid per worker slot (pid 0 is the
+//     coordinating process; a span inherits the nearest ancestor's
+//     "slot" attr), one tid per concurrency lane (greedy interval
+//     assignment, so overlapping spans occupy separate rows).
+//   - JSONL span log (WriteJSONL): one span per line with exact
+//     nanosecond offsets; the round-trippable archival form.
+//
+// Parse reads either format back (sniffing the leading '[' of a Chrome
+// array), so `meshopt report` works on whatever file a run produced.
+
+// WriteChrome writes spans as a Chrome trace-event JSON array.
+// Timestamps are microseconds from the earliest span. Span id/parent
+// ride in args so the tree survives the format.
+func WriteChrome(w io.Writer, spans []SpanData) error {
+	spans = normalize(spans)
+	pids := assignPids(spans)
+	tids := assignLanes(spans, pids)
+
+	// Name the process rows so Perfetto shows "slot N" instead of bare
+	// pid numbers.
+	seen := map[int]bool{}
+	var pidList []int
+	for _, d := range spans {
+		if p := pids[d.ID]; !seen[p] {
+			seen[p] = true
+			pidList = append(pidList, p)
+		}
+	}
+	sort.Ints(pidList)
+
+	bw := bufio.NewWriter(w)
+	bw.WriteString("[\n")
+	first := true
+	emit := func(s string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(s)
+	}
+	for _, p := range pidList {
+		name := "main"
+		if p > 0 {
+			name = "slot " + strconv.Itoa(p-1)
+		}
+		emit(fmt.Sprintf(`{"ph":"M","name":"process_name","pid":%d,"tid":0,"args":{"name":%q}}`, p, name))
+	}
+	for _, d := range spans {
+		var args []byte
+		args = append(args, fmt.Sprintf(`{"id":%d,"parent":%d`, d.ID, d.Parent)...)
+		for _, a := range d.Attrs {
+			args = append(args, ',')
+			args = appendJSONString(args, a.Key)
+			args = append(args, ':')
+			args = appendJSONString(args, a.Value)
+		}
+		args = append(args, '}')
+		emit(fmt.Sprintf(`{"name":%q,"cat":"meshopt","ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d,"args":%s}`,
+			d.Name, d.Start.Microseconds(), d.Dur.Microseconds(), pids[d.ID], tids[d.ID], args))
+	}
+	bw.WriteString("\n]\n")
+	return bw.Flush()
+}
+
+// WriteJSONL writes the compact span log: one JSON object per span per
+// line, nanosecond offsets, attrs as ordered [key,value] pairs.
+func WriteJSONL(w io.Writer, spans []SpanData) error {
+	spans = normalize(spans)
+	bw := bufio.NewWriter(w)
+	for _, d := range spans {
+		var b []byte
+		b = append(b, fmt.Sprintf(`{"id":%d,"parent":%d,"name":`, d.ID, d.Parent)...)
+		b = appendJSONString(b, d.Name)
+		b = append(b, fmt.Sprintf(`,"start_ns":%d,"dur_ns":%d`, d.Start.Nanoseconds(), d.Dur.Nanoseconds())...)
+		if len(d.Attrs) > 0 {
+			b = append(b, `,"attrs":[`...)
+			for i, a := range d.Attrs {
+				if i > 0 {
+					b = append(b, ',')
+				}
+				b = append(b, '[')
+				b = appendJSONString(b, a.Key)
+				b = append(b, ',')
+				b = appendJSONString(b, a.Value)
+				b = append(b, ']')
+			}
+			b = append(b, ']')
+		}
+		b = append(b, '}', '\n')
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile exports spans to path, choosing the format by extension:
+// ".jsonl" writes the span log, anything else Chrome trace-event JSON.
+func WriteFile(path string, spans []SpanData) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if len(path) > 6 && path[len(path)-6:] == ".jsonl" {
+		err = WriteJSONL(f, spans)
+	} else {
+		err = WriteChrome(f, spans)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Parse reads spans from either export format: a Chrome trace-event
+// array (leading '[') or the JSONL span log.
+func Parse(r io.Reader) ([]SpanData, error) {
+	br := bufio.NewReader(r)
+	for {
+		b, err := br.Peek(1)
+		if err != nil {
+			return nil, fmt.Errorf("span: empty input: %w", err)
+		}
+		if b[0] == ' ' || b[0] == '\n' || b[0] == '\t' || b[0] == '\r' {
+			br.ReadByte()
+			continue
+		}
+		if b[0] == '[' {
+			return parseChrome(br)
+		}
+		return parseJSONL(br)
+	}
+}
+
+type jsonlSpan struct {
+	ID      int         `json:"id"`
+	Parent  int         `json:"parent"`
+	Name    string      `json:"name"`
+	StartNs int64       `json:"start_ns"`
+	DurNs   int64       `json:"dur_ns"`
+	Attrs   [][2]string `json:"attrs"`
+}
+
+func parseJSONL(r io.Reader) ([]SpanData, error) {
+	var out []SpanData
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var js jsonlSpan
+		if err := json.Unmarshal(line, &js); err != nil {
+			return nil, fmt.Errorf("span: bad span line: %w", err)
+		}
+		d := SpanData{ID: js.ID, Parent: js.Parent, Name: js.Name,
+			Start: time.Duration(js.StartNs), Dur: time.Duration(js.DurNs)}
+		for _, kv := range js.Attrs {
+			d.Attrs = append(d.Attrs, Attr{Key: kv[0], Value: kv[1]})
+		}
+		out = append(out, d)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+type chromeEvent struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Ts   float64         `json:"ts"`
+	Dur  float64         `json:"dur"`
+	Args json.RawMessage `json:"args"`
+}
+
+func parseChrome(r io.Reader) ([]SpanData, error) {
+	var events []chromeEvent
+	if err := json.NewDecoder(r).Decode(&events); err != nil {
+		return nil, fmt.Errorf("span: bad trace-event JSON: %w", err)
+	}
+	var out []SpanData
+	for _, ev := range events {
+		if ev.Ph != "X" {
+			continue // metadata and instant events carry no interval
+		}
+		d := SpanData{
+			Name:  ev.Name,
+			Start: time.Duration(ev.Ts * float64(time.Microsecond)),
+			Dur:   time.Duration(ev.Dur * float64(time.Microsecond)),
+		}
+		if len(ev.Args) > 0 {
+			// Args keys decode unordered; id/parent are lifted out and the
+			// rest become attrs (sorted by key for determinism).
+			var kv map[string]json.RawMessage
+			if err := json.Unmarshal(ev.Args, &kv); err != nil {
+				return nil, fmt.Errorf("span: bad args on %q: %w", ev.Name, err)
+			}
+			keys := make([]string, 0, len(kv))
+			for k := range kv {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				switch k {
+				case "id":
+					json.Unmarshal(kv[k], &d.ID)
+				case "parent":
+					json.Unmarshal(kv[k], &d.Parent)
+				default:
+					var v string
+					if err := json.Unmarshal(kv[k], &v); err != nil {
+						continue // non-string arg from a foreign trace; skip
+					}
+					d.Attrs = append(d.Attrs, Attr{Key: k, Value: v})
+				}
+			}
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// normalize shifts spans to a 0-origin and orders them by (start, id) —
+// the canonical export order.
+func normalize(spans []SpanData) []SpanData {
+	if len(spans) == 0 {
+		return nil
+	}
+	min := spans[0].Start
+	for _, d := range spans {
+		if d.Start < min {
+			min = d.Start
+		}
+	}
+	out := append([]SpanData(nil), spans...)
+	for i := range out {
+		out[i].Start -= min
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// assignPids maps each span to its Chrome pid: 1+slot from the nearest
+// ancestor (or self) carrying a "slot" attr, else 0 (the coordinating
+// process).
+func assignPids(spans []SpanData) map[int]int {
+	byID := map[int]SpanData{}
+	for _, d := range spans {
+		byID[d.ID] = d
+	}
+	pids := map[int]int{}
+	var pidOf func(d SpanData) int
+	pidOf = func(d SpanData) int {
+		if p, ok := pids[d.ID]; ok {
+			return p
+		}
+		p := 0
+		if s := d.Attr("slot"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil {
+				p = n + 1
+			}
+		} else if parent, ok := byID[d.Parent]; ok {
+			p = pidOf(parent)
+		}
+		pids[d.ID] = p
+		return p
+	}
+	for _, d := range spans {
+		pidOf(d)
+	}
+	return pids
+}
+
+// assignLanes greedily packs each pid's spans into tids: a span takes
+// the lowest lane free at its start, so concurrent intervals land on
+// separate rows. Spans must be in (start, id) order.
+func assignLanes(spans []SpanData, pids map[int]int) map[int]int {
+	type lanes struct{ ends []time.Duration }
+	perPid := map[int]*lanes{}
+	tids := map[int]int{}
+	for _, d := range spans {
+		l := perPid[pids[d.ID]]
+		if l == nil {
+			l = &lanes{}
+			perPid[pids[d.ID]] = l
+		}
+		tid := -1
+		for i, end := range l.ends {
+			if end <= d.Start {
+				tid = i
+				break
+			}
+		}
+		if tid < 0 {
+			tid = len(l.ends)
+			l.ends = append(l.ends, 0)
+		}
+		l.ends[tid] = d.End()
+		tids[d.ID] = tid
+	}
+	return tids
+}
+
+func appendJSONString(b []byte, s string) []byte {
+	j, _ := json.Marshal(s)
+	return append(b, j...)
+}

@@ -1,0 +1,239 @@
+package span
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Report is the post-processed view of one span file: where the
+// wall-clock went (critical path), how busy each worker slot was and
+// what the rest of its time is attributable to (backoff, stalls), what
+// retries and steals cost, cache latencies, and the per-cell wall-time
+// distribution. Build computes it; Format renders the stable text form
+// `meshopt report` prints.
+type Report struct {
+	Spans int
+	Roots int
+	Wall  time.Duration // latest end − earliest start
+
+	Critical []PathStep
+
+	Slots []SlotUtil
+
+	Backoff      Agg // retry backoff sleeps
+	Stalls       Agg // merge-frontier stall intervals that triggered a steal
+	SuffixVerify Agg // steal suffix-dispatch prefix replays
+	RetryVerify  Agg // full-redispatch prefix replays
+	Spawns       Agg
+	Steals       int // dispatches that resumed at a stolen frontier
+	Retries      int // dispatches with attempt > 1
+
+	CellDurs []time.Duration
+
+	CacheLookup   Agg
+	CacheValidate Agg
+	CacheEvict    Agg
+	QueueWait     Agg
+}
+
+// PathStep is one span along the critical path.
+type PathStep struct {
+	Name  string
+	Attrs string
+	Dur   time.Duration
+	Self  time.Duration // Dur minus the next step's Dur (exclusive time)
+}
+
+// SlotUtil is one worker slot's accounting, from its dispatch spans.
+type SlotUtil struct {
+	Slot       int
+	Dispatches int
+	Busy       time.Duration
+}
+
+// Agg is a count + summed duration of one span kind.
+type Agg struct {
+	N     int
+	Total time.Duration
+}
+
+func (a *Agg) add(d time.Duration) { a.N++; a.Total += d }
+
+// Build computes a Report from parsed spans.
+func Build(spans []SpanData) *Report {
+	r := &Report{Spans: len(spans)}
+	if len(spans) == 0 {
+		return r
+	}
+	minStart, maxEnd := spans[0].Start, spans[0].End()
+	slots := map[int]*SlotUtil{}
+	for _, d := range spans {
+		if d.Start < minStart {
+			minStart = d.Start
+		}
+		if d.End() > maxEnd {
+			maxEnd = d.End()
+		}
+		if d.Parent == 0 {
+			r.Roots++
+		}
+		switch d.Name {
+		case "cell":
+			r.CellDurs = append(r.CellDurs, d.Dur)
+		case "backoff":
+			r.Backoff.add(d.Dur)
+		case "stall":
+			r.Stalls.add(d.Dur)
+		case "verify":
+			if d.Attr("suffix") == "true" {
+				r.SuffixVerify.add(d.Dur)
+			} else {
+				r.RetryVerify.add(d.Dur)
+			}
+		case "spawn":
+			r.Spawns.add(d.Dur)
+		case "cache.lookup":
+			r.CacheLookup.add(d.Dur)
+		case "cache.validate":
+			r.CacheValidate.add(d.Dur)
+		case "cache.evict":
+			r.CacheEvict.add(d.Dur)
+		case "queued":
+			r.QueueWait.add(d.Dur)
+		case "dispatch":
+			if n, err := strconv.Atoi(d.Attr("slot")); err == nil {
+				su := slots[n]
+				if su == nil {
+					su = &SlotUtil{Slot: n}
+					slots[n] = su
+				}
+				su.Dispatches++
+				su.Busy += d.Dur
+			}
+			if v, err := strconv.Atoi(d.Attr("from_cell")); err == nil && v > 0 {
+				r.Steals++
+			}
+			if v, err := strconv.Atoi(d.Attr("attempt")); err == nil && v > 1 {
+				r.Retries++
+			}
+		}
+	}
+	r.Wall = maxEnd - minStart
+	for _, su := range slots {
+		r.Slots = append(r.Slots, *su)
+	}
+	sort.Slice(r.Slots, func(i, j int) bool { return r.Slots[i].Slot < r.Slots[j].Slot })
+	r.Critical = criticalPath(spans)
+	return r
+}
+
+// criticalPath walks from the longest root down, at each level taking
+// the child whose interval ends last — the chain that determined the
+// run's wall-clock. Self is each step's exclusive share.
+func criticalPath(spans []SpanData) []PathStep {
+	children := map[int][]SpanData{}
+	var root SpanData
+	haveRoot := false
+	for _, d := range spans {
+		children[d.Parent] = append(children[d.Parent], d)
+		if d.Parent == 0 && (!haveRoot || d.End() > root.End()) {
+			root, haveRoot = d, true
+		}
+	}
+	if !haveRoot {
+		return nil
+	}
+	var path []PathStep
+	cur := root
+	for {
+		step := PathStep{Name: cur.Name, Attrs: attrKey(cur.Attrs), Dur: cur.Dur, Self: cur.Dur}
+		kids := children[cur.ID]
+		if len(kids) == 0 {
+			path = append(path, step)
+			return path
+		}
+		next := kids[0]
+		for _, k := range kids[1:] {
+			if k.End() > next.End() || (k.End() == next.End() && k.ID < next.ID) {
+				next = k
+			}
+		}
+		step.Self = cur.Dur - next.Dur
+		if step.Self < 0 {
+			step.Self = 0
+		}
+		path = append(path, step)
+		cur = next
+	}
+}
+
+// Format renders the report. The layout is pinned by a golden test:
+// stable field order, durations via time.Duration's String.
+func (r *Report) Format(w io.Writer) {
+	fmt.Fprintf(w, "spans: %d (%d roots), wall %s\n", r.Spans, r.Roots, r.Wall)
+	if len(r.Critical) > 0 {
+		fmt.Fprintf(w, "critical path (%s):\n", r.Critical[0].Dur)
+		for _, s := range r.Critical {
+			name := s.Name
+			if s.Attrs != "" {
+				name += "{" + s.Attrs + "}"
+			}
+			fmt.Fprintf(w, "  %-40s %12s  self %s\n", name, s.Dur, s.Self)
+		}
+	}
+	if len(r.Slots) > 0 {
+		fmt.Fprintf(w, "slots: %d\n", len(r.Slots))
+		for _, su := range r.Slots {
+			util := 0.0
+			if r.Wall > 0 {
+				util = 100 * float64(su.Busy) / float64(r.Wall)
+			}
+			fmt.Fprintf(w, "  slot %d: %d dispatches, busy %s (%.1f%%), idle %s\n",
+				su.Slot, su.Dispatches, su.Busy, util, r.Wall-su.Busy)
+		}
+	}
+	if r.Retries > 0 || r.Backoff.N > 0 {
+		fmt.Fprintf(w, "retries: %d re-dispatches\n", r.Retries)
+		fmt.Fprintf(w, "retry backoff: %d waits, %s total\n", r.Backoff.N, r.Backoff.Total)
+	}
+	if r.Steals > 0 || r.Stalls.N > 0 || r.SuffixVerify.N > 0 {
+		fmt.Fprintf(w, "steals: %d suffix re-dispatches\n", r.Steals)
+		fmt.Fprintf(w, "frontier stalls: %d, %s total\n", r.Stalls.N, r.Stalls.Total)
+		fmt.Fprintf(w, "steal suffix-verify: %d replays, %s total\n", r.SuffixVerify.N, r.SuffixVerify.Total)
+	}
+	if r.RetryVerify.N > 0 {
+		fmt.Fprintf(w, "retry prefix-verify: %d replays, %s total\n", r.RetryVerify.N, r.RetryVerify.Total)
+	}
+	if r.Spawns.N > 0 {
+		fmt.Fprintf(w, "worker spawns: %d, %s total\n", r.Spawns.N, r.Spawns.Total)
+	}
+	if n := len(r.CellDurs); n > 0 {
+		samples := make([]float64, n)
+		for i, d := range r.CellDurs {
+			samples[i] = d.Seconds()
+		}
+		cdf := stats.NewCDF(samples)
+		q := func(p float64) time.Duration {
+			return time.Duration(cdf.Quantile(p) * float64(time.Second))
+		}
+		fmt.Fprintf(w, "cells: %d, p50 %s, p90 %s, p99 %s, max %s\n",
+			n, q(0.50), q(0.90), q(0.99), q(1))
+	}
+	if r.CacheLookup.N > 0 {
+		fmt.Fprintf(w, "cache lookups: %d, %s total\n", r.CacheLookup.N, r.CacheLookup.Total)
+	}
+	if r.CacheValidate.N > 0 {
+		fmt.Fprintf(w, "cache validations: %d, %s total\n", r.CacheValidate.N, r.CacheValidate.Total)
+	}
+	if r.CacheEvict.N > 0 {
+		fmt.Fprintf(w, "cache evictions: %d, %s total\n", r.CacheEvict.N, r.CacheEvict.Total)
+	}
+	if r.QueueWait.N > 0 {
+		fmt.Fprintf(w, "queue wait: %d jobs, %s total\n", r.QueueWait.N, r.QueueWait.Total)
+	}
+}

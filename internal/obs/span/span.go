@@ -1,0 +1,309 @@
+// Package span is the execution-tracing half of the observability
+// layer: a dependency-free, allocation-light span recorder that
+// assembles the timeline of one run — serve job, coordinator dispatch,
+// worker stream, engine fan-out, per-cell execution — as a tree of
+// named, attributed intervals.
+//
+// Spans ride the same hard out-of-band contract as the metrics
+// registry (internal/obs): a recorder collects intervals on a side
+// channel and never touches a record stream, so record bytes are
+// byte-identical with tracing on or off. Determinism splits in two:
+// span *structure* — tree shape, names, attrs, counts — is a pure
+// function of (experiment, seed, scale) and is pinned by tests, while
+// timestamps and durations are wall-clock and free.
+//
+// The off state is a nil *Span: every method is nil-receiver safe and
+// instrumentation sites thread the current span through a context, so
+// code without a recorder in its context pays one ctx.Value lookup per
+// wrap site and nothing per cell.
+package span
+
+import (
+	"context"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one key=value span attribute. Values are strings so span
+// files are schema-free; use the Str/Int/I64 constructors.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Str builds a string attribute.
+func Str(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: strconv.Itoa(v)} }
+
+// I64 builds an int64 attribute.
+func I64(k string, v int64) Attr { return Attr{Key: k, Value: strconv.FormatInt(v, 10)} }
+
+// Recorder collects spans for one traced run. Safe for concurrent use;
+// a nil *Recorder records nothing.
+type Recorder struct {
+	mu     sync.Mutex
+	base   time.Time // monotonic origin; offsets are time.Since(base)
+	nextID int
+	spans  []*Span
+}
+
+// NewRecorder creates an empty recorder whose time origin is now.
+func NewRecorder() *Recorder { return &Recorder{base: time.Now()} }
+
+// Span is one recorded interval. A nil *Span is the disabled state:
+// every method no-ops, so call sites need no enabled checks beyond
+// skipping attr construction.
+type Span struct {
+	r      *Recorder
+	id     int
+	parent int // 0 = root
+	name   string
+	start  time.Duration // offset from the recorder's base
+	dur    time.Duration
+	ended  bool
+	attrs  []Attr
+}
+
+// start appends a new span; at is its wall start time. Caller-side nil
+// checks are done by the exported wrappers.
+func (r *Recorder) startSpan(parent int, at time.Time, name string, attrs []Attr) *Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	s := &Span{r: r, id: r.nextID, parent: parent, name: name, start: at.Sub(r.base), attrs: attrs}
+	r.spans = append(r.spans, s)
+	return s
+}
+
+// Root starts a root span (no parent). Nil-recorder safe.
+func (r *Recorder) Root(name string, attrs ...Attr) *Span {
+	if r == nil {
+		return nil
+	}
+	return r.startSpan(0, time.Now(), name, attrs)
+}
+
+// Child starts a child of s. Nil-safe: a nil span's child is nil, so a
+// whole untraced call tree costs nothing past the first check.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.r.startSpan(s.id, time.Now(), name, attrs)
+}
+
+// ChildAt starts a child whose start time is backdated to at — for
+// intervals whose beginning is only known in hindsight, like a merge
+// frontier stall measured from the last advance.
+func (s *Span) ChildAt(at time.Time, name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.r.startSpan(s.id, at, name, attrs)
+}
+
+// End closes the span. Idempotent and nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.r.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.r.base) - s.start
+	}
+	s.r.mu.Unlock()
+}
+
+// SetAttr appends (or overwrites) an attribute after the span started —
+// outcomes, counts only known at the end. Nil-safe.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.r.mu.Lock()
+	defer s.r.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == k {
+			s.attrs[i].Value = v
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: k, Value: v})
+}
+
+// ID returns the span's recorder-unique id (0 for nil).
+func (s *Span) ID() int {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// SpanData is one immutable exported span; the unit both exporters and
+// the report operate on.
+type SpanData struct {
+	ID     int
+	Parent int // 0 = root
+	Name   string
+	Start  time.Duration // offset from the recorder's (or file's) origin
+	Dur    time.Duration
+	Attrs  []Attr
+}
+
+// Attr returns the value of the named attribute ("" when absent).
+func (d SpanData) Attr(key string) string {
+	for _, a := range d.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// End returns the span's end offset.
+func (d SpanData) End() time.Duration { return d.Start + d.Dur }
+
+// Snapshot copies the recorder's spans, in start order. Spans still
+// open are reported with their duration so far — a live snapshot (the
+// serve trace endpoint mid-job) shows honest partial intervals.
+func (r *Recorder) Snapshot() []SpanData {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Since(r.base)
+	out := make([]SpanData, len(r.spans))
+	for i, s := range r.spans {
+		d := SpanData{ID: s.id, Parent: s.parent, Name: s.name, Start: s.start, Dur: s.dur}
+		if !s.ended {
+			d.Dur = now - s.start
+		}
+		if len(s.attrs) > 0 {
+			d.Attrs = append([]Attr(nil), s.attrs...)
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// Subtree returns the spans reachable from root (inclusive), preserving
+// snapshot order — the per-job view the serve trace endpoint exports
+// out of a server-wide recorder.
+func Subtree(spans []SpanData, root int) []SpanData {
+	in := map[int]bool{root: true}
+	var out []SpanData
+	for _, d := range spans {
+		if d.ID == root || in[d.Parent] {
+			in[d.ID] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Drop removes root's subtree from the recorder — the serve layer's
+// trace GC when a job is swept. Nil-safe.
+func (r *Recorder) Drop(root *Span) {
+	if r == nil || root == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	gone := map[int]bool{root.id: true}
+	kept := r.spans[:0]
+	for _, s := range r.spans {
+		if gone[s.id] || gone[s.parent] {
+			gone[s.id] = true
+			continue
+		}
+		kept = append(kept, s)
+	}
+	r.spans = kept
+}
+
+// --- context plumbing --------------------------------------------------
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying s as the current span; children
+// started via FromContext(...).Child nest under it.
+func NewContext(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the current span, or nil when the context is
+// untraced — the single check instrumentation sites gate on.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// --- canonical structure ----------------------------------------------
+
+// Tree renders spans as a canonical indented tree: children sorted by
+// (name, attrs), attrs sorted by key, timestamps and durations omitted.
+// Two runs of the same job must render identical trees regardless of
+// worker count, timing or scheduling — the span-structure determinism
+// tests compare exactly this. Attr-key sorting also makes the rendering
+// stable across export formats (Chrome parse returns attrs key-sorted).
+func Tree(spans []SpanData) string {
+	children := map[int][]SpanData{}
+	for _, d := range spans {
+		children[d.Parent] = append(children[d.Parent], d)
+	}
+	var b strings.Builder
+	var walk func(parent int, depth int)
+	walk = func(parent, depth int) {
+		kids := children[parent]
+		sort.Slice(kids, func(i, j int) bool {
+			if kids[i].Name != kids[j].Name {
+				return kids[i].Name < kids[j].Name
+			}
+			return canonAttrKey(kids[i].Attrs) < canonAttrKey(kids[j].Attrs)
+		})
+		for _, d := range kids {
+			b.WriteString(strings.Repeat("  ", depth))
+			b.WriteString(d.Name)
+			if len(d.Attrs) > 0 {
+				b.WriteByte('{')
+				b.WriteString(canonAttrKey(d.Attrs))
+				b.WriteByte('}')
+			}
+			b.WriteByte('\n')
+			walk(d.ID, depth+1)
+		}
+	}
+	walk(0, 0)
+	return b.String()
+}
+
+// canonAttrKey renders attrs sorted by key — the order-insensitive form
+// Tree uses.
+func canonAttrKey(attrs []Attr) string {
+	if len(attrs) > 1 {
+		sorted := append([]Attr(nil), attrs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+		attrs = sorted
+	}
+	return attrKey(attrs)
+}
+
+func attrKey(attrs []Attr) string {
+	var b strings.Builder
+	for i, a := range attrs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		b.WriteString(a.Value)
+	}
+	return b.String()
+}

@@ -1,0 +1,297 @@
+package span
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// --- recorder semantics ------------------------------------------------
+
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	s := r.Root("x")
+	if s != nil {
+		t.Fatalf("nil recorder Root = %v, want nil", s)
+	}
+	// Every method on a nil span must no-op.
+	s.End()
+	s.SetAttr("k", "v")
+	if c := s.Child("y"); c != nil {
+		t.Fatalf("nil span Child = %v, want nil", c)
+	}
+	if c := s.ChildAt(time.Now(), "y"); c != nil {
+		t.Fatalf("nil span ChildAt = %v, want nil", c)
+	}
+	if s.ID() != 0 {
+		t.Fatalf("nil span ID = %d, want 0", s.ID())
+	}
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("nil recorder Snapshot = %v, want nil", got)
+	}
+	r.Drop(nil)
+}
+
+func TestRecorderTreeAndSnapshot(t *testing.T) {
+	r := NewRecorder()
+	root := r.Root("job", Str("experiment", "fig10"))
+	child := root.Child("run", Int("shards", 2))
+	leaf := child.Child("cell", Int("cell", 3))
+	leaf.End()
+	leaf.End() // idempotent
+	child.SetAttr("status", "done")
+	child.SetAttr("status", "really-done") // overwrite, not append
+	child.End()
+
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d spans, want 3", len(snap))
+	}
+	if snap[0].Name != "job" || snap[0].Parent != 0 {
+		t.Fatalf("root = %+v", snap[0])
+	}
+	if snap[1].Parent != snap[0].ID || snap[2].Parent != snap[1].ID {
+		t.Fatalf("parent links wrong: %+v", snap)
+	}
+	if got := snap[1].Attr("status"); got != "really-done" {
+		t.Fatalf("SetAttr overwrite: got %q", got)
+	}
+	// Root is still open: snapshot must report a live duration.
+	if snap[0].Dur <= 0 {
+		t.Fatalf("open span duration = %v, want > 0", snap[0].Dur)
+	}
+
+	// Subtree from child keeps child+leaf only.
+	sub := Subtree(snap, snap[1].ID)
+	if len(sub) != 2 || sub[0].Name != "run" || sub[1].Name != "cell" {
+		t.Fatalf("Subtree = %+v", sub)
+	}
+
+	// Drop removes the whole tree.
+	other := r.Root("other")
+	r.Drop(root)
+	snap = r.Snapshot()
+	if len(snap) != 1 || snap[0].ID != other.ID() {
+		t.Fatalf("after Drop: %+v", snap)
+	}
+}
+
+func TestChildAtBackdates(t *testing.T) {
+	r := NewRecorder()
+	root := r.Root("job")
+	past := time.Now().Add(-time.Hour)
+	s := root.ChildAt(past, "stall")
+	s.End()
+	snap := r.Snapshot()
+	if snap[1].Start >= 0 || snap[1].Dur < time.Hour {
+		t.Fatalf("backdated span = start %v dur %v", snap[1].Start, snap[1].Dur)
+	}
+}
+
+func TestContext(t *testing.T) {
+	r := NewRecorder()
+	s := r.Root("job")
+	ctx := NewContext(t.Context(), s)
+	if got := FromContext(ctx); got != s {
+		t.Fatalf("FromContext = %v, want %v", got, s)
+	}
+	if got := FromContext(t.Context()); got != nil {
+		t.Fatalf("FromContext on bare ctx = %v, want nil", got)
+	}
+}
+
+// --- exporter goldens (satellite: fixed tree, byte-stable output) ------
+
+// fixture is a synthetic coord-style run with hand-picked microsecond-
+// aligned times: a job with a cache lookup, a queued interval, and a run
+// fanning out to two slots, where shard 1's first attempt dies, backs
+// off, and is re-dispatched as a steal with a suffix-verify replay.
+func fixture() []SpanData {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	return []SpanData{
+		{ID: 1, Parent: 0, Name: "job", Start: ms(0), Dur: ms(100),
+			Attrs: []Attr{Str("experiment", "fig10"), Str("seed", "1")}},
+		{ID: 2, Parent: 1, Name: "cache.lookup", Start: ms(0), Dur: ms(2)},
+		{ID: 3, Parent: 1, Name: "queued", Start: ms(2), Dur: ms(3)},
+		{ID: 4, Parent: 1, Name: "run", Start: ms(5), Dur: ms(95)},
+		{ID: 5, Parent: 4, Name: "dispatch", Start: ms(5), Dur: ms(90),
+			Attrs: []Attr{Int("shard", 0), Int("slot", 0), Int("attempt", 1), Int("from_cell", 0)}},
+		{ID: 6, Parent: 5, Name: "spawn", Start: ms(5), Dur: ms(1)},
+		{ID: 7, Parent: 5, Name: "ready.wait", Start: ms(6), Dur: ms(2)},
+		{ID: 8, Parent: 5, Name: "stream", Start: ms(8), Dur: ms(87)},
+		{ID: 9, Parent: 4, Name: "dispatch", Start: ms(5), Dur: ms(20),
+			Attrs: []Attr{Int("shard", 1), Int("slot", 1), Int("attempt", 1), Int("from_cell", 0)}},
+		{ID: 10, Parent: 9, Name: "stream", Start: ms(6), Dur: ms(19)},
+		{ID: 11, Parent: 4, Name: "backoff", Start: ms(25), Dur: ms(10),
+			Attrs: []Attr{Int("shard", 1), Int("attempt", 2)}},
+		{ID: 12, Parent: 4, Name: "stall", Start: ms(25), Dur: ms(15),
+			Attrs: []Attr{Int("shard", 1), Int("cell", 3)}},
+		{ID: 13, Parent: 4, Name: "dispatch", Start: ms(40), Dur: ms(30),
+			Attrs: []Attr{Int("shard", 1), Int("slot", 1), Int("attempt", 2), Int("from_cell", 3)}},
+		{ID: 14, Parent: 13, Name: "verify", Start: ms(41), Dur: ms(4),
+			Attrs: []Attr{Int("lines", 3), Str("suffix", "true")}},
+		{ID: 15, Parent: 13, Name: "stream", Start: ms(45), Dur: ms(25)},
+		{ID: 16, Parent: 8, Name: "cell", Start: ms(10), Dur: ms(40), Attrs: []Attr{Int("cell", 0)}},
+		{ID: 17, Parent: 8, Name: "cell", Start: ms(50), Dur: ms(44), Attrs: []Attr{Int("cell", 1)}},
+		{ID: 18, Parent: 15, Name: "cell", Start: ms(46), Dur: ms(20), Attrs: []Attr{Int("cell", 3)}},
+	}
+}
+
+func TestWriteChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	// Shift the whole fixture by an arbitrary origin: normalization must
+	// cancel it, so the bytes are identical to the unshifted export.
+	shifted := fixture()
+	for i := range shifted {
+		shifted[i].Start += 17 * time.Second
+	}
+	if err := WriteChrome(&buf, shifted); err != nil {
+		t.Fatal(err)
+	}
+	want := `[
+{"ph":"M","name":"process_name","pid":0,"tid":0,"args":{"name":"main"}},
+{"ph":"M","name":"process_name","pid":1,"tid":0,"args":{"name":"slot 0"}},
+{"ph":"M","name":"process_name","pid":2,"tid":0,"args":{"name":"slot 1"}},
+{"name":"job","cat":"meshopt","ph":"X","ts":0,"dur":100000,"pid":0,"tid":0,"args":{"id":1,"parent":0,"experiment":"fig10","seed":"1"}},
+{"name":"cache.lookup","cat":"meshopt","ph":"X","ts":0,"dur":2000,"pid":0,"tid":1,"args":{"id":2,"parent":1}},
+{"name":"queued","cat":"meshopt","ph":"X","ts":2000,"dur":3000,"pid":0,"tid":1,"args":{"id":3,"parent":1}},
+{"name":"run","cat":"meshopt","ph":"X","ts":5000,"dur":95000,"pid":0,"tid":1,"args":{"id":4,"parent":1}},
+{"name":"dispatch","cat":"meshopt","ph":"X","ts":5000,"dur":90000,"pid":1,"tid":0,"args":{"id":5,"parent":4,"shard":"0","slot":"0","attempt":"1","from_cell":"0"}},
+{"name":"spawn","cat":"meshopt","ph":"X","ts":5000,"dur":1000,"pid":1,"tid":1,"args":{"id":6,"parent":5}},
+{"name":"dispatch","cat":"meshopt","ph":"X","ts":5000,"dur":20000,"pid":2,"tid":0,"args":{"id":9,"parent":4,"shard":"1","slot":"1","attempt":"1","from_cell":"0"}},
+{"name":"ready.wait","cat":"meshopt","ph":"X","ts":6000,"dur":2000,"pid":1,"tid":1,"args":{"id":7,"parent":5}},
+{"name":"stream","cat":"meshopt","ph":"X","ts":6000,"dur":19000,"pid":2,"tid":1,"args":{"id":10,"parent":9}},
+{"name":"stream","cat":"meshopt","ph":"X","ts":8000,"dur":87000,"pid":1,"tid":1,"args":{"id":8,"parent":5}},
+{"name":"cell","cat":"meshopt","ph":"X","ts":10000,"dur":40000,"pid":1,"tid":2,"args":{"id":16,"parent":8,"cell":"0"}},
+{"name":"backoff","cat":"meshopt","ph":"X","ts":25000,"dur":10000,"pid":0,"tid":2,"args":{"id":11,"parent":4,"shard":"1","attempt":"2"}},
+{"name":"stall","cat":"meshopt","ph":"X","ts":25000,"dur":15000,"pid":0,"tid":3,"args":{"id":12,"parent":4,"shard":"1","cell":"3"}},
+{"name":"dispatch","cat":"meshopt","ph":"X","ts":40000,"dur":30000,"pid":2,"tid":0,"args":{"id":13,"parent":4,"shard":"1","slot":"1","attempt":"2","from_cell":"3"}},
+{"name":"verify","cat":"meshopt","ph":"X","ts":41000,"dur":4000,"pid":2,"tid":1,"args":{"id":14,"parent":13,"lines":"3","suffix":"true"}},
+{"name":"stream","cat":"meshopt","ph":"X","ts":45000,"dur":25000,"pid":2,"tid":1,"args":{"id":15,"parent":13}},
+{"name":"cell","cat":"meshopt","ph":"X","ts":46000,"dur":20000,"pid":2,"tid":2,"args":{"id":18,"parent":15,"cell":"3"}},
+{"name":"cell","cat":"meshopt","ph":"X","ts":50000,"dur":44000,"pid":1,"tid":2,"args":{"id":17,"parent":8,"cell":"1"}}
+]
+`
+	if got := buf.String(); got != want {
+		t.Errorf("Chrome export drifted from golden.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, fixture()); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+
+	got, err := Parse(strings.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parse must recover every field exactly, modulo the canonical
+	// (start, id) export order.
+	want := normalize(fixture())
+	if len(got) != len(want) {
+		t.Fatalf("round trip: %d spans, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.ID != w.ID || g.Parent != w.Parent || g.Name != w.Name ||
+			g.Start != w.Start || g.Dur != w.Dur || attrKey(g.Attrs) != attrKey(w.Attrs) {
+			t.Errorf("span %d: got %+v, want %+v", i, g, w)
+		}
+	}
+
+	// Re-serializing the parse result must reproduce the bytes.
+	var buf2 bytes.Buffer
+	if err := WriteJSONL(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != first {
+		t.Errorf("JSONL not byte-stable across a round trip.\nfirst:\n%s\nsecond:\n%s", first, buf2.String())
+	}
+}
+
+func TestChromeParseRecoversStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, fixture()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chrome ts/dur are microsecond-truncated, so only structure is
+	// guaranteed — which is exactly what Tree canonicalizes.
+	if gotTree, wantTree := Tree(got), Tree(fixture()); gotTree != wantTree {
+		t.Errorf("structure lost through Chrome round trip.\ngot:\n%s\nwant:\n%s", gotTree, wantTree)
+	}
+}
+
+func TestTreeCanonical(t *testing.T) {
+	// Same logical tree, different ids and insertion order, must render
+	// identically: this is the property the cross-worker-count span
+	// determinism tests rely on.
+	a := []SpanData{
+		{ID: 1, Parent: 0, Name: "run"},
+		{ID: 2, Parent: 1, Name: "dispatch", Attrs: []Attr{Int("shard", 0)}},
+		{ID: 3, Parent: 1, Name: "dispatch", Attrs: []Attr{Int("shard", 1)}},
+		{ID: 4, Parent: 2, Name: "cell", Attrs: []Attr{Int("cell", 0)}},
+	}
+	b := []SpanData{
+		{ID: 7, Parent: 0, Name: "run"},
+		{ID: 9, Parent: 7, Name: "dispatch", Attrs: []Attr{Int("shard", 1)}},
+		{ID: 8, Parent: 7, Name: "dispatch", Attrs: []Attr{Int("shard", 0)}},
+		{ID: 11, Parent: 8, Name: "cell", Attrs: []Attr{Int("cell", 0)}},
+	}
+	if Tree(a) != Tree(b) {
+		t.Errorf("Tree not canonical:\n%s\nvs\n%s", Tree(a), Tree(b))
+	}
+	want := "run\n" +
+		"  dispatch{shard=0}\n" +
+		"    cell{cell=0}\n" +
+		"  dispatch{shard=1}\n"
+	if got := Tree(a); got != want {
+		t.Errorf("Tree = \n%s\nwant\n%s", got, want)
+	}
+}
+
+// --- report golden (satellite: pinned `meshopt report` output) ---------
+
+func TestReportGolden(t *testing.T) {
+	r := Build(fixture())
+	var buf bytes.Buffer
+	r.Format(&buf)
+	want := `spans: 18 (1 roots), wall 100ms
+critical path (100ms):
+  job{experiment=fig10,seed=1}                    100ms  self 5ms
+  run                                              95ms  self 5ms
+  dispatch{shard=0,slot=0,attempt=1,from_cell=0}         90ms  self 3ms
+  stream                                           87ms  self 43ms
+  cell{cell=1}                                     44ms  self 44ms
+slots: 2
+  slot 0: 1 dispatches, busy 90ms (90.0%), idle 10ms
+  slot 1: 2 dispatches, busy 50ms (50.0%), idle 50ms
+retries: 1 re-dispatches
+retry backoff: 1 waits, 10ms total
+steals: 1 suffix re-dispatches
+frontier stalls: 1, 15ms total
+steal suffix-verify: 1 replays, 4ms total
+worker spawns: 1, 1ms total
+cells: 3, p50 40ms, p90 44ms, p99 44ms, max 44ms
+cache lookups: 1, 2ms total
+queue wait: 1 jobs, 3ms total
+`
+	if got := buf.String(); got != want {
+		t.Errorf("report drifted from golden.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestReportEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	Build(nil).Format(&buf)
+	if got := buf.String(); !strings.HasPrefix(got, "spans: 0") {
+		t.Errorf("empty report = %q", got)
+	}
+}

@@ -12,8 +12,11 @@ import (
 	"sync"
 	"time"
 
+	"context"
+
 	"repro/internal/dist"
 	"repro/internal/experiments/exp"
+	"repro/internal/obs/span"
 	"repro/internal/scenario/sink"
 )
 
@@ -42,6 +45,13 @@ type job struct {
 	sc    exp.Scale
 	multi bool // the experiment's cells may emit several records
 	cells int
+
+	// Trace state, set once in submit before the job becomes reachable
+	// (so reads need no lock): the job's root span in the server-wide
+	// recorder, the open "queued" child, and when the job was enqueued.
+	span       *span.Span
+	queuedSpan *span.Span
+	queuedAt   time.Time
 
 	mu           sync.Mutex
 	state        string
@@ -253,7 +263,7 @@ func hashPrefix(path string, n int64, h hash.Hash) error {
 // first missing cell (exp.Options.FromCell) and the recomputed suffix
 // continues the stream bit-for-bit — the determinism contract is what
 // makes "resume" and "recompute" indistinguishable in the output.
-func (s *Server) runLocal(j *job) error {
+func (s *Server) runLocal(ctx context.Context, j *job) error {
 	part := s.cache.PartPath(j.key)
 	pre, resuming := validatePart(part, j.multi, j.cells)
 	if !resuming {
@@ -295,7 +305,7 @@ func (s *Server) runLocal(j *job) error {
 	res, err := exp.Run(j.e, j.req.Seed, j.sc, exp.Options{
 		Sink:     ws,
 		FromCell: pre.cells,
-		Context:  s.ctx,
+		Context:  ctx,
 		Progress: func(done, _ int) {
 			j.publish(func(j *job) { j.cellsDone = pre.cells + done })
 		},
@@ -414,7 +424,7 @@ func (t *lineTee) Write(p []byte) (int, error) {
 // granularity in the job's run directory; the part file is rebuilt each
 // attempt from the live merged stream (replayed shards arrive instantly
 // from their checkpoints, so nothing completed is recomputed).
-func (s *Server) runDist(j *job) error {
+func (s *Server) runDist(ctx context.Context, j *job) error {
 	part := s.cache.PartPath(j.key)
 	f, err := os.Create(part)
 	if err != nil {
@@ -424,7 +434,7 @@ func (s *Server) runDist(j *job) error {
 	tee := &lineTee{s: s, j: j, f: f, h: sha256.New()}
 	j.publish(func(j *job) { j.path = part })
 
-	rep, err := dist.Run(s.ctx, j.req, s.cache.RunDir(j.key), dist.Options{
+	rep, err := dist.Run(ctx, j.req, s.cache.RunDir(j.key), dist.Options{
 		Slots:   s.o.Slots,
 		Spawner: s.o.Spawner,
 		Logger:  s.o.Logger.With("job", j.key[:12]),

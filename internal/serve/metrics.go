@@ -20,6 +20,8 @@ var (
 		"Jobs that reached the failed state.")
 	metJobsSwept = obs.Default.Counter("meshopt_serve_jobs_swept_total",
 		"Terminal jobs GC'd from the job table by the TTL janitor.")
+	metQueueWait = obs.Default.Histogram("meshopt_queue_wait_seconds",
+		"Time a job spent queued before it started running.", obs.TimeBuckets())
 	metSubscribers = obs.Default.Gauge("meshopt_serve_stream_subscribers",
 		"Live GET /v1/jobs/{id}/records streams.")
 

@@ -47,6 +47,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/experiments/exp"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/scenario"
 	"repro/internal/scenario/sink"
 )
@@ -96,6 +97,12 @@ type Server struct {
 	cancel context.CancelFunc
 	closed atomic.Bool
 
+	// trace is the server-wide span recorder: every job's execution
+	// timeline roots here and GET /v1/jobs/{id}/trace exports the job's
+	// subtree. Spans of swept jobs are dropped with them, so the
+	// recorder's footprint tracks the job table's.
+	trace *span.Recorder
+
 	start time.Time
 
 	mu      sync.Mutex // guards jobs/queue/running; never taken inside a job's lock
@@ -125,12 +132,14 @@ func New(o Options) (*Server, error) {
 		mux:    http.NewServeMux(),
 		ctx:    ctx,
 		cancel: cancel,
+		trace:  span.NewRecorder(),
 		start:  time.Now(),
 		jobs:   map[string]*job{},
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/records", s.handleRecords)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	obs.Mount(s.mux, obs.Default)
@@ -182,9 +191,18 @@ func (s *Server) enforceQuota() {
 		pinned[key] = true
 	}
 	s.mu.Unlock()
-	if n, freed := s.cache.EvictOver(quota, pinned); n > 0 {
-		s.o.Logger.Info("cache quota enforced", "evicted", n, "freed_bytes", freed, "quota_bytes", quota)
+	// Opened speculatively and dropped when nothing was evicted: the
+	// janitor ticks frequently and a span per no-op tick would grow the
+	// recorder forever.
+	sp := s.trace.Root("cache.evict")
+	n, freed := s.cache.EvictOver(quota, pinned)
+	sp.End()
+	if n == 0 {
+		s.trace.Drop(sp)
+		return
 	}
+	sp.SetAttr("evicted", strconv.Itoa(n))
+	s.o.Logger.Info("cache quota enforced", "evicted", n, "freed_bytes", freed, "quota_bytes", quota)
 }
 
 // sweepJobs evicts jobs that have been terminal for at least JobTTL,
@@ -213,7 +231,10 @@ func (s *Server) sweepJobs(now time.Time) int {
 			// genuinely servable, so the index fast path is not enough —
 			// a stale fingerprint match must not free a job whose entry
 			// rotted on disk.
-			if _, _, _, ok := s.cache.Revalidate(j.key); !ok {
+			vsp := j.span.Child("cache.validate")
+			_, _, _, ok := s.cache.Revalidate(j.key)
+			vsp.End()
+			if !ok {
 				continue // entry invalid: eviction would cost a recompute
 			}
 		}
@@ -222,6 +243,7 @@ func (s *Server) sweepJobs(now time.Time) int {
 		// expired job with a fresh (non-terminal) one in the meantime.
 		if cur := s.jobs[j.key]; cur == j && terminal(cur.snapshot().state) {
 			delete(s.jobs, j.key)
+			s.trace.Drop(j.span)
 			evicted++
 		}
 		s.mu.Unlock()
@@ -316,18 +338,25 @@ func (s *Server) execute(j *job) {
 		s.mu.Unlock()
 		s.wg.Done()
 	}()
+	j.queuedSpan.End()
+	metQueueWait.Observe(time.Since(j.queuedAt).Seconds())
 	j.publish(func(j *job) { j.state = stateRunning })
 	s.o.Logger.Info("job running",
 		"job", j.key[:12], "experiment", j.req.Experiment, "seed", j.req.Seed,
 		"scale", j.req.Scale, "shards", j.req.Shards, "cells", j.cells)
+	runSpan := j.span.Child("run")
+	ctx := span.NewContext(s.ctx, runSpan)
 	var err error
 	if j.req.Shards > 1 {
-		err = s.runDist(j)
+		err = s.runDist(ctx, j)
 	} else {
-		err = s.runLocal(j)
+		err = s.runLocal(ctx, j)
 	}
+	runSpan.End()
+	defer j.span.End()
 	if err != nil {
 		metJobsFailed.Inc()
+		j.span.SetAttr("state", stateFailed)
 		s.o.Logger.Warn("job failed", "job", j.key[:12], "err", err)
 		j.publish(func(j *job) {
 			j.state = stateFailed
@@ -335,6 +364,7 @@ func (s *Server) execute(j *job) {
 		})
 		return
 	}
+	j.span.SetAttr("state", stateDone)
 	metJobsDone.Inc()
 	s.o.Logger.Info("job done", "job", j.key[:12], "records", j.snapshot().records)
 	// A fresh entry just landed; trim the cache if it pushed past quota.
@@ -379,27 +409,41 @@ func (s *Server) submit(req dist.Job) (*job, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
+	// The root span is opened speculatively: if this submission ends up
+	// coalescing onto an existing job, the tree is dropped again. The
+	// cache lookup (and a hit's reduction replay) happen before the job
+	// exists, so they could not otherwise nest under it.
+	jobSpan := s.trace.Root("job",
+		span.Str("experiment", e.Name()), span.I64("seed", req.Seed),
+		span.Str("scale", req.Scale), span.Int("shards", req.Shards))
+	lookupSpan := jobSpan.Child("cache.lookup")
 	path, records, dataBytes, entryOK := s.cache.Lookup(key)
+	lookupSpan.End()
 	// A cache-hit-born job never runs a reduction, so its summary is
 	// recomputed by replaying the entry's records through Reduce —
 	// GET /v1/jobs/{id} then shows the same summary a computed job
 	// would. Like the entry validation, this runs before the lock.
 	summary := ""
 	if entryOK {
+		jobSpan.SetAttr("cache", "hit")
+		reduceSpan := jobSpan.Child("reduce")
 		if res, rerr := reduceEntry(e, path); rerr == nil && res != nil {
 			var b strings.Builder
 			res.Print(&b)
 			summary = b.String()
 		}
+		reduceSpan.End()
 	}
 	// Built speculatively before the lock: the cell enumeration of a
 	// large sweep is not free, and holding s.mu through it would convoy
 	// the whole API the same way the entry rehash above would.
 	fresh := newJob(key, req, e, sc)
+	fresh.span = jobSpan
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed.Load() {
+		s.trace.Drop(jobSpan)
 		return nil, false, errShutdown
 	}
 	if j := s.jobs[key]; j != nil {
@@ -407,12 +451,16 @@ func (s *Server) submit(req dist.Job) (*job, bool, error) {
 		switch {
 		case !terminal(st):
 			metCoalesced.Inc()
+			j.span.Child("coalesced").End()
+			s.trace.Drop(jobSpan)
 			return j, false, nil // single-flight: attach to the in-flight job
 		case st == stateDone:
 			// The entry re-validated on this attach: a corrupted or
 			// evicted file must trigger recomputation, never be served.
 			if entryOK {
 				metCoalesced.Inc()
+				j.span.Child("coalesced").End()
+				s.trace.Drop(jobSpan)
 				return j, false, nil
 			}
 			// The job may have finished — renaming its entry into
@@ -421,10 +469,14 @@ func (s *Server) submit(req dist.Job) (*job, bool, error) {
 			// rehash under the lock is acceptable here).
 			if _, _, _, ok := s.cache.Lookup(key); ok {
 				metCoalesced.Inc()
+				j.span.Child("coalesced").End()
+				s.trace.Drop(jobSpan)
 				return j, false, nil
 			}
 		}
-		// Failed, or done with an invalid entry: fall through and replace.
+		// Failed, or done with an invalid entry: fall through and
+		// replace, retiring the replaced job's trace with it.
+		s.trace.Drop(j.span)
 	}
 	j := fresh
 	if entryOK {
@@ -436,11 +488,15 @@ func (s *Server) submit(req dist.Job) (*job, bool, error) {
 		j.bytes = dataBytes
 		j.path = path
 		j.summary = summary
+		j.span.End()
 		s.jobs[key] = j // fully initialized before it becomes reachable
 		metCoalesced.Inc()
 		s.o.Logger.Info("job served from cache", "job", key[:12], "records", records)
 		return j, false, nil
 	}
+	j.span.SetAttr("cache", "miss")
+	j.queuedSpan = j.span.Child("queued")
+	j.queuedAt = time.Now()
 	s.jobs[key] = j
 	s.queue = append(s.queue, j)
 	s.admit()
@@ -534,6 +590,29 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Error:        v.errMsg,
 		Summary:      v.summary,
 	})
+}
+
+// handleTrace exports a job's span subtree from the server-wide
+// recorder: Chrome trace-event JSON by default (load it in Perfetto or
+// chrome://tracing), the compact JSONL span log with ?format=jsonl. A
+// still-running job exports honest partial intervals — open spans carry
+// their duration so far — so the timeline is inspectable mid-run.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	spans := span.Subtree(s.trace.Snapshot(), j.span.ID())
+	switch r.URL.Query().Get("format") {
+	case "", "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		span.WriteChrome(w, spans)
+	case "jsonl":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		span.WriteJSONL(w, spans)
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad format=%q (want chrome or jsonl)", r.URL.Query().Get("format")))
+	}
 }
 
 // handleRecords streams a job's records as NDJSON, live: published

@@ -47,6 +47,9 @@ func TestMetricsEndpointSchema(t *testing.T) {
 		"# TYPE meshopt_serve_submissions_total counter\n",
 		"# TYPE meshopt_serve_jobs_done_total counter\n",
 		"# TYPE meshopt_runner_cell_seconds histogram\n",
+		"# TYPE meshopt_queue_wait_seconds histogram\n",
+		"# TYPE meshopt_build_info gauge\n",
+		"# TYPE meshopt_process_uptime_seconds gauge\n",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)
@@ -64,6 +67,18 @@ func TestMetricsEndpointSchema(t *testing.T) {
 		if !nonzero {
 			t.Errorf("/metrics: %s is zero after a cache-hit resubmission", name)
 		}
+	}
+
+	// The computed submission went queued -> running, so the queue-wait
+	// histogram must hold at least one observation.
+	queueWaited := false
+	for _, line := range strings.Split(body, "\n") {
+		if v, ok := strings.CutPrefix(line, "meshopt_queue_wait_seconds_count "); ok && v != "0" {
+			queueWaited = true
+		}
+	}
+	if !queueWaited {
+		t.Error("/metrics: meshopt_queue_wait_seconds_count is zero after a computed job")
 	}
 
 	if code, body := get(t, ts, "/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "pprof") {

@@ -22,7 +22,7 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (parallel experiment engine + shard coordinator + serve layer + trace + obs)"
-go test -race ./internal/experiments/... ./internal/dist/... ./internal/serve ./internal/trace ./internal/obs
+go test -race ./internal/experiments/... ./internal/dist/... ./internal/serve ./internal/trace ./internal/obs/...
 
 echo "== scenario schema gate (round-trip parse/marshal goldens)"
 go test ./internal/scenario -run 'TestGolden|TestBuiltinsMarshalParse' -count=1
@@ -79,6 +79,20 @@ MESHOPT_FAULT='seed=7,1/kill@2x1,2/slow=5ms' "$SHARD_TMP/meshopt" coord 10 -scal
     -o "$SHARD_TMP/chaos.jsonl" >/dev/null 2>"$SHARD_TMP/chaos.log"
 cmp "$SHARD_TMP/full.jsonl" "$SHARD_TMP/chaos.jsonl"
 cmp "$SHARD_TMP/full.jsonl" "$SHARD_TMP/chaos/merged.jsonl"
+
+echo "== tracing smoke (coord -trace: report decomposes the capture, record bytes untouched)"
+# A traced 3-worker coord run must leave the merged stream byte-identical
+# to the untraced unsharded run (spans are out-of-band), and `meshopt
+# report` over the capture must decompose it: a nonempty critical path
+# and per-slot accounting.
+"$SHARD_TMP/meshopt" coord 10 -scale quick -seed 4 -shards 3 -workers 3 -dir "$SHARD_TMP/trun" \
+    -trace "$SHARD_TMP/coord.trace.json" -o "$SHARD_TMP/traced.jsonl" >/dev/null 2>&1
+cmp "$SHARD_TMP/full.jsonl" "$SHARD_TMP/traced.jsonl"
+cmp "$SHARD_TMP/full.jsonl" "$SHARD_TMP/trun/merged.jsonl"
+"$SHARD_TMP/meshopt" report "$SHARD_TMP/coord.trace.json" >"$SHARD_TMP/report.txt"
+grep -q 'critical path (' "$SHARD_TMP/report.txt"
+grep -q 'dispatch' "$SHARD_TMP/report.txt"
+grep -q 'slots: ' "$SHARD_TMP/report.txt"
 
 echo "== broadcast smoke (dissemination family: run + 2-shard merge + chaos-steal coord, bytes identical)"
 "$SHARD_TMP/meshopt" fig broadcast -scale quick -seed 4 -o "$SHARD_TMP/bc.jsonl" >/dev/null
@@ -144,8 +158,26 @@ grep -Eq '^meshopt_cache_hits_total [1-9]' "$SHARD_TMP/metrics.txt"
 grep -Eq '^meshopt_serve_jobs_done_total [1-9]' "$SHARD_TMP/metrics.txt"
 grep -q '^# TYPE meshopt_runner_cell_seconds histogram' "$SHARD_TMP/metrics.txt"
 "$SHARD_TMP/meshopt" stats -addr "$ADDR" | grep -q '"jobs"'
+"$SHARD_TMP/meshopt" stats -addr "$ADDR" -watch 100ms -samples 2 >"$SHARD_TMP/watch.txt"
+test "$(wc -l <"$SHARD_TMP/watch.txt")" -eq 2
+grep -q 'jobs queued=' "$SHARD_TMP/watch.txt"
+grep -q 'Δdone' "$SHARD_TMP/watch.txt"
 "$SHARD_TMP/meshopt" stats -addr "$ADDR" -path /debug/pprof/ | grep -qi 'pprof'
+grep -q '^# TYPE meshopt_build_info gauge' "$SHARD_TMP/metrics.txt"
+grep -Eq '^meshopt_queue_wait_seconds_count [1-9]' "$SHARD_TMP/metrics.txt"
 kill "$SERVE_PID" && wait "$SERVE_PID" 2>/dev/null
 SERVE_PID=""
+
+echo "== benchdiff (advisory: allocs/op drift between the two newest BENCH_<n>.json snapshots)"
+mapfile -t BENCHES < <(ls BENCH_*.json 2>/dev/null | sort -V)
+if [ "${#BENCHES[@]}" -ge 2 ]; then
+    OLD="${BENCHES[-2]}"
+    NEW="${BENCHES[-1]}"
+    if ! scripts/benchdiff.sh "$OLD" "$NEW"; then
+        echo "benchdiff: advisory — $NEW regressed vs $OLD (not failing CI; see above)" >&2
+    fi
+else
+    echo "benchdiff: fewer than two BENCH_<n>.json snapshots, skipping"
+fi
 
 echo "CI OK"
